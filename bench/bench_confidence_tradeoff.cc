@@ -1,0 +1,58 @@
+// Extension experiment: the precision/coverage dial of §II, driven by
+// the tagger's posterior confidence. Sweeping the minimum span
+// confidence trades coverage for precision — the knob Rakuten's
+// "precision over coverage" business requirement asks for.
+
+#include <iostream>
+
+#include "experiment_lib.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace pae::bench {
+namespace {
+
+int Run() {
+  BenchOptions options = BenchOptions::FromEnv(/*default_products=*/300);
+  PrintHeader("Extension — span-confidence precision/coverage trade-off",
+              options);
+
+  const std::vector<datagen::CategoryId> categories = {
+      datagen::CategoryId::kGarden, datagen::CategoryId::kVacuumCleaner};
+  const double thresholds[] = {0.0, 0.5, 0.8, 0.9, 0.97};
+
+  for (datagen::CategoryId id : categories) {
+    const PreparedCategory& category = Prepare(id, options);
+    TablePrinter table(std::string("CRF + cleaning, 1 cycle — ") +
+                       datagen::CategoryName(id));
+    table.SetHeader({"min span confidence", "precision %", "coverage %",
+                     "triples"});
+    for (double threshold : thresholds) {
+      std::cerr << "[confidence] " << datagen::CategoryName(id) << " τ="
+                << threshold << "\n";
+      core::PipelineConfig config = CrfConfig(/*iterations=*/1, true);
+      config.min_span_confidence = threshold;
+      core::PipelineResult result = RunPipeline(category, config);
+      core::TripleMetrics metrics =
+          Evaluate(category, result.final_triples());
+      table.AddRow({FormatDouble(threshold, 2),
+                    FormatDouble(metrics.precision, 2),
+                    FormatDouble(metrics.coverage, 2),
+                    std::to_string(metrics.total)});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape: triples fall monotonically with the\n"
+            << "threshold; precision rises (or holds) while coverage\n"
+            << "drops — a smooth dial between the Table II/III corners.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pae::bench
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::Run();
+}

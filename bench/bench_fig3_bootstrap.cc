@@ -1,0 +1,82 @@
+// Reproduces Figure 3: precision (top) and coverage (bottom) of the CRF
+// model across the five bootstrap iterations, without cleaning (left)
+// and with cleaning (right).
+
+#include <iostream>
+
+#include "experiment_lib.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace pae::bench {
+namespace {
+
+const std::vector<datagen::CategoryId>& Fig3Categories() {
+  static const auto* kCategories = new std::vector<datagen::CategoryId>{
+      datagen::CategoryId::kTennis,
+      datagen::CategoryId::kGarden,
+      datagen::CategoryId::kLadiesBags,
+      datagen::CategoryId::kDigitalCameras,
+      datagen::CategoryId::kVacuumCleaner,
+  };
+  return *kCategories;
+}
+
+int Run() {
+  BenchOptions options = BenchOptions::FromEnv(/*default_products=*/300);
+  PrintHeader("Figure 3 — CRF precision & coverage across iterations",
+              options);
+
+  for (bool cleaning : {false, true}) {
+    // series[category][iteration] = metrics
+    std::vector<std::vector<core::TripleMetrics>> series;
+    for (datagen::CategoryId id : Fig3Categories()) {
+      const PreparedCategory& category = Prepare(id, options);
+      std::cerr << "[fig3] " << datagen::CategoryName(id)
+                << (cleaning ? " (clean)" : " (no clean)") << "\n";
+      core::PipelineResult result =
+          RunPipeline(category, CrfConfig(/*iterations=*/5, cleaning));
+      std::vector<core::TripleMetrics> per_iteration;
+      for (const auto& snapshot : result.triples_after) {
+        per_iteration.push_back(Evaluate(category, snapshot));
+      }
+      series.push_back(std::move(per_iteration));
+    }
+
+    for (const char* what : {"precision", "coverage"}) {
+      TablePrinter table(std::string("Fig. 3 ") + what + " % — CRF " +
+                         (cleaning ? "with cleaning" : "without cleaning"));
+      std::vector<std::string> header = {"Iteration"};
+      for (datagen::CategoryId id : Fig3Categories()) {
+        header.push_back(datagen::CategoryName(id));
+      }
+      table.SetHeader(header);
+      for (int it = 0; it < 5; ++it) {
+        std::vector<std::string> row = {std::to_string(it + 1)};
+        for (const auto& per_iteration : series) {
+          const core::TripleMetrics& m = per_iteration[static_cast<size_t>(it)];
+          row.push_back(FormatDouble(
+              std::string(what) == "precision" ? m.precision : m.coverage,
+              2));
+        }
+        table.AddRow(row);
+      }
+      table.Print(std::cout);
+    }
+  }
+
+  std::cout << "\nShape checks (paper): precision decreases mildly across\n"
+            << "iterations but cleaning keeps it high (>85% in most\n"
+            << "categories); coverage rises strongly across iterations and\n"
+            << "rises further without cleaning (at a precision cost).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pae::bench
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::Run();
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 5: total number of triples of different categories
+// through bootstrap iterations, using CRF with cleaning.
+
+#include <iostream>
+
+#include "experiment_lib.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace pae::bench {
+namespace {
+
+const std::vector<datagen::CategoryId>& Fig5Categories() {
+  static const auto* kCategories = new std::vector<datagen::CategoryId>{
+      datagen::CategoryId::kTennis,
+      datagen::CategoryId::kCosmetics,
+      datagen::CategoryId::kLadiesBags,
+      datagen::CategoryId::kVacuumCleaner,
+  };
+  return *kCategories;
+}
+
+int Run() {
+  BenchOptions options = BenchOptions::FromEnv(/*default_products=*/300);
+  PrintHeader("Figure 5 — triple counts across iterations (CRF + cleaning)",
+              options);
+
+  TablePrinter table("Fig. 5 — number of triples per iteration");
+  std::vector<std::string> header = {"Category", "seed"};
+  for (int it = 1; it <= 5; ++it) {
+    header.push_back("iter " + std::to_string(it));
+  }
+  table.SetHeader(header);
+
+  for (datagen::CategoryId id : Fig5Categories()) {
+    const PreparedCategory& category = Prepare(id, options);
+    std::cerr << "[fig5] " << datagen::CategoryName(id) << "\n";
+    core::PipelineResult result =
+        RunPipeline(category, CrfConfig(/*iterations=*/5, true));
+    std::vector<std::string> row = {datagen::CategoryName(id)};
+    row.push_back(
+        std::to_string(Evaluate(category, result.seed_triples).total));
+    for (const auto& snapshot : result.triples_after) {
+      row.push_back(std::to_string(Evaluate(category, snapshot).total));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape checks (paper): a steady increase whose per-\n"
+            << "iteration gains shrink — continuing past 5 iterations\n"
+            << "would yield diminishing returns (§VII-C).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pae::bench
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::Run();
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 7: increase in the coverage of the challenging
+// Digital Camera attributes (A1 shutter speed, A2 effective pixels,
+// A3 weight) when tagged by a specialized model (§VIII-C/D).
+
+#include "specialized_runner.h"
+#include "util/logging.h"
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::RunSpecializedBench(
+      "Figure 7 — specialized-model attribute coverage (Digital Cameras)",
+      pae::datagen::CategoryId::kDigitalCameras,
+      {"シャッタースピード", "有効画素数", "重量"},
+      {"A1 shutter speed", "A2 effective pixels", "A3 weight"});
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 8: increase in the coverage of the Vacuum Cleaner
+// attributes (B1 type, B2 container type, B3 power supply type) when
+// tagged by a specialized model (§VIII-C/D).
+
+#include "specialized_runner.h"
+#include "util/logging.h"
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::RunSpecializedBench(
+      "Figure 8 — specialized-model attribute coverage (Vacuum Cleaner)",
+      pae::datagen::CategoryId::kVacuumCleaner,
+      {"タイプ", "集じん方式", "電源方式"},
+      {"B1 type", "B2 container type", "B3 power supply"});
+}

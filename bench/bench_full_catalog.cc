@@ -1,0 +1,57 @@
+// Extension experiment backing the paper's §VI-A scope claim ("We
+// evaluated 21 different categories in Japanese and German"): runs the
+// full CRF pipeline (2 cycles) over every category in the catalog —
+// 18 Japanese + 3 German + the heterogeneous study pair — and prints
+// the summary the paper's §VII-E gives in prose: overall precision and
+// coverage are high across categories and languages.
+
+#include <iostream>
+
+#include "experiment_lib.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace pae::bench {
+namespace {
+
+int Run() {
+  BenchOptions options = BenchOptions::FromEnv(/*default_products=*/250);
+  PrintHeader("Catalog sweep — full pipeline over all 21+ categories",
+              options);
+
+  TablePrinter table("CRF + cleaning, 2 cycles");
+  table.SetHeader({"Category", "Lang", "Attrs", "Precision %",
+                   "Coverage %", "Triples"});
+  double precision_sum = 0;
+  int rows = 0;
+  for (datagen::CategoryId id : datagen::AllCategories()) {
+    const PreparedCategory& category = Prepare(id, options);
+    std::cerr << "[catalog] " << datagen::CategoryName(id) << "\n";
+    core::PipelineResult result =
+        RunPipeline(category, CrfConfig(/*iterations=*/2, true));
+    core::TripleMetrics metrics = Evaluate(category, result.final_triples());
+    precision_sum += metrics.precision;
+    ++rows;
+    table.AddRow({datagen::CategoryName(id),
+                  text::LanguageName(category.corpus.language),
+                  std::to_string(result.seed.attributes.size()),
+                  FormatDouble(metrics.precision, 2),
+                  FormatDouble(metrics.coverage, 2),
+                  std::to_string(metrics.total)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nMean precision across the catalog: "
+            << FormatDouble(precision_sum / rows, 2)
+            << "% (the paper's headline claim is ~90% on average, with\n"
+            << "the heterogeneous Baby Goods as the documented outlier).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pae::bench
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::Run();
+}

@@ -1,0 +1,60 @@
+// Reproduces the German-language results of §VII-B/C: precision,
+// coverage, and triple counts for the three German categories (mailbox,
+// coffee machines, garden) with the full CRF pipeline.
+
+#include <iostream>
+#include <map>
+
+#include "experiment_lib.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace pae::bench {
+namespace {
+
+struct PaperRow {
+  double precision;
+  double coverage;
+  int triples;
+};
+
+int Run() {
+  BenchOptions options = BenchOptions::FromEnv(/*default_products=*/300);
+  PrintHeader("§VII-B/C — German categories (full CRF pipeline)", options);
+
+  const std::map<datagen::CategoryId, PaperRow> paper = {
+      {datagen::CategoryId::kMailboxDe, {94.36, 73.0, 2943}},
+      {datagen::CategoryId::kCoffeeMachinesDe, {92.0, 57.3, 1626}},
+      {datagen::CategoryId::kGardenDe, {84.2, 87.03, 2096}},
+  };
+
+  TablePrinter table("German categories (paper / measured)");
+  table.SetHeader({"Category", "Precision %", "Coverage %", "#Triples"});
+  for (const auto& [id, row] : paper) {
+    const PreparedCategory& category = Prepare(id, options);
+    std::cerr << "[german] " << datagen::CategoryName(id) << "\n";
+    core::PipelineResult result =
+        RunPipeline(category, CrfConfig(/*iterations=*/5, true));
+    core::TripleMetrics metrics = Evaluate(category, result.final_triples());
+    table.AddRow({datagen::CategoryName(id),
+                  PaperVsMeasured(row.precision, metrics.precision),
+                  PaperVsMeasured(row.coverage, metrics.coverage),
+                  std::to_string(row.triples) + " / " +
+                      std::to_string(metrics.total)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape checks (paper): results for German are comparable\n"
+            << "to the Japanese categories — high precision with good\n"
+            << "coverage, garden again the weakest on precision. The\n"
+            << "pipeline is unchanged except tokenizer + PoS resources.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pae::bench
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::Run();
+}

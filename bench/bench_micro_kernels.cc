@@ -1,0 +1,190 @@
+// Microbenchmarks of the computational kernels behind the pipeline:
+// CRF forward–backward & Viterbi, LSTM steps, word2vec training,
+// HTML parsing and tokenization. google-benchmark based.
+
+#include <benchmark/benchmark.h>
+
+#include "crf/crf_model.h"
+#include "crf/crf_tagger.h"
+#include "datagen/generator.h"
+#include "embed/word2vec.h"
+#include "html/parser.h"
+#include "html/table_extractor.h"
+#include "lstm/lstm_cell.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace pae {
+namespace {
+
+// ---- CRF kernels ----
+
+struct CrfFixture {
+  crf::CrfModel model;
+  crf::CompiledSequence seq;
+  std::vector<double> weights;
+
+  CrfFixture(size_t labels, size_t features, size_t length) {
+    Rng rng(1);
+    for (size_t y = 0; y < labels; ++y) {
+      model.AddLabel("L" + std::to_string(y));
+    }
+    for (size_t f = 0; f < features; ++f) {
+      model.AddFeature("F" + std::to_string(f));
+    }
+    seq.features.resize(length);
+    seq.labels.resize(length);
+    for (size_t t = 0; t < length; ++t) {
+      for (int k = 0; k < 12; ++k) {
+        seq.features[t].push_back(
+            static_cast<int>(rng.NextBounded(features)));
+      }
+      seq.labels[t] = static_cast<int>(rng.NextBounded(labels));
+    }
+    weights.resize(model.WeightDim());
+    for (double& w : weights) w = rng.NextGaussian() * 0.1;
+  }
+};
+
+void BM_CrfSequenceNll(benchmark::State& state) {
+  CrfFixture fixture(static_cast<size_t>(state.range(0)), 2000, 15);
+  std::vector<double> grad(fixture.weights.size());
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    benchmark::DoNotOptimize(
+        fixture.model.SequenceNll(fixture.seq, fixture.weights, &grad));
+  }
+}
+BENCHMARK(BM_CrfSequenceNll)->Arg(9)->Arg(17)->Arg(25);
+
+void BM_CrfViterbi(benchmark::State& state) {
+  CrfFixture fixture(static_cast<size_t>(state.range(0)), 2000, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.model.Viterbi(fixture.seq, fixture.weights));
+  }
+}
+BENCHMARK(BM_CrfViterbi)->Arg(9)->Arg(17)->Arg(25);
+
+// ---- LSTM kernels ----
+
+void BM_LstmForward(benchmark::State& state) {
+  Rng rng(2);
+  const size_t hidden = static_cast<size_t>(state.range(0));
+  lstm::LstmParams params(24, hidden);
+  params.Init(&rng);
+  std::vector<std::vector<float>> inputs(15, std::vector<float>(24));
+  for (auto& x : inputs) {
+    for (float& v : x) v = static_cast<float>(rng.NextGaussian());
+  }
+  lstm::LstmTrace trace;
+  for (auto _ : state) {
+    lstm::LstmForward(params, inputs, &trace);
+    benchmark::DoNotOptimize(trace.h.back()[0]);
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LstmBackward(benchmark::State& state) {
+  Rng rng(3);
+  const size_t hidden = static_cast<size_t>(state.range(0));
+  lstm::LstmParams params(24, hidden);
+  params.Init(&rng);
+  std::vector<std::vector<float>> inputs(15, std::vector<float>(24));
+  for (auto& x : inputs) {
+    for (float& v : x) v = static_cast<float>(rng.NextGaussian());
+  }
+  lstm::LstmTrace trace;
+  lstm::LstmForward(params, inputs, &trace);
+  std::vector<std::vector<float>> dh(15, std::vector<float>(hidden, 1.0f));
+  lstm::LstmParams grad(24, hidden);
+  std::vector<std::vector<float>> dx;
+  for (auto _ : state) {
+    grad.SetZero();
+    lstm::LstmBackward(params, trace, dh, &grad, &dx);
+    benchmark::DoNotOptimize(dx[0][0]);
+  }
+}
+BENCHMARK(BM_LstmBackward)->Arg(16)->Arg(32)->Arg(64);
+
+// ---- word2vec ----
+
+void BM_Word2VecTrain(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::string> sentence;
+    for (int k = 0; k < 10; ++k) {
+      sentence.push_back("w" + std::to_string(rng.NextBounded(400)));
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  embed::Word2VecOptions options;
+  options.dim = static_cast<int>(state.range(0));
+  options.epochs = 1;
+  options.min_count = 1;
+  for (auto _ : state) {
+    embed::Word2Vec model(options);
+    benchmark::DoNotOptimize(model.Train(corpus).ok());
+  }
+}
+BENCHMARK(BM_Word2VecTrain)->Arg(16)->Arg(32)->Arg(64);
+
+// ---- HTML + tokenization ----
+
+void BM_HtmlParseAndExtract(benchmark::State& state) {
+  datagen::GeneratorConfig config;
+  config.num_products = 50;
+  config.seed = 5;
+  datagen::GeneratedCategory category = datagen::GenerateCategory(
+      datagen::CategoryId::kVacuumCleaner, config);
+  for (auto _ : state) {
+    size_t tables = 0;
+    for (const auto& page : category.corpus.pages) {
+      auto dom = html::ParseHtml(page.html);
+      tables += html::ExtractDictionaryTables(*dom).size();
+      benchmark::DoNotOptimize(html::ExtractText(*dom).size());
+    }
+    benchmark::DoNotOptimize(tables);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(category.corpus.pages.size()));
+}
+BENCHMARK(BM_HtmlParseAndExtract);
+
+void BM_CjkTokenize(benchmark::State& state) {
+  text::CjkTokenizer tokenizer({"重量", "カラー", "です", "集じん方式"});
+  const std::string sentence =
+      "この商品の重量は2.5kgです。カラーはブラックです。集じん方式:"
+      "サイクロン式。";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(sentence).size());
+  }
+}
+BENCHMARK(BM_CjkTokenize);
+
+void BM_CrfTrainSmall(benchmark::State& state) {
+  // End-to-end training cost on a small patterned dataset.
+  Rng rng(6);
+  std::vector<text::LabeledSequence> data;
+  for (int i = 0; i < 200; ++i) {
+    text::LabeledSequence seq;
+    const std::string v = std::to_string(rng.NextInt(1, 9));
+    seq.tokens = {"重量", "は", v, "kg", "です"};
+    seq.pos = {"NN", "PRT", "NUM", "UNIT", "VB"};
+    seq.labels = {"O", "O", "B-重量", "I-重量", "O"};
+    data.push_back(std::move(seq));
+  }
+  crf::CrfOptions options;
+  options.max_iterations = 15;
+  for (auto _ : state) {
+    crf::CrfTagger tagger(options);
+    benchmark::DoNotOptimize(tagger.Train(data).ok());
+  }
+}
+BENCHMARK(BM_CrfTrainSmall);
+
+}  // namespace
+}  // namespace pae
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Reproduces Table I: precision and coverage of the automatically
+// obtained seed instances across the eight Japanese categories.
+
+#include <iostream>
+#include <map>
+
+#include "experiment_lib.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace pae::bench {
+namespace {
+
+struct PaperRow {
+  int pairs;
+  int triples;
+  double precision_pairs;
+  double precision_triples;
+  double coverage_triples;
+};
+
+const std::map<std::string, PaperRow>& PaperTable1() {
+  static const auto* kPaper = new std::map<std::string, PaperRow>{
+      {"Tennis", {296, 2109, 100.0, 98.76, 25.50}},
+      {"Kitchen", {467, 1394, 94.06, 93.03, 19.50}},
+      {"Cosmetics", {613, 6655, 100.0, 93.08, 36.61}},
+      {"Garden", {196, 952, 92.08, 88.52, 8.3}},
+      {"Shoes", {156, 697, 93.02, 92.09, 6.47}},
+      {"Ladies bags", {723, 5156, 98.45, 98.05, 39.15}},
+      {"Digital Cameras", {224, 2157, 95.55, 99.74, 12.14}},
+      {"Vacuum Cleaner", {509, 2135, 94.96, 96.45, 27.25}},
+  };
+  return *kPaper;
+}
+
+int Run() {
+  BenchOptions options = BenchOptions::FromEnv(/*default_products=*/400);
+  PrintHeader("Table I — seed precision & coverage", options);
+
+  TablePrinter table("Table I (paper / measured)");
+  table.SetHeader({"Category", "#Pairs", "#Triples", "Prec. pairs %",
+                   "Prec. triples %", "Coverage triples %"});
+
+  for (datagen::CategoryId id : datagen::PaperTableCategories()) {
+    const PreparedCategory& category = Prepare(id, options);
+    const std::string name = datagen::CategoryName(id);
+    // A 0-iteration pipeline stops after seed construction.
+    core::PipelineResult result =
+        RunPipeline(category, CrfConfig(/*iterations=*/0, true));
+
+    std::vector<core::AttributeValue> pairs;
+    pairs.reserve(result.seed.pairs.size());
+    for (const auto& seed_pair : result.seed.pairs) {
+      pairs.push_back(
+          core::AttributeValue{seed_pair.attribute, seed_pair.value_display});
+    }
+    core::PairMetrics pair_metrics =
+        core::EvaluatePairs(pairs, category.generated.truth);
+    core::TripleMetrics triple_metrics =
+        Evaluate(category, result.seed_triples);
+
+    const PaperRow& paper = PaperTable1().at(name);
+    table.AddRow({
+        name,
+        std::to_string(paper.pairs) + " / " +
+            std::to_string(pair_metrics.total),
+        std::to_string(paper.triples) + " / " +
+            std::to_string(triple_metrics.total),
+        PaperVsMeasured(paper.precision_pairs, pair_metrics.precision),
+        PaperVsMeasured(paper.precision_triples, triple_metrics.precision),
+        PaperVsMeasured(paper.coverage_triples, triple_metrics.coverage),
+    });
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape checks: seed precision high everywhere (>85%);\n"
+            << "Garden/Shoes have the smallest coverage, Ladies bags /\n"
+            << "Cosmetics the largest; counts scale with corpus size.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pae::bench
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::Run();
+}

@@ -1,0 +1,52 @@
+// Reproduces Table III: product coverage after the first bootstrap
+// iteration for the five system configurations across the eight
+// Japanese categories.
+
+#include <iostream>
+
+#include "table23_runner.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace pae::bench {
+namespace {
+
+int Run() {
+  BenchOptions options = BenchOptions::FromEnv(/*default_products=*/300);
+  PrintHeader("Table III — first-iteration coverage by configuration",
+              options);
+  Table23Results results = RunTable23(options);
+
+  TablePrinter table("Table III coverage % (paper / measured)");
+  std::vector<std::string> header = {"Configuration"};
+  for (datagen::CategoryId id : datagen::PaperTableCategories()) {
+    header.push_back(datagen::CategoryName(id));
+  }
+  table.SetHeader(header);
+  for (const Table23Config& arm : Table23Configs()) {
+    std::vector<std::string> row = {arm.label};
+    for (datagen::CategoryId id : datagen::PaperTableCategories()) {
+      const std::string name = datagen::CategoryName(id);
+      row.push_back(PaperVsMeasured(
+          PaperTable3Coverage().at(arm.label).at(name),
+          results.metrics.at(arm.label).at(name).coverage));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nShape checks: coverage is inversely correlated with\n"
+            << "Table II's precision — RNN 10 epochs covers the most,\n"
+            << "cleaning always costs coverage, and the high-precision\n"
+            << "configurations keep 'decent' coverage (the business\n"
+            << "trade-off of §VII-B).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pae::bench
+
+int main() {
+  pae::SetMinLogLevel(1);
+  return pae::bench::Run();
+}

@@ -1,0 +1,64 @@
+#ifndef PAE_BENCH_EXPERIMENT_LIB_H_
+#define PAE_BENCH_EXPERIMENT_LIB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/bootstrap.h"
+#include "core/eval.h"
+#include "datagen/generator.h"
+
+namespace pae::bench {
+
+/// Scale knobs shared by all experiment binaries. Overridable via
+/// environment: PAE_PRODUCTS (products per category), PAE_SEED.
+/// Defaults are sized so each binary finishes in minutes on one core;
+/// the shapes are stable from a few hundred products up.
+struct BenchOptions {
+  int num_products = 300;
+  uint64_t seed = 42;
+
+  static BenchOptions FromEnv(int default_products = 300);
+};
+
+/// One experiment arm: a model/cleaning configuration with a label.
+struct Arm {
+  std::string label;
+  core::PipelineConfig config;
+};
+
+/// Pre-canned arms matching the paper's configurations.
+core::PipelineConfig CrfConfig(int iterations, bool cleaning);
+core::PipelineConfig RnnConfig(int iterations, int epochs, bool cleaning);
+
+/// A cached generated + processed category (generation is deterministic,
+/// so binaries can rebuild identical corpora).
+struct PreparedCategory {
+  datagen::GeneratedCategory generated;
+  core::ProcessedCorpus corpus;
+
+  size_t num_products() const { return corpus.pages.size(); }
+};
+
+/// Generates + preprocesses one category (cached per process).
+const PreparedCategory& Prepare(datagen::CategoryId id,
+                                const BenchOptions& options);
+
+/// Runs the pipeline on a prepared category; aborts the binary on error.
+core::PipelineResult RunPipeline(const PreparedCategory& category,
+                                 const core::PipelineConfig& config);
+
+/// Evaluates triples against the category's truth sample.
+core::TripleMetrics Evaluate(const PreparedCategory& category,
+                             const std::vector<core::Triple>& triples);
+
+/// Formats "paper / measured" cell content.
+std::string PaperVsMeasured(double paper, double measured, int digits = 2);
+
+/// Prints the standard bench header (scale, seed, reproduction note).
+void PrintHeader(const std::string& title, const BenchOptions& options);
+
+}  // namespace pae::bench
+
+#endif  // PAE_BENCH_EXPERIMENT_LIB_H_

@@ -1,0 +1,79 @@
+#ifndef PAE_BENCH_SPECIALIZED_RUNNER_H_
+#define PAE_BENCH_SPECIALIZED_RUNNER_H_
+
+// Shared implementation of Figures 7/8: per-attribute coverage of a
+// single global model vs a specialized model trained on an attribute
+// subset (§VIII-D), plus the per-attribute precision the paper discusses
+// (high precision globally; specialized models trade some of it away).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment_lib.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace pae::bench {
+
+inline core::TripleMetrics EvaluateAttribute(
+    const PreparedCategory& category, const std::vector<core::Triple>& triples,
+    const std::string& attribute) {
+  std::vector<core::Triple> filtered;
+  for (const core::Triple& t : triples) {
+    if (category.generated.truth.Canonical(t.attribute) == attribute) {
+      filtered.push_back(t);
+    }
+  }
+  return Evaluate(category, filtered);
+}
+
+/// Runs the global-vs-specialized comparison for `attributes` of
+/// `category_id`, printing coverage (+g vs +s, as in Figs. 7/8) and
+/// precision.
+inline int RunSpecializedBench(const std::string& title,
+                               datagen::CategoryId category_id,
+                               const std::vector<std::string>& attributes,
+                               const std::vector<std::string>& labels) {
+  BenchOptions options = BenchOptions::FromEnv(/*default_products=*/400);
+  PrintHeader(title, options);
+  const PreparedCategory& category = Prepare(category_id, options);
+
+  std::cerr << "[specialized] global model\n";
+  core::PipelineResult global =
+      RunPipeline(category, CrfConfig(/*iterations=*/1, true));
+
+  core::PipelineConfig specialized_config = CrfConfig(1, true);
+  specialized_config.preprocess.attribute_filter = attributes;
+  std::cerr << "[specialized] specialized model\n";
+  core::PipelineResult specialized =
+      RunPipeline(category, specialized_config);
+
+  TablePrinter table("coverage % and precision %: global (+g) vs "
+                     "specialized (+s)");
+  table.SetHeader({"Attribute", "cov +g", "cov +s", "prec +g", "prec +s"});
+  int raised = 0;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    core::TripleMetrics mg =
+        EvaluateAttribute(category, global.final_triples(), attributes[i]);
+    core::TripleMetrics ms = EvaluateAttribute(
+        category, specialized.final_triples(), attributes[i]);
+    if (ms.coverage > mg.coverage) ++raised;
+    table.AddRow({labels[i] + " (" + attributes[i] + ")",
+                  FormatDouble(mg.coverage, 2), FormatDouble(ms.coverage, 2),
+                  FormatDouble(mg.precision, 2),
+                  FormatDouble(ms.precision, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape checks (paper): the specialized model raises the\n"
+            << "coverage of its target attributes (" << raised << "/"
+            << attributes.size()
+            << " here; the paper reports up to orders of magnitude),\n"
+            << "while §VIII-D warns that separating attributes can cost\n"
+            << "precision (power-supply type dropped 90% → <70%).\n";
+  return 0;
+}
+
+}  // namespace pae::bench
+
+#endif  // PAE_BENCH_SPECIALIZED_RUNNER_H_

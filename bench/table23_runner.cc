@@ -1,0 +1,154 @@
+#include "table23_runner.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace pae::bench {
+
+std::vector<Table23Config> Table23Configs() {
+  return {
+      {"RNN 2 epochs", RnnConfig(/*iterations=*/1, /*epochs=*/2,
+                                 /*cleaning=*/false)},
+      {"RNN 10 epochs", RnnConfig(1, 10, false)},
+      {"RNN 2 epochs + cleaning", RnnConfig(1, 2, true)},
+      {"CRF", CrfConfig(1, /*cleaning=*/false)},
+      {"CRF + cleaning", CrfConfig(1, true)},
+  };
+}
+
+Table23Results RunTable23(const BenchOptions& options,
+                          const std::vector<std::string>& config_filter) {
+  Table23Results results;
+  for (datagen::CategoryId id : datagen::PaperTableCategories()) {
+    const PreparedCategory& category = Prepare(id, options);
+    const std::string name = datagen::CategoryName(id);
+    bool seed_recorded = false;
+    for (const Table23Config& arm : Table23Configs()) {
+      if (!config_filter.empty() &&
+          std::find(config_filter.begin(), config_filter.end(), arm.label) ==
+              config_filter.end()) {
+        continue;
+      }
+      std::cerr << "[table2/3] " << name << " :: " << arm.label << "\n";
+      core::PipelineResult result = RunPipeline(category, arm.config);
+      if (!seed_recorded) {
+        results.seed_triples[name] =
+            Evaluate(category, result.seed_triples).total;
+        seed_recorded = true;
+      }
+      core::TripleMetrics metrics =
+          Evaluate(category, result.final_triples());
+      results.metrics[arm.label][name] = metrics;
+      results.triples[arm.label][name] = metrics.total;
+    }
+  }
+  return results;
+}
+
+const std::map<std::string, std::map<std::string, double>>&
+PaperTable2Precision() {
+  static const auto* kPaper = new std::map<
+      std::string, std::map<std::string, double>>{
+      {"RNN 2 epochs",
+       {{"Tennis", 81.29},
+        {"Kitchen", 83.61},
+        {"Cosmetics", 91.66},
+        {"Garden", 64.22},
+        {"Shoes", 83.45},
+        {"Ladies bags", 85.09},
+        {"Digital Cameras", 99.45},
+        {"Vacuum Cleaner", 80.28}}},
+      {"RNN 10 epochs",
+       {{"Tennis", 40.29},
+        {"Kitchen", 77.04},
+        {"Cosmetics", 40.33},
+        {"Garden", 76.62},
+        {"Shoes", 53.92},
+        {"Ladies bags", 76.12},
+        {"Digital Cameras", 98.36},
+        {"Vacuum Cleaner", 74.80}}},
+      {"RNN 2 epochs + cleaning",
+       {{"Tennis", 89.77},
+        {"Kitchen", 88.06},
+        {"Cosmetics", 91.61},
+        {"Garden", 75.53},
+        {"Shoes", 91.22},
+        {"Ladies bags", 96.25},
+        {"Digital Cameras", 99.94},
+        {"Vacuum Cleaner", 87.46}}},
+      {"CRF",
+       {{"Tennis", 92.75},
+        {"Kitchen", 89.30},
+        {"Cosmetics", 88.97},
+        {"Garden", 89.69},
+        {"Shoes", 88.69},
+        {"Ladies bags", 96.56},
+        {"Digital Cameras", 97.79},
+        {"Vacuum Cleaner", 92.96}}},
+      {"CRF + cleaning",
+       {{"Tennis", 94.51},
+        {"Kitchen", 89.71},
+        {"Cosmetics", 89.81},
+        {"Garden", 90.14},
+        {"Shoes", 90.36},
+        {"Ladies bags", 95.97},
+        {"Digital Cameras", 97.79},
+        {"Vacuum Cleaner", 93.05}}},
+  };
+  return *kPaper;
+}
+
+const std::map<std::string, std::map<std::string, double>>&
+PaperTable3Coverage() {
+  static const auto* kPaper = new std::map<
+      std::string, std::map<std::string, double>>{
+      {"RNN 2 epochs",
+       {{"Tennis", 85.85},
+        {"Kitchen", 57.8},
+        {"Cosmetics", 85.86},
+        {"Garden", 39.9},
+        {"Shoes", 54.17},
+        {"Ladies bags", 90.67},
+        {"Digital Cameras", 16.92},
+        {"Vacuum Cleaner", 88.4}}},
+      {"RNN 10 epochs",
+       {{"Tennis", 99.65},
+        {"Kitchen", 75.31},
+        {"Cosmetics", 99.65},
+        {"Garden", 45.11},
+        {"Shoes", 83.28},
+        {"Ladies bags", 91.44},
+        {"Digital Cameras", 22.29},
+        {"Vacuum Cleaner", 95.31}}},
+      {"RNN 2 epochs + cleaning",
+       {{"Tennis", 79.37},
+        {"Kitchen", 46.96},
+        {"Cosmetics", 80.14},
+        {"Garden", 23.84},
+        {"Shoes", 47.26},
+        {"Ladies bags", 80.95},
+        {"Digital Cameras", 16.59},
+        {"Vacuum Cleaner", 73.2}}},
+      {"CRF",
+       {{"Tennis", 56.26},
+        {"Kitchen", 46.21},
+        {"Cosmetics", 80.18},
+        {"Garden", 42.73},
+        {"Shoes", 83.01},
+        {"Ladies bags", 80.14},
+        {"Digital Cameras", 78.07},
+        {"Vacuum Cleaner", 74.43}}},
+      {"CRF + cleaning",
+       {{"Tennis", 50.45},
+        {"Kitchen", 42.32},
+        {"Cosmetics", 77.53},
+        {"Garden", 34.82},
+        {"Shoes", 30.11},
+        {"Ladies bags", 73.2},
+        {"Digital Cameras", 77.24},
+        {"Vacuum Cleaner", 70.65}}},
+  };
+  return *kPaper;
+}
+
+}  // namespace pae::bench

@@ -1,0 +1,43 @@
+#ifndef PAE_BENCH_TABLE23_RUNNER_H_
+#define PAE_BENCH_TABLE23_RUNNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiment_lib.h"
+
+namespace pae::bench {
+
+/// The five system configurations of Tables II/III, in paper row order.
+struct Table23Config {
+  std::string label;      // "RNN 2 epochs", ...
+  core::PipelineConfig config;
+};
+std::vector<Table23Config> Table23Configs();
+
+/// Result of the shared first-iteration experiment behind Tables II/III
+/// and Figures 4/6: metrics[config label][category name].
+struct Table23Results {
+  std::map<std::string, std::map<std::string, core::TripleMetrics>> metrics;
+  /// Seed-stage triple counts per category (baseline for Fig. 6).
+  std::map<std::string, size_t> seed_triples;
+  /// First-iteration triple counts per config/category (Fig. 6).
+  std::map<std::string, std::map<std::string, size_t>> triples;
+};
+
+/// Runs the 5-config × 8-category experiment (1 bootstrap iteration).
+/// `config_filter`: run only configs whose label is listed (empty = all).
+Table23Results RunTable23(const BenchOptions& options,
+                          const std::vector<std::string>& config_filter = {});
+
+/// Paper values for Table II (precision) and Table III (coverage),
+/// keyed [config label][category name].
+const std::map<std::string, std::map<std::string, double>>&
+PaperTable2Precision();
+const std::map<std::string, std::map<std::string, double>>&
+PaperTable3Coverage();
+
+}  // namespace pae::bench
+
+#endif  // PAE_BENCH_TABLE23_RUNNER_H_

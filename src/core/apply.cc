@@ -1,0 +1,103 @@
+#include "core/apply.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/normalize.h"
+#include "text/negation.h"
+
+namespace pae::core {
+
+std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
+                                     const ProcessedCorpus& corpus,
+                                     const ApplyOptions& options) {
+  const text::NegationDetector negation(corpus.language);
+
+  struct PendingTriple {
+    Triple triple;
+    std::string pair_key;
+  };
+  std::vector<PendingTriple> pending;
+  std::unordered_map<std::string, TaggedCandidate> candidate_map;
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      candidate_products;
+
+  for (const ProcessedPage& page : corpus.pages) {
+    for (const text::LabeledSequence& sentence : page.sentences) {
+      if (options.negation_filtering &&
+          negation.IsNegated(sentence.tokens)) {
+        continue;
+      }
+      text::SequenceTagger::ScoredPrediction scored =
+          tagger.PredictScored(sentence);
+      for (const text::ValueSpan& span :
+           text::DecodeBioSpans(scored.labels)) {
+        if (options.min_span_confidence > 0) {
+          double min_conf = 1.0;
+          for (size_t k = span.begin; k < span.end; ++k) {
+            min_conf = std::min(min_conf, scored.confidence[k]);
+          }
+          if (min_conf < options.min_span_confidence) continue;
+        }
+        std::vector<std::string> value_tokens(
+            sentence.tokens.begin() + static_cast<long>(span.begin),
+            sentence.tokens.begin() + static_cast<long>(span.end));
+        const std::string display = corpus.Detokenize(value_tokens);
+        const std::string key =
+            PairKey(span.attribute, NormalizeValue(display));
+        if (!options.accepted_pairs.empty() &&
+            options.accepted_pairs.count(key) == 0) {
+          continue;
+        }
+        pending.push_back(
+            {Triple{page.product_id, span.attribute, display}, key});
+        auto [it, inserted] = candidate_map.emplace(key, TaggedCandidate{});
+        if (inserted) {
+          it->second.attribute = span.attribute;
+          it->second.value_display = display;
+          it->second.value_tokens = std::move(value_tokens);
+        }
+        if (candidate_products[key].insert(page.product_id).second) {
+          it->second.item_count += 1;
+        }
+      }
+    }
+  }
+
+  // Veto the candidate set, then keep only triples whose pair survived.
+  std::unordered_set<std::string> surviving;
+  if (options.veto_rules) {
+    std::vector<TaggedCandidate> candidates;
+    candidates.reserve(candidate_map.size());
+    for (auto& [key, c] : candidate_map) candidates.push_back(std::move(c));
+    std::sort(candidates.begin(), candidates.end(),
+              [](const TaggedCandidate& a, const TaggedCandidate& b) {
+                if (a.item_count != b.item_count) {
+                  return a.item_count > b.item_count;
+                }
+                if (a.attribute != b.attribute) {
+                  return a.attribute < b.attribute;
+                }
+                return a.value_display < b.value_display;
+              });
+    CleaningStats stats;
+    for (const TaggedCandidate& c :
+         ApplyVetoRules(std::move(candidates), options.veto, &stats)) {
+      surviving.insert(
+          PairKey(c.attribute, NormalizeValue(c.value_display)));
+    }
+  }
+
+  std::vector<Triple> out;
+  std::unordered_set<std::string> seen;
+  for (PendingTriple& p : pending) {
+    if (options.veto_rules && surviving.count(p.pair_key) == 0) continue;
+    const std::string triple_key =
+        p.triple.product_id + "\t" + p.pair_key;
+    if (!seen.insert(triple_key).second) continue;
+    out.push_back(std::move(p.triple));
+  }
+  return out;
+}
+
+}  // namespace pae::core

@@ -1,0 +1,41 @@
+#ifndef PAE_CORE_APPLY_H_
+#define PAE_CORE_APPLY_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cleaning.h"
+#include "core/document.h"
+#include "core/types.h"
+#include "text/sequence_tagger.h"
+
+namespace pae::core {
+
+/// Inference-time extraction: applies an already-trained tagger to a
+/// (possibly new) corpus without running the bootstrap. This is the
+/// production "apply" phase — the bootstrap trains and calibrates on a
+/// reference crawl; fresh merchant pages are then tagged with the
+/// persisted model.
+struct ApplyOptions {
+  /// Drop spans whose minimum posterior confidence is below this.
+  double min_span_confidence = 0.0;
+  /// Drop spans in negated sentences (Definition 3.1).
+  bool negation_filtering = true;
+  /// Apply the four §V-C veto rules to the extracted candidates.
+  bool veto_rules = true;
+  VetoConfig veto;
+  /// When non-empty, only <attribute, value> pairs present in this set
+  /// are emitted (keys via PairKey(attribute, NormalizeValue(value))) —
+  /// the "known catalog values" deployment mode.
+  std::unordered_set<std::string> accepted_pairs;
+};
+
+/// Tags every sentence of every page and returns the surviving triples.
+std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
+                                     const ProcessedCorpus& corpus,
+                                     const ApplyOptions& options);
+
+}  // namespace pae::core
+
+#endif  // PAE_CORE_APPLY_H_

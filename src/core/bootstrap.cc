@@ -1,0 +1,387 @@
+#include "core/bootstrap.h"
+
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/normalize.h"
+#include "text/negation.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace pae::core {
+
+const char* ModelTypeName(ModelType type) {
+  switch (type) {
+    case ModelType::kCrf:
+      return "crf";
+    case ModelType::kBiLstm:
+      return "bilstm";
+    case ModelType::kEnsembleIntersection:
+      return "ensemble-intersect";
+    case ModelType::kEnsembleUnion:
+      return "ensemble-union";
+  }
+  return "unknown";
+}
+
+std::vector<AttributeValue> PipelineResult::FinalPairs() const {
+  std::unordered_set<std::string> seen;
+  std::vector<AttributeValue> pairs;
+  for (const Triple& t : final_triples()) {
+    const std::string key = PairKey(t.attribute, NormalizeValue(t.value));
+    if (seen.insert(key).second) {
+      pairs.push_back(AttributeValue{t.attribute, t.value});
+    }
+  }
+  return pairs;
+}
+
+Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {}
+
+std::unique_ptr<text::SequenceTagger> Pipeline::MakeTagger(
+    int iteration) const {
+  if (config_.model == ModelType::kCrf) {
+    return std::make_unique<crf::CrfTagger>(config_.crf);
+  }
+  lstm::BiLstmOptions options = config_.lstm;
+  options.seed = config_.seed * 7919 + static_cast<uint64_t>(iteration);
+  if (config_.model == ModelType::kBiLstm) {
+    return std::make_unique<lstm::BiLstmTagger>(options);
+  }
+  const EnsembleMode mode = config_.model == ModelType::kEnsembleIntersection
+                                ? EnsembleMode::kIntersection
+                                : EnsembleMode::kUnion;
+  return std::make_unique<EnsembleTagger>(
+      std::make_unique<crf::CrfTagger>(config_.crf),
+      std::make_unique<lstm::BiLstmTagger>(options), mode);
+}
+
+Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
+  PipelineResult result;
+  result.seed = BuildSeed(corpus, config_.preprocess);
+  if (result.seed.pairs.empty()) {
+    return Status::FailedPrecondition(
+        "seed construction produced no <attribute, value> pairs for " +
+        corpus.category);
+  }
+
+  // ---- training-set generation (Fig. 1 line 5) ----
+  DistantSupervisor seed_supervisor(result.seed.pairs);
+
+  struct SentRef {
+    size_t page;
+    size_t sent;
+  };
+  std::vector<text::LabeledSequence> labeled;
+  std::vector<SentRef> unlabeled;
+
+  // Cumulative triples, keyed for dedup.
+  std::unordered_map<std::string, Triple> triples;
+  auto add_triple = [&](const std::string& pid, const std::string& attr,
+                        const std::string& value) {
+    const std::string key = pid + "\t" + attr + "\t" + NormalizeValue(value);
+    triples.emplace(key, Triple{pid, attr, value});
+  };
+
+  for (const Triple& t : result.seed.table_triples) {
+    add_triple(t.product_id, t.attribute, t.value);
+  }
+
+  const text::NegationDetector negation(corpus.language);
+  auto drop_for_negation = [&](const text::LabeledSequence& sentence) {
+    return config_.negation_filtering && negation.IsNegated(sentence.tokens);
+  };
+
+  for (size_t p = 0; p < corpus.pages.size(); ++p) {
+    const ProcessedPage& page = corpus.pages[p];
+    const bool is_seed_page = !page.tables.empty();
+    for (size_t s = 0; s < page.sentences.size(); ++s) {
+      if (is_seed_page) {
+        text::LabeledSequence seq = page.sentences[s];
+        seed_supervisor.Label(&seq);
+        if (drop_for_negation(seq)) {
+          // Keep the sentence as an all-O negative example but produce
+          // no triples from it (Definition 3.1).
+          seq.labels.assign(seq.tokens.size(), text::kOutsideLabel);
+          labeled.push_back(std::move(seq));
+          continue;
+        }
+        for (const text::ValueSpan& span : text::DecodeBioSpans(seq.labels)) {
+          std::vector<std::string> value_tokens(
+              seq.tokens.begin() + static_cast<long>(span.begin),
+              seq.tokens.begin() + static_cast<long>(span.end));
+          add_triple(page.product_id, span.attribute,
+                     corpus.Detokenize(value_tokens));
+        }
+        labeled.push_back(std::move(seq));
+      } else {
+        unlabeled.push_back(SentRef{p, s});
+      }
+    }
+  }
+  result.seed_triples.reserve(triples.size());
+  for (const auto& [key, t] : triples) result.seed_triples.push_back(t);
+
+  // Specialized models (§VIII-D) are trained on a balanced set: a
+  // global model sees every seed-page sentence, so its rare target
+  // attributes drown in all-O negatives; the specialized trainer keeps
+  // every sentence carrying a target span plus an equal number of
+  // negatives. This is what lets Figs. 7/8 raise per-attribute coverage
+  // (at the precision cost §VIII-D reports).
+  if (!config_.preprocess.attribute_filter.empty()) {
+    std::vector<text::LabeledSequence> positives, negatives;
+    for (auto& seq : labeled) {
+      bool has_span = false;
+      for (const auto& label : seq.labels) {
+        if (label != text::kOutsideLabel) {
+          has_span = true;
+          break;
+        }
+      }
+      (has_span ? positives : negatives).push_back(std::move(seq));
+    }
+    Rng balance_rng(config_.seed + 17);
+    balance_rng.Shuffle(&negatives);
+    if (negatives.size() > positives.size()) {
+      negatives.resize(positives.size());
+    }
+    labeled = std::move(positives);
+    for (auto& seq : negatives) labeled.push_back(std::move(seq));
+  }
+
+  // Known accepted values per attribute (semantic cores grow with the
+  // bootstrap).
+  std::unordered_map<std::string, std::vector<std::vector<std::string>>>
+      known_values;
+  std::unordered_set<std::string> known_value_keys;
+  std::vector<SeedPair> all_values;  // for multiword merging in word2vec
+  for (const SeedPair& pair : result.seed.pairs) {
+    const std::string key =
+        PairKey(pair.attribute, NormalizeValue(pair.value_display));
+    if (known_value_keys.insert(key).second) {
+      known_values[pair.attribute].push_back(pair.value_tokens);
+      all_values.push_back(pair);
+    }
+  }
+
+  Rng rng(config_.seed);
+
+  // Sentences labeled by the previous cycle's cleaned tags. Following
+  // Fig. 1 line 20 (dataset = clean_ds) this portion is *replaced*
+  // every cycle, so a value wrongly accepted once does not poison all
+  // later cycles — the loop is self-correcting.
+  std::vector<text::LabeledSequence> accepted_labeled;
+
+  // ---- Tagger–Cleaner cycles (Fig. 1 lines 8–22) ----
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    IterationStats stats;
+    stats.iteration = iteration + 1;
+
+    // Train on (a sample of) the labeled dataset: the fixed seed-page
+    // sentences plus the previous cycle's cleaned tags.
+    std::vector<text::LabeledSequence> train = labeled;
+    train.insert(train.end(), accepted_labeled.begin(),
+                 accepted_labeled.end());
+    if (train.size() > config_.max_train_sentences) {
+      rng.Shuffle(&train);
+      train.resize(config_.max_train_sentences);
+    }
+    stats.labeled_sentences = train.size();
+    std::unique_ptr<text::SequenceTagger> tagger = MakeTagger(iteration);
+    Status train_status = tagger->Train(train);
+    if (!train_status.ok()) return train_status;
+
+    // Tag every still-unlabeled sentence.
+    struct TaggedSentence {
+      size_t unlabeled_index;
+      std::vector<std::string> labels;
+      std::vector<text::ValueSpan> spans;
+    };
+    std::vector<TaggedSentence> tagged;
+    std::unordered_map<std::string, TaggedCandidate> candidate_map;
+    std::unordered_map<std::string, std::unordered_set<std::string>>
+        candidate_products;
+
+    for (size_t u = 0; u < unlabeled.size(); ++u) {
+      const SentRef ref = unlabeled[u];
+      const ProcessedPage& page = corpus.pages[ref.page];
+      const text::LabeledSequence& sentence = page.sentences[ref.sent];
+      if (drop_for_negation(sentence)) continue;
+      text::SequenceTagger::ScoredPrediction scored =
+          tagger->PredictScored(sentence);
+      std::vector<std::string>& labels = scored.labels;
+      std::vector<text::ValueSpan> spans = text::DecodeBioSpans(labels);
+      if (config_.min_span_confidence > 0) {
+        std::vector<text::ValueSpan> confident;
+        for (const text::ValueSpan& span : spans) {
+          double min_conf = 1.0;
+          for (size_t k = span.begin; k < span.end; ++k) {
+            min_conf = std::min(min_conf, scored.confidence[k]);
+          }
+          if (min_conf >= config_.min_span_confidence) {
+            confident.push_back(span);
+          }
+        }
+        spans = std::move(confident);
+      }
+      if (spans.empty()) continue;
+      for (const text::ValueSpan& span : spans) {
+        std::vector<std::string> value_tokens(
+            sentence.tokens.begin() + static_cast<long>(span.begin),
+            sentence.tokens.begin() + static_cast<long>(span.end));
+        const std::string display = corpus.Detokenize(value_tokens);
+        const std::string key =
+            PairKey(span.attribute, NormalizeValue(display));
+        auto [it, inserted] = candidate_map.emplace(key, TaggedCandidate{});
+        if (inserted) {
+          it->second.attribute = span.attribute;
+          it->second.value_display = display;
+          it->second.value_tokens = value_tokens;
+        }
+        if (candidate_products[key].insert(page.product_id).second) {
+          it->second.item_count += 1;
+        }
+      }
+      tagged.push_back(TaggedSentence{u, std::move(labels), std::move(spans)});
+    }
+
+    std::vector<TaggedCandidate> candidates;
+    candidates.reserve(candidate_map.size());
+    for (auto& [key, c] : candidate_map) candidates.push_back(std::move(c));
+    std::sort(candidates.begin(), candidates.end(),
+              [](const TaggedCandidate& a, const TaggedCandidate& b) {
+                if (a.item_count != b.item_count) {
+                  return a.item_count > b.item_count;
+                }
+                if (a.attribute != b.attribute) return a.attribute < b.attribute;
+                return a.value_display < b.value_display;
+              });
+    stats.candidate_values = candidates.size();
+
+    // ---- cleaning ----
+    if (config_.syntactic_cleaning) {
+      candidates =
+          ApplyVetoRules(std::move(candidates), config_.veto, &stats.cleaning);
+    } else {
+      stats.cleaning.input += candidates.size();
+    }
+    if (config_.semantic_cleaning && !candidates.empty()) {
+      // Merge list: known values plus this iteration's candidates.
+      std::vector<SeedPair> merge_values = all_values;
+      for (const TaggedCandidate& c : candidates) {
+        SeedPair pair;
+        pair.attribute = c.attribute;
+        pair.value_display = c.value_display;
+        pair.value_tokens = c.value_tokens;
+        merge_values.push_back(std::move(pair));
+      }
+      SemanticCleaner::Config sem = config_.semantic;
+      sem.word2vec.seed =
+          config_.seed * 104729 + static_cast<uint64_t>(iteration);
+      SemanticCleaner cleaner(sem);
+      Status sem_status = cleaner.Train(corpus, merge_values);
+      if (sem_status.ok()) {
+        candidates = cleaner.Filter(candidates, known_values, &stats.cleaning);
+      }
+      // A failed embedding training (tiny corpora) degrades gracefully
+      // to no semantic filtering.
+    }
+    stats.accepted_values = candidates.size();
+
+    // Accepted (attribute, value) keys.
+    std::unordered_set<std::string> accepted;
+    for (const TaggedCandidate& c : candidates) {
+      accepted.insert(PairKey(c.attribute, NormalizeValue(c.value_display)));
+    }
+
+    // ---- rebuild the cleaned dataset and the triple store ----
+    // (Fig. 1 line 20: dataset = clean_ds — the tagged portion is
+    // replaced, not accreted.)
+    accepted_labeled.clear();
+    std::unordered_map<std::string, Triple> iter_triples = triples;
+    auto add_iter_triple = [&](const std::string& pid,
+                               const std::string& attr,
+                               const std::string& value) {
+      const std::string key =
+          pid + "\t" + attr + "\t" + NormalizeValue(value);
+      iter_triples.emplace(key, Triple{pid, attr, value});
+    };
+
+    for (const TaggedSentence& ts : tagged) {
+      const SentRef ref = unlabeled[ts.unlabeled_index];
+      const ProcessedPage& page = corpus.pages[ref.page];
+      const text::LabeledSequence& sentence = page.sentences[ref.sent];
+      std::vector<std::string> final_labels(sentence.tokens.size(),
+                                            text::kOutsideLabel);
+      bool any = false;
+      for (const text::ValueSpan& span : ts.spans) {
+        std::vector<std::string> value_tokens(
+            sentence.tokens.begin() + static_cast<long>(span.begin),
+            sentence.tokens.begin() + static_cast<long>(span.end));
+        const std::string display = corpus.Detokenize(value_tokens);
+        const std::string key =
+            PairKey(span.attribute, NormalizeValue(display));
+        if (accepted.count(key) == 0) continue;
+        any = true;
+        final_labels[span.begin] = text::BeginLabel(span.attribute);
+        for (size_t k = span.begin + 1; k < span.end; ++k) {
+          final_labels[k] = text::InsideLabel(span.attribute);
+        }
+        add_iter_triple(page.product_id, span.attribute, display);
+        if (known_value_keys.insert(key).second) {
+          known_values[span.attribute].push_back(value_tokens);
+          SeedPair pair;
+          pair.attribute = span.attribute;
+          pair.value_display = display;
+          pair.value_tokens = value_tokens;
+          all_values.push_back(std::move(pair));
+        }
+      }
+      if (any) {
+        text::LabeledSequence seq = sentence;
+        seq.labels = std::move(final_labels);
+        accepted_labeled.push_back(std::move(seq));
+      }
+    }
+
+    stats.new_triples = iter_triples.size() - triples.size();
+    stats.cumulative_triples = iter_triples.size();
+    result.iteration_stats.push_back(stats);
+
+    std::vector<Triple> snapshot;
+    snapshot.reserve(iter_triples.size());
+    for (const auto& [key, t] : iter_triples) snapshot.push_back(t);
+    result.triples_after.push_back(std::move(snapshot));
+
+    PAE_LOG(INFO) << corpus.category << " iter " << stats.iteration << " ["
+                  << ModelTypeName(config_.model)
+                  << "] candidates=" << stats.candidate_values
+                  << " accepted=" << stats.accepted_values
+                  << " triples=" << stats.cumulative_triples;
+  }
+
+  result.known_pair_keys.assign(known_value_keys.begin(),
+                                known_value_keys.end());
+  std::sort(result.known_pair_keys.begin(), result.known_pair_keys.end());
+
+  if (config_.train_final_model) {
+    std::vector<text::LabeledSequence> train = labeled;
+    train.insert(train.end(), accepted_labeled.begin(),
+                 accepted_labeled.end());
+    if (train.size() > config_.max_train_sentences) {
+      rng.Shuffle(&train);
+      train.resize(config_.max_train_sentences);
+    }
+    std::unique_ptr<text::SequenceTagger> final_tagger =
+        MakeTagger(config_.iterations);
+    Status trained = final_tagger->Train(train);
+    if (!trained.ok()) return trained;
+    result.final_tagger = std::move(final_tagger);
+  }
+  return result;
+}
+
+}  // namespace pae::core

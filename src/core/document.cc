@@ -1,0 +1,48 @@
+#include "core/document.h"
+
+#include "html/parser.h"
+#include "text/sentence.h"
+#include "util/strings.h"
+
+namespace pae::core {
+
+std::string ProcessedCorpus::Detokenize(
+    const std::vector<std::string>& tokens) const {
+  return language == text::Language::kJa ? StrJoin(tokens, "")
+                                         : StrJoin(tokens, " ");
+}
+
+ProcessedCorpus ProcessCorpus(const Corpus& corpus) {
+  ProcessedCorpus out;
+  out.category = corpus.category;
+  out.language = corpus.language;
+  out.query_log = corpus.query_log;
+  out.tokenizer = text::MakeTokenizer(corpus.language,
+                                      corpus.tokenizer_lexicon);
+  out.pos_tagger = std::make_unique<text::PosTagger>(corpus.language,
+                                                     corpus.pos_lexicon);
+  out.pages.reserve(corpus.pages.size());
+
+  for (const ProductPage& page : corpus.pages) {
+    ProcessedPage processed;
+    processed.product_id = page.product_id;
+
+    std::unique_ptr<html::HtmlNode> dom = html::ParseHtml(page.html);
+    processed.tables = html::ExtractDictionaryTables(*dom);
+
+    const std::string raw_text = html::ExtractText(*dom);
+    int sentence_index = 0;
+    for (const std::string& sentence : text::SplitSentences(raw_text)) {
+      text::LabeledSequence seq;
+      seq.tokens = out.tokenizer->Tokenize(sentence);
+      if (seq.tokens.empty()) continue;
+      seq.pos = out.pos_tagger->Tag(seq.tokens);
+      seq.sentence_index = sentence_index++;
+      processed.sentences.push_back(std::move(seq));
+    }
+    out.pages.push_back(std::move(processed));
+  }
+  return out;
+}
+
+}  // namespace pae::core

@@ -1,0 +1,104 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pae::core {
+
+namespace {
+
+bool SameSpan(const text::ValueSpan& a, const text::ValueSpan& b) {
+  return a.attribute == b.attribute && a.begin == b.begin && a.end == b.end;
+}
+
+bool Overlaps(const text::ValueSpan& a, const text::ValueSpan& b) {
+  return a.begin < b.end && b.begin < a.end;
+}
+
+void WriteSpan(const text::ValueSpan& span,
+               std::vector<std::string>* labels) {
+  (*labels)[span.begin] = text::BeginLabel(span.attribute);
+  for (size_t k = span.begin + 1; k < span.end; ++k) {
+    (*labels)[k] = text::InsideLabel(span.attribute);
+  }
+}
+
+}  // namespace
+
+EnsembleTagger::EnsembleTagger(std::unique_ptr<text::SequenceTagger> first,
+                               std::unique_ptr<text::SequenceTagger> second,
+                               EnsembleMode mode)
+    : first_(std::move(first)), second_(std::move(second)), mode_(mode) {
+  PAE_CHECK(first_ != nullptr);
+  PAE_CHECK(second_ != nullptr);
+}
+
+Status EnsembleTagger::Train(const std::vector<text::LabeledSequence>& data) {
+  PAE_RETURN_IF_ERROR(first_->Train(data));
+  return second_->Train(data);
+}
+
+std::string EnsembleTagger::Name() const {
+  return std::string("ensemble-") +
+         (mode_ == EnsembleMode::kIntersection ? "intersect" : "union") +
+         "(" + first_->Name() + "," + second_->Name() + ")";
+}
+
+std::vector<std::string> EnsembleTagger::Predict(
+    const text::LabeledSequence& seq) const {
+  return PredictScored(seq).labels;
+}
+
+text::SequenceTagger::ScoredPrediction EnsembleTagger::PredictScored(
+    const text::LabeledSequence& seq) const {
+  ScoredPrediction a = first_->PredictScored(seq);
+  ScoredPrediction b = second_->PredictScored(seq);
+  const size_t n = seq.tokens.size();
+
+  std::vector<text::ValueSpan> spans_a = text::DecodeBioSpans(a.labels);
+  std::vector<text::ValueSpan> spans_b = text::DecodeBioSpans(b.labels);
+
+  ScoredPrediction out;
+  out.labels.assign(n, text::kOutsideLabel);
+  out.confidence.assign(n, 1.0);
+
+  if (mode_ == EnsembleMode::kIntersection) {
+    for (const text::ValueSpan& span : spans_a) {
+      const bool agreed =
+          std::any_of(spans_b.begin(), spans_b.end(),
+                      [&](const text::ValueSpan& other) {
+                        return SameSpan(span, other);
+                      });
+      if (!agreed) continue;
+      WriteSpan(span, &out.labels);
+      for (size_t k = span.begin; k < span.end; ++k) {
+        out.confidence[k] = std::min(a.confidence[k], b.confidence[k]);
+      }
+    }
+    return out;
+  }
+
+  // Union: first member wins conflicts.
+  for (const text::ValueSpan& span : spans_a) {
+    WriteSpan(span, &out.labels);
+    for (size_t k = span.begin; k < span.end; ++k) {
+      out.confidence[k] = a.confidence[k];
+    }
+  }
+  for (const text::ValueSpan& span : spans_b) {
+    const bool conflicts =
+        std::any_of(spans_a.begin(), spans_a.end(),
+                    [&](const text::ValueSpan& other) {
+                      return Overlaps(span, other);
+                    });
+    if (conflicts) continue;
+    WriteSpan(span, &out.labels);
+    for (size_t k = span.begin; k < span.end; ++k) {
+      out.confidence[k] = b.confidence[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace pae::core

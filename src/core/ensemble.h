@@ -1,0 +1,50 @@
+#ifndef PAE_CORE_ENSEMBLE_H_
+#define PAE_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "text/sequence_tagger.h"
+
+namespace pae::core {
+
+/// How the two member models' predictions are combined.
+enum class EnsembleMode {
+  /// A span survives only if both members emit it identically
+  /// (attribute + boundaries). Maximizes precision.
+  kIntersection,
+  /// All spans of the first member plus the second member's spans that
+  /// do not overlap them. Maximizes coverage.
+  kUnion,
+};
+
+/// Combination of two sequence taggers (§IX: "RNN and especially the
+/// combination of both approaches have much potential"; the paper's
+/// future work). Both members are trained on the same data; predictions
+/// are merged span-wise according to `mode`.
+class EnsembleTagger : public text::SequenceTagger {
+ public:
+  EnsembleTagger(std::unique_ptr<text::SequenceTagger> first,
+                 std::unique_ptr<text::SequenceTagger> second,
+                 EnsembleMode mode);
+
+  Status Train(const std::vector<text::LabeledSequence>& data) override;
+  std::vector<std::string> Predict(
+      const text::LabeledSequence& seq) const override;
+  /// Confidence of a combined span is the minimum of the members'
+  /// confidences at each position (intersection) or the emitting
+  /// member's confidence (union).
+  ScoredPrediction PredictScored(
+      const text::LabeledSequence& seq) const override;
+  std::string Name() const override;
+
+ private:
+  std::unique_ptr<text::SequenceTagger> first_;
+  std::unique_ptr<text::SequenceTagger> second_;
+  EnsembleMode mode_;
+};
+
+}  // namespace pae::core
+
+#endif  // PAE_CORE_ENSEMBLE_H_

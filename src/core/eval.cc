@@ -1,0 +1,187 @@
+#include "core/eval.h"
+
+#include <unordered_set>
+
+#include "core/normalize.h"
+
+namespace pae::core {
+
+namespace {
+
+std::string TripleKey(const std::string& pid, const std::string& attr,
+                      const std::string& norm_value) {
+  return pid + "\t" + attr + "\t" + norm_value;
+}
+
+std::string ProductAttrKey(const std::string& pid, const std::string& attr) {
+  return pid + "\t" + attr;
+}
+
+}  // namespace
+
+TripleMetrics EvaluateTriples(const std::vector<Triple>& triples,
+                              const TruthSample& truth, size_t num_products) {
+  // Index the truth sample.
+  std::unordered_map<std::string, bool> judged;           // triple → correct
+  std::unordered_set<std::string> has_correct_entry;      // (pid, attr)
+  for (const TruthEntry& entry : truth.entries) {
+    const std::string attr = truth.Canonical(entry.triple.attribute);
+    const std::string key = TripleKey(entry.triple.product_id, attr,
+                                      NormalizeValue(entry.triple.value));
+    // A triple judged correct anywhere wins over an incorrect judgement
+    // of the same key (shouldn't happen, but be deterministic).
+    auto it = judged.find(key);
+    if (it == judged.end()) {
+      judged.emplace(key, entry.triple_correct);
+    } else if (entry.triple_correct) {
+      it->second = true;
+    }
+    if (entry.triple_correct) {
+      has_correct_entry.insert(
+          ProductAttrKey(entry.triple.product_id, attr));
+    }
+  }
+
+  TripleMetrics m;
+  std::unordered_set<std::string> seen;     // dedupe system triples
+  std::unordered_set<std::string> covered;  // product ids with a triple
+  for (const Triple& triple : triples) {
+    const std::string attr = truth.Canonical(triple.attribute);
+    const std::string norm = NormalizeValue(triple.value);
+    const std::string key = TripleKey(triple.product_id, attr, norm);
+    if (!seen.insert(key).second) continue;
+    ++m.total;
+    covered.insert(triple.product_id);
+
+    auto it = judged.find(key);
+    if (it != judged.end()) {
+      if (it->second) {
+        ++m.correct;
+      } else {
+        ++m.incorrect;
+      }
+    } else if (has_correct_entry.count(
+                   ProductAttrKey(triple.product_id, attr)) > 0) {
+      ++m.maybe_incorrect;  // same product+attribute, different value
+    } else {
+      ++m.unjudged;
+    }
+  }
+  const size_t denom = m.correct + m.incorrect + m.maybe_incorrect;
+  m.precision = denom > 0 ? 100.0 * static_cast<double>(m.correct) /
+                                static_cast<double>(denom)
+                          : 0.0;
+  m.covered_products = covered.size();
+  m.coverage = num_products > 0
+                   ? 100.0 * static_cast<double>(covered.size()) /
+                         static_cast<double>(num_products)
+                   : 0.0;
+  m.triples_per_product =
+      num_products > 0
+          ? static_cast<double>(m.total) / static_cast<double>(num_products)
+          : 0.0;
+  return m;
+}
+
+PairMetrics EvaluatePairs(const std::vector<AttributeValue>& pairs,
+                          const TruthSample& truth) {
+  PairMetrics m;
+  std::unordered_set<std::string> seen;
+  for (const AttributeValue& pair : pairs) {
+    const std::string attr = truth.Canonical(pair.attribute);
+    const std::string key = PairKey(attr, NormalizeValue(pair.value));
+    if (!seen.insert(key).second) continue;
+    ++m.total;
+    if (truth.valid_pairs.count(key) > 0) ++m.valid;
+  }
+  m.precision = m.total > 0 ? 100.0 * static_cast<double>(m.valid) /
+                                  static_cast<double>(m.total)
+                            : 0.0;
+  return m;
+}
+
+std::unordered_map<std::string, double> PerAttributeCoverage(
+    const std::vector<Triple>& triples, const TruthSample& truth,
+    size_t num_products) {
+  std::unordered_map<std::string, std::unordered_set<std::string>> products;
+  for (const Triple& triple : triples) {
+    products[truth.Canonical(triple.attribute)].insert(triple.product_id);
+  }
+  std::unordered_map<std::string, double> out;
+  for (const auto& [attr, pids] : products) {
+    out[attr] = num_products > 0
+                    ? 100.0 * static_cast<double>(pids.size()) /
+                          static_cast<double>(num_products)
+                    : 0.0;
+  }
+  return out;
+}
+
+OracleMetrics EvaluateOracleRecall(const std::vector<Triple>& triples,
+                                   const TruthSample& truth) {
+  // Distinct correct truth triples, keyed canonically.
+  std::unordered_set<std::string> truth_keys;
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      truth_by_attribute;
+  for (const TruthEntry& entry : truth.entries) {
+    if (!entry.triple_correct) continue;
+    const std::string attr = truth.Canonical(entry.triple.attribute);
+    const std::string key = TripleKey(entry.triple.product_id, attr,
+                                      NormalizeValue(entry.triple.value));
+    truth_keys.insert(key);
+    truth_by_attribute[attr].insert(key);
+  }
+
+  std::unordered_set<std::string> found;
+  for (const Triple& triple : triples) {
+    const std::string attr = truth.Canonical(triple.attribute);
+    const std::string key = TripleKey(triple.product_id, attr,
+                                      NormalizeValue(triple.value));
+    if (truth_keys.count(key) > 0) found.insert(key);
+  }
+
+  OracleMetrics m;
+  m.truth_triples = truth_keys.size();
+  m.recalled = found.size();
+  m.recall = m.truth_triples > 0
+                 ? 100.0 * static_cast<double>(m.recalled) /
+                       static_cast<double>(m.truth_triples)
+                 : 0.0;
+  for (const auto& [attr, keys] : truth_by_attribute) {
+    size_t hit = 0;
+    for (const std::string& key : keys) {
+      if (found.count(key) > 0) ++hit;
+    }
+    m.recall_by_attribute[attr] =
+        100.0 * static_cast<double>(hit) / static_cast<double>(keys.size());
+  }
+  return m;
+}
+
+AttributeDiscoveryMetrics EvaluateAttributeDiscovery(
+    const std::vector<std::string>& system_attributes,
+    const TruthSample& truth) {
+  std::unordered_set<std::string> canonical;
+  for (const auto& [surface, canon] : truth.attribute_aliases) {
+    canonical.insert(canon);
+  }
+  AttributeDiscoveryMetrics m;
+  m.truth_attributes = canonical.size();
+  std::unordered_set<std::string> discovered;
+  for (const std::string& attribute : system_attributes) {
+    auto it = truth.attribute_aliases.find(attribute);
+    if (it == truth.attribute_aliases.end()) {
+      ++m.spurious;
+    } else {
+      discovered.insert(it->second);
+    }
+  }
+  m.discovered = discovered.size();
+  m.recall = m.truth_attributes > 0
+                 ? 100.0 * static_cast<double>(m.discovered) /
+                       static_cast<double>(m.truth_attributes)
+                 : 0.0;
+  return m;
+}
+
+}  // namespace pae::core

@@ -1,0 +1,85 @@
+#ifndef PAE_CORE_EVAL_H_
+#define PAE_CORE_EVAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace pae::core {
+
+/// Triple-level evaluation results per §VI-C. `precision` is
+/// correct / (correct + incorrect + maybe_incorrect); triples that do
+/// not intersect the truth sample are `unjudged` and excluded, exactly
+/// as in the paper's protocol (the truth-sample bias §VI-B discusses).
+struct TripleMetrics {
+  size_t total = 0;
+  size_t correct = 0;
+  size_t incorrect = 0;
+  size_t maybe_incorrect = 0;
+  size_t unjudged = 0;
+
+  double precision = 0;            // percent
+  double coverage = 0;             // percent of products with ≥1 triple
+  size_t covered_products = 0;
+  double triples_per_product = 0;  // avg over all products (Fig. 4)
+};
+
+/// Pair-level evaluation (Table I "Precision Pairs"): fraction of
+/// distinct <attribute, value> pairs that are valid associations.
+struct PairMetrics {
+  size_t total = 0;
+  size_t valid = 0;
+  double precision = 0;  // percent
+};
+
+/// Judges extracted triples against the truth sample. Attribute names
+/// are canonicalized through the sample's alias map and values are
+/// normalized before matching.
+TripleMetrics EvaluateTriples(const std::vector<Triple>& triples,
+                              const TruthSample& truth, size_t num_products);
+
+/// Judges distinct <attribute, value> pairs.
+PairMetrics EvaluatePairs(const std::vector<AttributeValue>& pairs,
+                          const TruthSample& truth);
+
+/// Per-attribute product coverage (Figs. 7/8): canonical attribute →
+/// percent of products having a triple with that attribute.
+std::unordered_map<std::string, double> PerAttributeCoverage(
+    const std::vector<Triple>& triples, const TruthSample& truth,
+    size_t num_products);
+
+/// Oracle recall — a measurement the paper could NOT make: its truth
+/// sample was produced by the system itself, so "it is difficult to
+/// evaluate how many attributes are left out" (§VI-B). Our synthetic
+/// corpus knows every correct triple, so true recall is computable:
+/// the fraction of distinct correct truth triples the system found.
+struct OracleMetrics {
+  size_t truth_triples = 0;  // distinct correct triples in the truth
+  size_t recalled = 0;
+  double recall = 0;  // percent
+  /// canonical attribute → recall percent.
+  std::unordered_map<std::string, double> recall_by_attribute;
+};
+
+OracleMetrics EvaluateOracleRecall(const std::vector<Triple>& triples,
+                                   const TruthSample& truth);
+
+/// Attribute-name discovery quality (the paper's problem statement asks
+/// for both names and values; its evaluation only scores triples).
+/// `system_attributes` are the attribute names the seed/pipeline uses.
+struct AttributeDiscoveryMetrics {
+  size_t truth_attributes = 0;   // distinct canonical attributes
+  size_t discovered = 0;         // of those, covered by a system name
+  size_t spurious = 0;           // system names not mapping to any
+  double recall = 0;             // percent discovered
+};
+
+AttributeDiscoveryMetrics EvaluateAttributeDiscovery(
+    const std::vector<std::string>& system_attributes,
+    const TruthSample& truth);
+
+}  // namespace pae::core
+
+#endif  // PAE_CORE_EVAL_H_

@@ -1,0 +1,70 @@
+#ifndef PAE_CORE_PARTITION_H_
+#define PAE_CORE_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bootstrap.h"
+#include "core/document.h"
+#include "util/status.h"
+
+namespace pae::core {
+
+/// Implements the optimization the paper leaves as future work
+/// (§VIII-D): "given a category, finding the best partition of
+/// attributes that maximizes the coverage and precision for each
+/// attribute".
+///
+/// The planner is fully self-supervised — it never touches the truth
+/// sample. Seed pages (whose distant-supervision labels are the best
+/// available proxy for ground truth) are split into train/holdout; a
+/// global tagger and a specialized tagger over the weak attributes are
+/// trained on the train part and scored span-wise against the held-out
+/// labels; each attribute is then assigned to whichever model serves it
+/// better.
+struct PartitionOptions {
+  /// Fraction of seed-labeled sentences held out for scoring.
+  double holdout_fraction = 0.25;
+  /// Global-model recall below which an attribute is considered weak
+  /// and a specialized model is tried for it.
+  double weak_recall = 0.5;
+  /// A specialized assignment must beat the global recall by at least
+  /// this much ...
+  double min_recall_gain = 0.02;
+  /// ... without losing more precision than this (§VIII-D reports the
+  /// power-supply attribute dropping 90% → <70% when separated —
+  /// exactly the regression this guard exists for).
+  double max_precision_loss = 0.10;
+  uint64_t seed = 33;
+};
+
+/// Span-level scores of one attribute under one model, measured against
+/// held-out distant-supervision labels.
+struct AttributeDiagnostics {
+  std::string attribute;
+  int gold_spans = 0;
+  double global_recall = 0;
+  double global_precision = 0;
+  double specialized_recall = 0;     // 0 when not tried
+  double specialized_precision = 0;  // 0 when not tried
+  bool tried_specialized = false;
+  bool assign_specialized = false;
+};
+
+/// The planned partition: one global group plus (at most one, in this
+/// greedy planner) specialized group, with per-attribute diagnostics.
+struct PartitionPlan {
+  std::vector<std::string> global_group;
+  std::vector<std::string> specialized_group;
+  std::vector<AttributeDiagnostics> diagnostics;
+};
+
+/// Plans the partition for `corpus` under the given pipeline settings
+/// (model family, feature configuration, seed construction knobs).
+Result<PartitionPlan> PlanAttributePartition(const ProcessedCorpus& corpus,
+                                             const PipelineConfig& config,
+                                             const PartitionOptions& options);
+
+}  // namespace pae::core
+
+#endif  // PAE_CORE_PARTITION_H_

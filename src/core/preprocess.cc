@@ -1,0 +1,285 @@
+#include "core/preprocess.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "core/normalize.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace pae::core {
+
+namespace {
+
+/// Union-find over attribute surface names.
+class UnionFind {
+ public:
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+  int Add() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return static_cast<int>(parent_.size()) - 1;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+CandidateSet DiscoverCandidates(const ProcessedCorpus& corpus) {
+  // key = surface \t normalized-value
+  std::unordered_map<std::string, CandidatePair> pairs;
+  for (const ProcessedPage& page : corpus.pages) {
+    for (const auto& table : page.tables) {
+      for (const auto& [name, value] : table.entries) {
+        if (name.empty() || value.empty()) continue;
+        const std::string key = PairKey(name, NormalizeValue(value));
+        auto [it, inserted] = pairs.emplace(key, CandidatePair{});
+        if (inserted) {
+          it->second.attribute = name;
+          it->second.value = value;
+        }
+        it->second.count += 1;
+        it->second.product_ids.push_back(page.product_id);
+      }
+    }
+  }
+  CandidateSet out;
+  out.pairs.reserve(pairs.size());
+  for (auto& [key, pair] : pairs) out.pairs.push_back(std::move(pair));
+  // Deterministic order: by support desc, then name/value.
+  std::sort(out.pairs.begin(), out.pairs.end(),
+            [](const CandidatePair& a, const CandidatePair& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.attribute != b.attribute) return a.attribute < b.attribute;
+              return a.value < b.value;
+            });
+  return out;
+}
+
+std::unordered_map<std::string, std::string> AggregateAttributes(
+    const CandidateSet& candidates, const AggregationConfig& config) {
+  // Collect the value range and total support of each surface name.
+  std::map<std::string, std::unordered_set<std::string>> ranges;
+  std::map<std::string, int> support;
+  for (const auto& pair : candidates.pairs) {
+    ranges[pair.attribute].insert(NormalizeValue(pair.value));
+    support[pair.attribute] += pair.count;
+  }
+  std::vector<std::string> names;
+  names.reserve(ranges.size());
+  for (const auto& [name, range] : ranges) names.push_back(name);
+
+  UnionFind uf;
+  for (size_t i = 0; i < names.size(); ++i) uf.Add();
+
+  for (size_t i = 0; i < names.size(); ++i) {
+    const auto& vi = ranges[names[i]];
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      const auto& vj = ranges[names[j]];
+      size_t overlap = 0;
+      const auto& smaller = vi.size() <= vj.size() ? vi : vj;
+      const auto& larger = vi.size() <= vj.size() ? vj : vi;
+      for (const auto& v : smaller) {
+        if (larger.count(v) > 0) ++overlap;
+      }
+      if (overlap == 0) continue;
+      const double max_range = static_cast<double>(larger.size());
+      const double min_range = static_cast<double>(smaller.size());
+      const double confidence = static_cast<double>(overlap) / max_range;
+      const double discount =
+          1.0 - config.comparable_range_discount * (min_range / max_range);
+      bool merge = confidence * discount >= config.threshold;
+      // Small-corpus subset rule: when one surface's (small) range is
+      // mostly contained in a clearly larger one, they are the same
+      // attribute written two ways. The range-ratio guard keeps
+      // same-sized sibling attributes (optical vs digital zoom; weight
+      // vs maximum load) apart.
+      if (!merge && overlap >= 2 &&
+          static_cast<double>(overlap) / min_range >= 0.6 &&
+          min_range / max_range <= 0.67) {
+        merge = true;
+      }
+      if (merge) {
+        uf.Union(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+
+  // Representative = highest-support surface in the cluster.
+  std::unordered_map<int, std::string> rep;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const int root = uf.Find(static_cast<int>(i));
+    auto it = rep.find(root);
+    if (it == rep.end() || support[names[i]] > support[it->second]) {
+      rep[root] = names[i];
+    }
+  }
+  std::unordered_map<std::string, std::string> out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    out[names[i]] = rep[uf.Find(static_cast<int>(i))];
+  }
+  return out;
+}
+
+Seed BuildSeed(const ProcessedCorpus& corpus, const PreprocessConfig& config) {
+  Seed seed;
+  CandidateSet candidates = DiscoverCandidates(corpus);
+  seed.candidates_before_cleaning = candidates.pairs.size();
+  seed.surface_to_rep = AggregateAttributes(candidates, config.aggregation);
+
+  // Re-key candidates under their representative attribute names and
+  // merge duplicates that aggregation created.
+  std::unordered_map<std::string, CandidatePair> merged;
+  for (const auto& pair : candidates.pairs) {
+    const std::string& rep = seed.surface_to_rep.at(pair.attribute);
+    const std::string key = PairKey(rep, NormalizeValue(pair.value));
+    auto [it, inserted] = merged.emplace(key, CandidatePair{});
+    if (inserted) {
+      it->second.attribute = rep;
+      it->second.value = pair.value;
+    }
+    it->second.count += pair.count;
+    for (const auto& pid : pair.product_ids) {
+      it->second.product_ids.push_back(pid);
+    }
+  }
+  std::vector<CandidatePair> aggregated;
+  aggregated.reserve(merged.size());
+  for (auto& [key, pair] : merged) aggregated.push_back(std::move(pair));
+  std::sort(aggregated.begin(), aggregated.end(),
+            [](const CandidatePair& a, const CandidatePair& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.attribute != b.attribute) return a.attribute < b.attribute;
+              return a.value < b.value;
+            });
+
+  // Optional specialized-model restriction (§VIII-D). Filter entries
+  // name attributes by any surface form; translate them through the
+  // aggregation map so the cluster is kept whichever synonym won the
+  // representative election.
+  if (!config.attribute_filter.empty()) {
+    std::unordered_set<std::string> keep;
+    for (const std::string& wanted : config.attribute_filter) {
+      keep.insert(wanted);
+      auto it = seed.surface_to_rep.find(wanted);
+      if (it != seed.surface_to_rep.end()) keep.insert(it->second);
+    }
+    std::vector<CandidatePair> filtered;
+    for (auto& pair : aggregated) {
+      if (keep.count(pair.attribute) > 0) filtered.push_back(std::move(pair));
+    }
+    aggregated = std::move(filtered);
+  }
+
+  // Value cleaning: keep values found in search queries or frequent on
+  // the pages.
+  std::unordered_set<std::string> queries;
+  for (const auto& q : corpus.query_log) queries.insert(NormalizeValue(q));
+
+  std::unordered_set<std::string> kept_keys;  // PairKey(rep, norm value)
+  std::vector<const CandidatePair*> kept;
+  for (const auto& pair : aggregated) {
+    const std::string norm = NormalizeValue(pair.value);
+    const bool in_queries = queries.count(norm) > 0;
+    const bool frequent = pair.count >= config.value_min_count;
+    if (in_queries || frequent) {
+      if (kept_keys.insert(PairKey(pair.attribute, norm)).second) {
+        kept.push_back(&pair);
+      }
+    }
+  }
+  seed.pairs_after_cleaning = kept.size();
+
+  // Value diversification (§V-A): for each attribute take the k most
+  // frequent PoS-tag shapes over the *raw* candidate values, then the n
+  // most frequent values of each shape, and add them back to the seed.
+  if (config.enable_diversification) {
+    struct ShapeInfo {
+      int count = 0;
+      std::vector<const CandidatePair*> values;  // sorted by support later
+    };
+    std::unordered_map<std::string, std::unordered_map<std::string, ShapeInfo>>
+        shapes;  // attribute → shape → info
+    for (const auto& pair : aggregated) {
+      std::vector<std::string> tokens = corpus.Tokenize(pair.value);
+      std::vector<std::string> pos = corpus.pos_tagger->Tag(tokens);
+      const std::string shape = StrJoin(pos, "|");
+      ShapeInfo& info = shapes[pair.attribute][shape];
+      info.count += pair.count;
+      info.values.push_back(&pair);
+    }
+    for (auto& [attribute, shape_map] : shapes) {
+      std::vector<std::pair<std::string, ShapeInfo*>> ordered;
+      for (auto& [shape, info] : shape_map) ordered.emplace_back(shape, &info);
+      std::sort(ordered.begin(), ordered.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second->count != b.second->count) {
+                    return a.second->count > b.second->count;
+                  }
+                  return a.first < b.first;
+                });
+      const int k = std::min<int>(config.diversify_top_shapes,
+                                  static_cast<int>(ordered.size()));
+      for (int s = 0; s < k; ++s) {
+        if (ordered[static_cast<size_t>(s)].second->count <
+            config.diversify_min_shape_support) {
+          continue;  // untrusted shape (junk rows scatter here)
+        }
+        auto& values = ordered[static_cast<size_t>(s)].second->values;
+        std::sort(values.begin(), values.end(),
+                  [](const CandidatePair* a, const CandidatePair* b) {
+                    if (a->count != b->count) return a->count > b->count;
+                    return a->value < b->value;
+                  });
+        int added = 0;
+        for (const CandidatePair* pair : values) {
+          if (added >= config.diversify_values_per_shape) break;
+          const std::string key =
+              PairKey(pair->attribute, NormalizeValue(pair->value));
+          if (kept_keys.insert(key).second) {
+            kept.push_back(pair);
+            ++seed.pairs_added_by_diversification;
+          }
+          ++added;
+        }
+      }
+    }
+  }
+
+  // Assemble the seed: tokenize values, order by support.
+  std::sort(kept.begin(), kept.end(),
+            [](const CandidatePair* a, const CandidatePair* b) {
+              if (a->count != b->count) return a->count > b->count;
+              if (a->attribute != b->attribute) {
+                return a->attribute < b->attribute;
+              }
+              return a->value < b->value;
+            });
+  std::unordered_set<std::string> attr_seen;
+  for (const CandidatePair* pair : kept) {
+    SeedPair sp;
+    sp.attribute = pair->attribute;
+    sp.value_display = pair->value;
+    sp.value_tokens = corpus.Tokenize(pair->value);
+    if (sp.value_tokens.empty()) continue;
+    seed.pairs.push_back(std::move(sp));
+    if (attr_seen.insert(pair->attribute).second) {
+      seed.attributes.push_back(pair->attribute);
+    }
+    for (const auto& pid : pair->product_ids) {
+      seed.table_triples.push_back(Triple{pid, pair->attribute, pair->value});
+    }
+  }
+  return seed;
+}
+
+}  // namespace pae::core

@@ -1,0 +1,66 @@
+#include "core/tagging.h"
+
+#include <algorithm>
+
+namespace pae::core {
+
+DistantSupervisor::DistantSupervisor(const std::vector<SeedPair>& pairs) {
+  int priority = 0;
+  for (const SeedPair& pair : pairs) {
+    if (pair.value_tokens.empty()) continue;
+    Entry entry;
+    entry.tokens = pair.value_tokens;
+    entry.attribute = pair.attribute;
+    entry.priority = priority++;
+    index_[pair.value_tokens[0]].push_back(std::move(entry));
+  }
+  for (auto& [first, entries] : index_) {
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       if (a.tokens.size() != b.tokens.size()) {
+                         return a.tokens.size() > b.tokens.size();
+                       }
+                       return a.priority < b.priority;
+                     });
+  }
+}
+
+int DistantSupervisor::Label(text::LabeledSequence* seq) const {
+  const size_t n = seq->tokens.size();
+  seq->labels.assign(n, text::kOutsideLabel);
+  int spans = 0;
+  size_t t = 0;
+  while (t < n) {
+    auto it = index_.find(seq->tokens[t]);
+    const Entry* match = nullptr;
+    if (it != index_.end()) {
+      for (const Entry& entry : it->second) {
+        if (t + entry.tokens.size() > n) continue;
+        bool ok = true;
+        for (size_t k = 1; k < entry.tokens.size(); ++k) {
+          if (seq->tokens[t + k] != entry.tokens[k]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          match = &entry;
+          break;  // entries are sorted longest-first
+        }
+      }
+    }
+    if (match == nullptr) {
+      ++t;
+      continue;
+    }
+    seq->labels[t] = text::BeginLabel(match->attribute);
+    for (size_t k = 1; k < match->tokens.size(); ++k) {
+      seq->labels[t + k] = text::InsideLabel(match->attribute);
+    }
+    t += match->tokens.size();
+    ++spans;
+  }
+  return spans;
+}
+
+}  // namespace pae::core

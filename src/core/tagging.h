@@ -1,0 +1,50 @@
+#ifndef PAE_CORE_TAGGING_H_
+#define PAE_CORE_TAGGING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/labeled_sequence.h"
+
+namespace pae::core {
+
+/// One seed <attribute, value> pair prepared for matching: the value is
+/// pre-tokenized with the corpus tokenizer so that matches align with
+/// sentence tokens.
+struct SeedPair {
+  std::string attribute;
+  std::vector<std::string> value_tokens;
+  std::string value_display;
+};
+
+/// Labels sentences by exact token-sequence match against the seed
+/// (training-set generation, §V-A line 5): every occurrence of a seed
+/// value is tagged with its attribute, longest match first,
+/// left-to-right, non-overlapping. This distant supervision is
+/// deliberately imperfect — e.g. the seed value "5kg" matches inside the
+/// token run of "2.5kg" — because that label noise is precisely what the
+/// diversification module (§VIII-A) exists to fix.
+class DistantSupervisor {
+ public:
+  /// Pairs listed earlier win ties (same value claimed by two
+  /// attributes), so callers should order by seed confidence/frequency.
+  explicit DistantSupervisor(const std::vector<SeedPair>& pairs);
+
+  /// Overwrites `seq->labels` with BIO tags. Returns the number of
+  /// labeled spans.
+  int Label(text::LabeledSequence* seq) const;
+
+ private:
+  struct Entry {
+    std::vector<std::string> tokens;
+    std::string attribute;
+    int priority = 0;
+  };
+  /// first token → candidate entries, longest first.
+  std::unordered_map<std::string, std::vector<Entry>> index_;
+};
+
+}  // namespace pae::core
+
+#endif  // PAE_CORE_TAGGING_H_

@@ -1,0 +1,92 @@
+#ifndef PAE_CORE_TYPES_H_
+#define PAE_CORE_TYPES_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "text/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace pae::core {
+
+/// One merchant product page: the system's only per-product input is the
+/// page HTML (title + description + optional spec table), per §II.
+struct ProductPage {
+  std::string product_id;
+  std::string html;
+};
+
+/// A category-level extraction corpus: the inputs of Figure 2 — product
+/// web pages, the users' search logs, plus the two language resources
+/// the paper treats as given (tokenizer lexicon, PoS lexicon).
+struct Corpus {
+  std::string category;
+  text::Language language = text::Language::kJa;
+  std::vector<ProductPage> pages;
+  std::vector<std::string> query_log;
+
+  /// Dictionary for the CJK tokenizer (ignored for Latin languages).
+  std::vector<std::string> tokenizer_lexicon;
+  /// Word→tag overrides for the PoS tagger (units, particles, ...).
+  text::PosLexicon pos_lexicon;
+};
+
+/// An extracted <product, attribute, value> triple (Definition 3.1).
+struct Triple {
+  std::string product_id;
+  std::string attribute;
+  std::string value;
+
+  bool operator==(const Triple& o) const {
+    return product_id == o.product_id && attribute == o.attribute &&
+           value == o.value;
+  }
+};
+
+/// An <attribute, value> pair (the seed unit of §V-A).
+struct AttributeValue {
+  std::string attribute;
+  std::string value;
+
+  bool operator==(const AttributeValue& o) const {
+    return attribute == o.attribute && value == o.value;
+  }
+};
+
+/// One human-annotated entry of the truth sample (§VI-B): annotators
+/// judged whether the <attribute, value> pair is a valid association and
+/// whether the full triple is correct for the product.
+struct TruthEntry {
+  Triple triple;
+  bool triple_correct = true;
+  bool pair_valid = true;
+};
+
+/// The evaluation ground truth of one category. Because the sample was
+/// produced by running the system and judging its outputs, it carries
+/// system-facing surface attribute names; `attribute_aliases` maps every
+/// surface form to its canonical attribute (the knowledge the human
+/// annotators applied when judging).
+struct TruthSample {
+  std::vector<TruthEntry> entries;
+  /// surface attribute name → canonical attribute.
+  std::unordered_map<std::string, std::string> attribute_aliases;
+
+  /// Valid <attribute, value> associations: keys built with
+  /// `PairKey(canonical_attribute, NormalizeValue(value))`. Used for the
+  /// pair-level judgement of Table I.
+  std::unordered_set<std::string> valid_pairs;
+
+  /// Normalizes a surface attribute name. Unknown names return
+  /// themselves.
+  const std::string& Canonical(const std::string& surface) const {
+    auto it = attribute_aliases.find(surface);
+    return it == attribute_aliases.end() ? surface : it->second;
+  }
+};
+
+}  // namespace pae::core
+
+#endif  // PAE_CORE_TYPES_H_

@@ -1,0 +1,237 @@
+#include "crf/crf_model.h"
+
+#include <cmath>
+
+#include "math/vec.h"
+#include "util/logging.h"
+
+namespace pae::crf {
+
+int CrfModel::AddLabel(const std::string& label) {
+  auto [it, inserted] =
+      label_ids_.emplace(label, static_cast<int>(labels_.size()));
+  if (inserted) labels_.push_back(label);
+  return it->second;
+}
+
+int CrfModel::LookupLabel(const std::string& label) const {
+  auto it = label_ids_.find(label);
+  return it == label_ids_.end() ? -1 : it->second;
+}
+
+const std::string& CrfModel::LabelName(int id) const {
+  PAE_CHECK_GE(id, 0);
+  PAE_CHECK_LT(static_cast<size_t>(id), labels_.size());
+  return labels_[static_cast<size_t>(id)];
+}
+
+int CrfModel::AddFeature(const std::string& feature) {
+  auto [it, inserted] =
+      feature_ids_.emplace(feature, static_cast<int>(feature_names_.size()));
+  if (inserted) feature_names_.push_back(feature);
+  return it->second;
+}
+
+int CrfModel::LookupFeature(const std::string& feature) const {
+  auto it = feature_ids_.find(feature);
+  return it == feature_ids_.end() ? -1 : it->second;
+}
+
+size_t CrfModel::WeightDim() const {
+  const size_t L = num_labels();
+  return num_features() * L + L * L + 2 * L;
+}
+
+void CrfModel::UnigramScores(const CompiledSequence& seq,
+                             const std::vector<double>& w,
+                             std::vector<double>* scores) const {
+  const size_t L = num_labels();
+  const size_t T = seq.length();
+  scores->assign(T * L, 0.0);
+  for (size_t t = 0; t < T; ++t) {
+    double* row = scores->data() + t * L;
+    for (int f : seq.features[t]) {
+      const double* wf = w.data() + static_cast<size_t>(f) * L;
+      for (size_t y = 0; y < L; ++y) row[y] += wf[y];
+    }
+  }
+}
+
+double CrfModel::ForwardBackward(const CompiledSequence& seq,
+                                 const std::vector<double>& scores,
+                                 const std::vector<double>& w,
+                                 std::vector<double>* alpha,
+                                 std::vector<double>* beta) const {
+  const size_t L = num_labels();
+  const size_t T = seq.length();
+  PAE_CHECK_GT(T, 0u);
+  const double* trans = w.data() + TransBase();
+  const double* start = w.data() + StartBase();
+  const double* end = w.data() + EndBase();
+
+  alpha->assign(T * L, 0.0);
+  beta->assign(T * L, 0.0);
+  std::vector<double> tmp(L);
+
+  // Forward.
+  for (size_t y = 0; y < L; ++y) {
+    (*alpha)[y] = start[y] + scores[y];
+  }
+  for (size_t t = 1; t < T; ++t) {
+    for (size_t y = 0; y < L; ++y) {
+      for (size_t yp = 0; yp < L; ++yp) {
+        tmp[yp] = (*alpha)[(t - 1) * L + yp] + trans[yp * L + y];
+      }
+      (*alpha)[t * L + y] = math::LogSumExp(tmp) + scores[t * L + y];
+    }
+  }
+
+  // Backward.
+  for (size_t y = 0; y < L; ++y) {
+    (*beta)[(T - 1) * L + y] = end[y];
+  }
+  for (size_t t = T - 1; t > 0; --t) {
+    for (size_t yp = 0; yp < L; ++yp) {
+      for (size_t y = 0; y < L; ++y) {
+        tmp[y] = trans[yp * L + y] + scores[t * L + y] + (*beta)[t * L + y];
+      }
+      (*beta)[(t - 1) * L + yp] = math::LogSumExp(tmp);
+    }
+  }
+
+  for (size_t y = 0; y < L; ++y) {
+    tmp[y] = (*alpha)[(T - 1) * L + y] + end[y];
+  }
+  return math::LogSumExp(tmp);
+}
+
+double CrfModel::SequenceNll(const CompiledSequence& seq,
+                             const std::vector<double>& w,
+                             std::vector<double>* grad) const {
+  const size_t L = num_labels();
+  const size_t T = seq.length();
+  PAE_CHECK_EQ(seq.labels.size(), T);
+  PAE_CHECK_EQ(w.size(), WeightDim());
+  PAE_CHECK_EQ(grad->size(), WeightDim());
+
+  std::vector<double> scores, alpha, beta;
+  UnigramScores(seq, w, &scores);
+  const double log_z = ForwardBackward(seq, scores, w, &alpha, &beta);
+
+  const double* trans = w.data() + TransBase();
+  const double* start = w.data() + StartBase();
+  const double* end = w.data() + EndBase();
+  double* g_trans = grad->data() + TransBase();
+  double* g_start = grad->data() + StartBase();
+  double* g_end = grad->data() + EndBase();
+
+  // Gold score and empirical counts (subtracted from gradient).
+  double gold = start[static_cast<size_t>(seq.labels[0])];
+  for (size_t t = 0; t < T; ++t) {
+    const size_t y = static_cast<size_t>(seq.labels[t]);
+    gold += scores[t * L + y];
+    for (int f : seq.features[t]) {
+      (*grad)[static_cast<size_t>(f) * L + y] -= 1.0;
+    }
+    if (t > 0) {
+      const size_t yp = static_cast<size_t>(seq.labels[t - 1]);
+      g_trans[yp * L + y] -= 1.0;
+      gold += trans[yp * L + y];
+    }
+  }
+  gold += end[static_cast<size_t>(seq.labels[T - 1])];
+  g_start[static_cast<size_t>(seq.labels[0])] -= 1.0;
+  g_end[static_cast<size_t>(seq.labels[T - 1])] -= 1.0;
+
+  // Expected counts (added to gradient).
+  std::vector<double> marg(L);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t y = 0; y < L; ++y) {
+      marg[y] = std::exp(alpha[t * L + y] + beta[t * L + y] - log_z);
+    }
+    for (int f : seq.features[t]) {
+      double* gf = grad->data() + static_cast<size_t>(f) * L;
+      for (size_t y = 0; y < L; ++y) gf[y] += marg[y];
+    }
+    if (t == 0) {
+      for (size_t y = 0; y < L; ++y) g_start[y] += marg[y];
+    }
+    if (t == T - 1) {
+      for (size_t y = 0; y < L; ++y) g_end[y] += marg[y];
+    }
+  }
+  // Pairwise expectations for transitions.
+  for (size_t t = 1; t < T; ++t) {
+    for (size_t yp = 0; yp < L; ++yp) {
+      const double a = alpha[(t - 1) * L + yp];
+      for (size_t y = 0; y < L; ++y) {
+        const double logp = a + trans[yp * L + y] + scores[t * L + y] +
+                            beta[t * L + y] - log_z;
+        g_trans[yp * L + y] += std::exp(logp);
+      }
+    }
+  }
+  return log_z - gold;
+}
+
+void CrfModel::Marginals(const CompiledSequence& seq,
+                         const std::vector<double>& w,
+                         std::vector<double>* out) const {
+  const size_t L = num_labels();
+  const size_t T = seq.length();
+  std::vector<double> scores, alpha, beta;
+  UnigramScores(seq, w, &scores);
+  const double log_z = ForwardBackward(seq, scores, w, &alpha, &beta);
+  out->assign(T * L, 0.0);
+  for (size_t i = 0; i < T * L; ++i) {
+    (*out)[i] = std::exp(alpha[i] + beta[i] - log_z);
+  }
+}
+
+std::vector<int> CrfModel::Viterbi(const CompiledSequence& seq,
+                                   const std::vector<double>& w) const {
+  const size_t L = num_labels();
+  const size_t T = seq.length();
+  if (T == 0) return {};
+  std::vector<double> scores;
+  UnigramScores(seq, w, &scores);
+  const double* trans = w.data() + TransBase();
+  const double* start = w.data() + StartBase();
+  const double* end = w.data() + EndBase();
+
+  std::vector<double> delta(T * L, 0.0);
+  std::vector<int> back(T * L, 0);
+  for (size_t y = 0; y < L; ++y) delta[y] = start[y] + scores[y];
+  for (size_t t = 1; t < T; ++t) {
+    for (size_t y = 0; y < L; ++y) {
+      double best = -1e300;
+      int best_prev = 0;
+      for (size_t yp = 0; yp < L; ++yp) {
+        const double v = delta[(t - 1) * L + yp] + trans[yp * L + y];
+        if (v > best) {
+          best = v;
+          best_prev = static_cast<int>(yp);
+        }
+      }
+      delta[t * L + y] = best + scores[t * L + y];
+      back[t * L + y] = best_prev;
+    }
+  }
+  double best = -1e300;
+  int best_y = 0;
+  for (size_t y = 0; y < L; ++y) {
+    const double v = delta[(T - 1) * L + y] + end[y];
+    if (v > best) {
+      best = v;
+      best_y = static_cast<int>(y);
+    }
+  }
+  std::vector<int> path(T);
+  path[T - 1] = best_y;
+  for (size_t t = T - 1; t > 0; --t) {
+    path[t - 1] = back[t * L + static_cast<size_t>(path[t])];
+  }
+  return path;
+}
+
+}  // namespace pae::crf

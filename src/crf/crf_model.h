@@ -1,0 +1,96 @@
+#ifndef PAE_CRF_CRF_MODEL_H_
+#define PAE_CRF_CRF_MODEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pae::crf {
+
+/// A training/prediction sequence after feature compilation: per-position
+/// active feature ids and (for training) gold label ids.
+struct CompiledSequence {
+  std::vector<std::vector<int>> features;
+  std::vector<int> labels;  // empty when unlabeled
+
+  size_t length() const { return features.size(); }
+};
+
+/// The mathematical core of the linear-chain CRF: label/feature
+/// dictionaries, the weight-vector layout, potentials, forward–backward,
+/// negative log-likelihood with gradient, marginals, and Viterbi.
+///
+/// Weight layout (single flat vector, dimension WeightDim()):
+///   [0, F*L)             unigram weights, index = feature*L + label
+///   [F*L, F*L+L*L)       transition weights, index = prev*L + label
+///   [..., ... + L)       start weights (label of first token)
+///   [..., ... + L)       end weights (label of last token)
+class CrfModel {
+ public:
+  /// Adds (or finds) a label; returns its id.
+  int AddLabel(const std::string& label);
+  /// Returns the label id or -1.
+  int LookupLabel(const std::string& label) const;
+  const std::string& LabelName(int id) const;
+  size_t num_labels() const { return labels_.size(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Adds (or finds) a feature; returns its id.
+  int AddFeature(const std::string& feature);
+  /// Returns the feature id or -1 (unknown features are skipped at
+  /// prediction time).
+  int LookupFeature(const std::string& feature) const;
+  size_t num_features() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Total weight dimension for the current dictionaries.
+  size_t WeightDim() const;
+
+  /// Computes per-position label scores: scores[t*L + y].
+  void UnigramScores(const CompiledSequence& seq,
+                     const std::vector<double>& w,
+                     std::vector<double>* scores) const;
+
+  /// Adds the sequence's negative log-likelihood to the return value and
+  /// accumulates its gradient into `grad` (same layout as `w`).
+  /// Requires gold labels.
+  double SequenceNll(const CompiledSequence& seq, const std::vector<double>& w,
+                     std::vector<double>* grad) const;
+
+  /// Posterior marginals p(y_t = y | x): out[t*L + y]. For testing and
+  /// confidence estimation.
+  void Marginals(const CompiledSequence& seq, const std::vector<double>& w,
+                 std::vector<double>* out) const;
+
+  /// MAP label sequence via Viterbi.
+  std::vector<int> Viterbi(const CompiledSequence& seq,
+                           const std::vector<double>& w) const;
+
+ private:
+  /// Runs log-space forward–backward. alpha/beta are T×L, flattened.
+  /// Returns log Z.
+  double ForwardBackward(const CompiledSequence& seq,
+                         const std::vector<double>& scores,
+                         const std::vector<double>& w,
+                         std::vector<double>* alpha,
+                         std::vector<double>* beta) const;
+
+  size_t TransBase() const { return num_features() * num_labels(); }
+  size_t StartBase() const {
+    return TransBase() + num_labels() * num_labels();
+  }
+  size_t EndBase() const { return StartBase() + num_labels(); }
+
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int> label_ids_;
+  std::vector<std::string> feature_names_;
+  std::unordered_map<std::string, int> feature_ids_;
+};
+
+}  // namespace pae::crf
+
+#endif  // PAE_CRF_CRF_MODEL_H_

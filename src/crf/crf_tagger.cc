@@ -1,0 +1,264 @@
+#include "crf/crf_tagger.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace pae::crf {
+
+CrfTagger::CrfTagger(CrfOptions options) : options_(options) {}
+
+CompiledSequence CrfTagger::Compile(const text::LabeledSequence& seq,
+                                    bool with_labels) const {
+  CompiledSequence out;
+  std::vector<std::vector<std::string>> feats;
+  ExtractFeatures(seq, options_.features, &feats);
+  out.features.resize(feats.size());
+  for (size_t t = 0; t < feats.size(); ++t) {
+    for (const std::string& f : feats[t]) {
+      int id = model_.LookupFeature(f);
+      if (id >= 0) out.features[t].push_back(id);
+    }
+  }
+  if (with_labels) {
+    out.labels.reserve(seq.labels.size());
+    for (const std::string& label : seq.labels) {
+      int id = model_.LookupLabel(label);
+      // Unknown labels at training time were added already; map strays
+      // to "O" defensively.
+      out.labels.push_back(id >= 0 ? id : 0);
+    }
+  }
+  return out;
+}
+
+Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("CRF training set is empty");
+  }
+  model_ = CrfModel();
+  model_.AddLabel(text::kOutsideLabel);  // id 0
+
+  // Pass 1: label inventory and feature counts.
+  std::unordered_map<std::string, int> feature_counts;
+  for (const auto& seq : data) {
+    if (seq.tokens.empty()) continue;
+    if (!seq.HasLabels()) {
+      return Status::InvalidArgument("CRF training sequence without labels");
+    }
+    for (const std::string& label : seq.labels) model_.AddLabel(label);
+    std::vector<std::vector<std::string>> feats;
+    ExtractFeatures(seq, options_.features, &feats);
+    for (const auto& position : feats) {
+      for (const std::string& f : position) ++feature_counts[f];
+    }
+  }
+  for (const auto& [f, count] : feature_counts) {
+    if (count >= options_.min_feature_count) model_.AddFeature(f);
+  }
+  if (model_.num_features() == 0) {
+    return Status::FailedPrecondition("CRF: no features survived the cut");
+  }
+
+  // Pass 2: compile.
+  std::vector<CompiledSequence> compiled;
+  compiled.reserve(data.size());
+  for (const auto& seq : data) {
+    if (seq.tokens.empty()) continue;
+    compiled.push_back(Compile(seq, /*with_labels=*/true));
+  }
+
+  const size_t dim = model_.WeightDim();
+  weights_.assign(dim, 0.0);
+
+  SmoothObjective objective = [&](const std::vector<double>& w,
+                                  std::vector<double>* grad) -> double {
+    grad->assign(dim, 0.0);
+    double nll = 0;
+    for (const auto& seq : compiled) {
+      nll += model_.SequenceNll(seq, w, grad);
+    }
+    // L2 regularization (c2), CRFsuite convention: c2 * ||w||^2 with
+    // gradient 2 * c2 * w.
+    if (options_.c2 > 0) {
+      double reg = 0;
+      for (size_t i = 0; i < dim; ++i) {
+        reg += w[i] * w[i];
+        (*grad)[i] += 2.0 * options_.c2 * w[i];
+      }
+      nll += options_.c2 * reg;
+    }
+    return nll;
+  };
+
+  if (options_.trainer == CrfTrainer::kOwlqn) {
+    OwlqnOptions opts;
+    opts.max_iterations = options_.max_iterations;
+    opts.epsilon = options_.epsilon;
+    opts.l1_weight = options_.c1;
+    PAE_RETURN_IF_ERROR(MinimizeOwlqn(objective, opts, &weights_, &report_));
+  } else {
+    // Full-batch AdaGrad: per-coordinate step sizes shrink with the
+    // accumulated squared gradient, so frequent features settle while
+    // rare ones keep learning.
+    std::vector<double> grad(dim, 0.0);
+    std::vector<double> accum(dim, 1e-8);
+    double previous = objective(weights_, &grad);
+    report_ = OwlqnReport{};
+    for (int epoch = 0; epoch < options_.max_iterations; ++epoch) {
+      for (size_t i = 0; i < dim; ++i) {
+        accum[i] += grad[i] * grad[i];
+        weights_[i] -= options_.adagrad_learning_rate * grad[i] /
+                       std::sqrt(accum[i]);
+      }
+      const double current = objective(weights_, &grad);
+      report_.iterations = epoch + 1;
+      report_.final_objective = current;
+      if (std::fabs(previous - current) <
+          options_.epsilon * std::max(1.0, std::fabs(current))) {
+        report_.converged = true;
+        break;
+      }
+      previous = current;
+    }
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+std::vector<std::string> CrfTagger::Predict(
+    const text::LabeledSequence& seq) const {
+  if (!trained_ || seq.tokens.empty()) {
+    return std::vector<std::string>(seq.tokens.size(),
+                                    text::kOutsideLabel);
+  }
+  CompiledSequence compiled = Compile(seq, /*with_labels=*/false);
+  std::vector<int> path = model_.Viterbi(compiled, weights_);
+  std::vector<std::string> labels;
+  labels.reserve(path.size());
+  for (int y : path) labels.push_back(model_.LabelName(y));
+  return labels;
+}
+
+text::SequenceTagger::ScoredPrediction CrfTagger::PredictScored(
+    const text::LabeledSequence& seq) const {
+  ScoredPrediction out;
+  if (!trained_ || seq.tokens.empty()) {
+    out.labels.assign(seq.tokens.size(), text::kOutsideLabel);
+    out.confidence.assign(seq.tokens.size(), 1.0);
+    return out;
+  }
+  CompiledSequence compiled = Compile(seq, /*with_labels=*/false);
+  std::vector<int> path = model_.Viterbi(compiled, weights_);
+  std::vector<double> marginals;
+  model_.Marginals(compiled, weights_, &marginals);
+  const size_t num_labels = model_.num_labels();
+  out.labels.reserve(path.size());
+  out.confidence.reserve(path.size());
+  for (size_t t = 0; t < path.size(); ++t) {
+    out.labels.push_back(model_.LabelName(path[t]));
+    out.confidence.push_back(
+        marginals[t * num_labels + static_cast<size_t>(path[t])]);
+  }
+  return out;
+}
+
+}  // namespace pae::crf
+
+namespace pae::crf {
+
+namespace {
+constexpr uint32_t kCrfMagic = 0x43524631;  // "CRF1"
+constexpr uint32_t kCrfVersion = 1;
+}  // namespace
+
+size_t CrfTagger::Compact() {
+  if (!trained_) return 0;
+  const size_t L = model_.num_labels();
+  const size_t F = model_.num_features();
+
+  std::vector<bool> keep(F, false);
+  size_t kept = 0;
+  for (size_t f = 0; f < F; ++f) {
+    for (size_t y = 0; y < L; ++y) {
+      if (weights_[f * L + y] != 0.0) {
+        keep[f] = true;
+        ++kept;
+        break;
+      }
+    }
+  }
+  if (kept == F) return 0;
+
+  CrfModel compacted;
+  for (const std::string& label : model_.labels()) {
+    compacted.AddLabel(label);
+  }
+  std::vector<double> new_weights;
+  new_weights.reserve(kept * L + L * L + 2 * L);
+  for (size_t f = 0; f < F; ++f) {
+    if (!keep[f]) continue;
+    compacted.AddFeature(model_.feature_names()[f]);
+    for (size_t y = 0; y < L; ++y) {
+      new_weights.push_back(weights_[f * L + y]);
+    }
+  }
+  // Transition + start + end blocks carry over verbatim.
+  for (size_t i = F * L; i < weights_.size(); ++i) {
+    new_weights.push_back(weights_[i]);
+  }
+  const size_t removed = F - kept;
+  model_ = std::move(compacted);
+  weights_ = std::move(new_weights);
+  PAE_CHECK_EQ(weights_.size(), model_.WeightDim());
+  return removed;
+}
+
+Status CrfTagger::Save(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("CRF: saving an untrained model");
+  }
+  BinaryWriter writer(path, kCrfMagic, kCrfVersion);
+  writer.WriteI32(options_.features.window);
+  writer.WriteI32(options_.features.max_sentence_bucket);
+  writer.WriteDouble(options_.c1);
+  writer.WriteDouble(options_.c2);
+  writer.WriteStringVec(model_.labels());
+  writer.WriteStringVec(model_.feature_names());
+  writer.WriteDoubleVec(weights_);
+  return writer.Finish();
+}
+
+Status CrfTagger::Load(const std::string& path) {
+  BinaryReader reader(path, kCrfMagic, kCrfVersion);
+  if (!reader.ok()) return reader.status();
+  int32_t window = 0, bucket = 0;
+  double c1 = 0, c2 = 0;
+  std::vector<std::string> labels, features;
+  std::vector<double> weights;
+  if (!reader.ReadI32(&window) || !reader.ReadI32(&bucket) ||
+      !reader.ReadDouble(&c1) || !reader.ReadDouble(&c2) ||
+      !reader.ReadStringVec(&labels) || !reader.ReadStringVec(&features) ||
+      !reader.ReadDoubleVec(&weights)) {
+    return reader.status().ok()
+               ? Status::Internal("CRF: malformed model file")
+               : reader.status();
+  }
+  options_.features.window = window;
+  options_.features.max_sentence_bucket = bucket;
+  options_.c1 = c1;
+  options_.c2 = c2;
+  model_ = CrfModel();
+  for (const std::string& label : labels) model_.AddLabel(label);
+  for (const std::string& feature : features) model_.AddFeature(feature);
+  if (weights.size() != model_.WeightDim()) {
+    return Status::InvalidArgument("CRF: weight dimension mismatch");
+  }
+  weights_ = std::move(weights);
+  trained_ = true;
+  return Status::Ok();
+}
+
+}  // namespace pae::crf

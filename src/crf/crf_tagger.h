@@ -1,0 +1,81 @@
+#ifndef PAE_CRF_CRF_TAGGER_H_
+#define PAE_CRF_CRF_TAGGER_H_
+
+#include <string>
+#include <vector>
+
+#include "crf/crf_model.h"
+#include "crf/feature_extractor.h"
+#include "crf/owlqn.h"
+#include "text/sequence_tagger.h"
+
+namespace pae::crf {
+
+/// Training algorithm. The paper uses CRFsuite's default (L-BFGS with
+/// L1+L2 = OWL-QN); AdaGrad is provided as the scalable alternative
+/// CRFsuite also ships for large corpora.
+enum class CrfTrainer {
+  kOwlqn,
+  kAdagrad,
+};
+
+/// Training configuration. Defaults follow the paper's setup (§VI-D):
+/// L-BFGS with L1+L2 regularization and the standard CRFsuite-style
+/// feature template.
+struct CrfOptions {
+  FeatureConfig features;
+  CrfTrainer trainer = CrfTrainer::kOwlqn;
+  double c1 = 0.05;         // L1 coefficient (OWL-QN only)
+  double c2 = 1.0;          // L2 coefficient
+  int max_iterations = 60;  // L-BFGS iterations / AdaGrad epochs
+  double epsilon = 1e-3;
+  double adagrad_learning_rate = 0.5;
+  /// Features seen fewer times than this in training are dropped.
+  int min_feature_count = 1;
+};
+
+/// Linear-chain CRF sequence tagger (the paper's primary model family).
+class CrfTagger : public text::SequenceTagger {
+ public:
+  explicit CrfTagger(CrfOptions options = {});
+
+  Status Train(const std::vector<text::LabeledSequence>& data) override;
+  std::vector<std::string> Predict(
+      const text::LabeledSequence& seq) const override;
+  /// Viterbi labels with forward-backward marginal confidences.
+  ScoredPrediction PredictScored(
+      const text::LabeledSequence& seq) const override;
+  std::string Name() const override { return "crf"; }
+
+  /// Persists the trained model (labels, feature dictionary, weights,
+  /// feature-template configuration) to `path`.
+  Status Save(const std::string& path) const;
+  /// Restores a model previously written by Save.
+  Status Load(const std::string& path);
+
+  /// Drops features whose weights are all exactly zero — OWL-QN's L1
+  /// term produces many — shrinking the model file and the prediction
+  /// feature lookups without changing any prediction. Returns the
+  /// number of features removed.
+  size_t Compact();
+
+  /// Introspection for tests and diagnostics.
+  const CrfModel& model() const { return model_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const OwlqnReport& training_report() const { return report_; }
+  bool trained() const { return trained_; }
+
+ private:
+  CompiledSequence Compile(const text::LabeledSequence& seq,
+                           bool with_labels) const;
+
+  CrfOptions options_;
+  CrfModel model_;
+  std::vector<double> weights_;
+  OwlqnReport report_;
+  bool trained_ = false;
+};
+
+}  // namespace pae::crf
+
+#endif  // PAE_CRF_CRF_TAGGER_H_

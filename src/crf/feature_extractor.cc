@@ -1,0 +1,57 @@
+#include "crf/feature_extractor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pae::crf {
+
+namespace {
+constexpr const char* kBos = "<s>";
+constexpr const char* kEos = "</s>";
+
+const std::string& TokenAt(const std::vector<std::string>& v, int i,
+                           const std::string& bos, const std::string& eos) {
+  if (i < 0) return bos;
+  if (i >= static_cast<int>(v.size())) return eos;
+  return v[static_cast<size_t>(i)];
+}
+}  // namespace
+
+void ExtractFeatures(const text::LabeledSequence& seq,
+                     const FeatureConfig& config,
+                     std::vector<std::vector<std::string>>* out) {
+  PAE_CHECK_EQ(seq.tokens.size(), seq.pos.size());
+  const int n = static_cast<int>(seq.tokens.size());
+  const int k = config.window;
+  static const std::string bos = kBos;
+  static const std::string eos = kEos;
+
+  out->assign(static_cast<size_t>(n), {});
+  const int sent_bucket =
+      std::min(seq.sentence_index, config.max_sentence_bucket);
+  const std::string sent_feature = "sent=" + std::to_string(sent_bucket);
+
+  for (int t = 0; t < n; ++t) {
+    std::vector<std::string>& feats = (*out)[static_cast<size_t>(t)];
+    feats.reserve(static_cast<size_t>(4 * k + 5));
+    // w[t] itself.
+    feats.push_back("w[0]=" + seq.tokens[static_cast<size_t>(t)]);
+    // Window words and their PoS tags.
+    std::string pos_concat;
+    for (int d = -k; d <= k; ++d) {
+      const std::string& w = TokenAt(seq.tokens, t + d, bos, eos);
+      const std::string& p = TokenAt(seq.pos, t + d, bos, eos);
+      if (d != 0) {
+        feats.push_back("w[" + std::to_string(d) + "]=" + w);
+      }
+      feats.push_back("p[" + std::to_string(d) + "]=" + p);
+      if (!pos_concat.empty()) pos_concat.push_back('|');
+      pos_concat += p;
+    }
+    feats.push_back("pwin=" + pos_concat);
+    feats.push_back(sent_feature);
+  }
+}
+
+}  // namespace pae::crf

@@ -1,0 +1,31 @@
+#ifndef PAE_CRF_FEATURE_EXTRACTOR_H_
+#define PAE_CRF_FEATURE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "text/labeled_sequence.h"
+
+namespace pae::crf {
+
+/// The paper's CRF feature template (§VI-D): for a token at position t,
+/// the word w[t]; the words in a window of size K around w[t]; the PoS
+/// tags of those words; the concatenation of the PoS tags of the window;
+/// and the sentence number.
+struct FeatureConfig {
+  int window = 2;  // K
+
+  /// Caps the sentence-number feature so sentence ids beyond this bucket
+  /// share one feature (long descriptions otherwise explode the space).
+  int max_sentence_bucket = 8;
+};
+
+/// Generates the string features for every position of `seq`.
+/// `out->at(t)` holds the feature strings active at position t.
+void ExtractFeatures(const text::LabeledSequence& seq,
+                     const FeatureConfig& config,
+                     std::vector<std::vector<std::string>>* out);
+
+}  // namespace pae::crf
+
+#endif  // PAE_CRF_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,186 @@
+#include "crf/owlqn.h"
+
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace pae::crf {
+
+namespace {
+
+double L1Norm(const std::vector<double>& x) {
+  double s = 0;
+  for (double v : x) s += std::fabs(v);
+  return s;
+}
+
+double InfNorm(const std::vector<double>& x) {
+  double m = 0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double DotD(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Pseudo-gradient of f(x) + C||x||_1 (Andrew & Gao, eq. 4).
+void PseudoGradient(const std::vector<double>& x,
+                    const std::vector<double>& grad, double c,
+                    std::vector<double>* pg) {
+  pg->resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0) {
+      (*pg)[i] = grad[i] + c;
+    } else if (x[i] < 0) {
+      (*pg)[i] = grad[i] - c;
+    } else {
+      if (grad[i] + c < 0) {
+        (*pg)[i] = grad[i] + c;  // can decrease by moving positive
+      } else if (grad[i] - c > 0) {
+        (*pg)[i] = grad[i] - c;  // can decrease by moving negative
+      } else {
+        (*pg)[i] = 0;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status MinimizeOwlqn(const SmoothObjective& objective,
+                     const OwlqnOptions& options, std::vector<double>* x,
+                     OwlqnReport* report) {
+  if (x->empty()) {
+    return Status::InvalidArgument("OWL-QN: empty parameter vector");
+  }
+  const size_t n = x->size();
+  const double c = options.l1_weight;
+  const bool use_l1 = c > 0;
+
+  std::vector<double> grad(n), pg(n), direction(n), x_new(n), grad_new(n);
+  std::deque<std::vector<double>> s_list, y_list;
+  std::deque<double> rho_list;
+
+  double f = objective(*x, &grad);
+  if (!std::isfinite(f)) {
+    return Status::Internal("OWL-QN: objective not finite at start");
+  }
+  double obj = f + (use_l1 ? c * L1Norm(*x) : 0.0);
+
+  report->iterations = 0;
+  report->converged = false;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (use_l1) {
+      PseudoGradient(*x, grad, c, &pg);
+    } else {
+      pg = grad;
+    }
+    if (InfNorm(pg) < options.epsilon) {
+      report->converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H * pg.
+    direction = pg;
+    std::vector<double> alpha(s_list.size());
+    for (size_t i = s_list.size(); i-- > 0;) {
+      alpha[i] = rho_list[i] * DotD(s_list[i], direction);
+      for (size_t k = 0; k < n; ++k) direction[k] -= alpha[i] * y_list[i][k];
+    }
+    if (!s_list.empty()) {
+      const auto& s_last = s_list.back();
+      const auto& y_last = y_list.back();
+      double scale = DotD(s_last, y_last) / DotD(y_last, y_last);
+      for (double& v : direction) v *= scale;
+    }
+    for (size_t i = 0; i < s_list.size(); ++i) {
+      double beta = rho_list[i] * DotD(y_list[i], direction);
+      for (size_t k = 0; k < n; ++k) {
+        direction[k] += (alpha[i] - beta) * s_list[i][k];
+      }
+    }
+    for (double& v : direction) v = -v;
+
+    if (use_l1) {
+      // Constrain the direction to the orthant of -pg.
+      for (size_t k = 0; k < n; ++k) {
+        if (direction[k] * pg[k] >= 0) direction[k] = 0;
+      }
+    }
+
+    double dir_deriv = DotD(direction, pg);
+    if (dir_deriv >= 0) {
+      // Not a descent direction; restart from steepest descent.
+      s_list.clear();
+      y_list.clear();
+      rho_list.clear();
+      for (size_t k = 0; k < n; ++k) direction[k] = -pg[k];
+      dir_deriv = DotD(direction, pg);
+      if (dir_deriv >= 0) break;  // pg == 0
+    }
+
+    // Backtracking (Armijo) line search with orthant projection.
+    double step = (iter == 0) ? 1.0 / std::max(1.0, InfNorm(direction)) : 1.0;
+    const double armijo_c = 1e-4;
+    bool accepted = false;
+    double obj_new = obj;
+    for (int ls = 0; ls < options.max_linesearch; ++ls) {
+      for (size_t k = 0; k < n; ++k) {
+        x_new[k] = (*x)[k] + step * direction[k];
+        if (use_l1) {
+          // Project onto the orthant of x (or of -pg for x == 0).
+          double orthant = ((*x)[k] != 0)
+                               ? (*x)[k]
+                               : -pg[k];
+          if (x_new[k] * orthant < 0) x_new[k] = 0;
+        }
+      }
+      double f_new = objective(x_new, &grad_new);
+      obj_new = f_new + (use_l1 ? c * L1Norm(x_new) : 0.0);
+      if (std::isfinite(obj_new) &&
+          obj_new <= obj + armijo_c * step * dir_deriv) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;  // Line search failed: accept current solution.
+
+    // Update L-BFGS history with smooth-gradient differences.
+    std::vector<double> s(n), y(n);
+    for (size_t k = 0; k < n; ++k) {
+      s[k] = x_new[k] - (*x)[k];
+      y[k] = grad_new[k] - grad[k];
+    }
+    double sy = DotD(s, y);
+    if (sy > 1e-10) {
+      s_list.push_back(std::move(s));
+      y_list.push_back(std::move(y));
+      rho_list.push_back(1.0 / sy);
+      if (static_cast<int>(s_list.size()) > options.memory) {
+        s_list.pop_front();
+        y_list.pop_front();
+        rho_list.pop_front();
+      }
+    }
+
+    double improvement = obj - obj_new;
+    *x = x_new;
+    grad = grad_new;
+    obj = obj_new;
+    report->iterations = iter + 1;
+    if (improvement < options.epsilon * std::max(1.0, std::fabs(obj))) {
+      report->converged = true;
+      break;
+    }
+  }
+  report->final_objective = obj;
+  return Status::Ok();
+}
+
+}  // namespace pae::crf

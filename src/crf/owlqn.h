@@ -1,0 +1,46 @@
+#ifndef PAE_CRF_OWLQN_H_
+#define PAE_CRF_OWLQN_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pae::crf {
+
+/// Smooth part of an objective: returns f(x) and writes ∇f(x) into
+/// `grad` (same dimension as x). The L1 term is handled by the
+/// optimizer, not the objective.
+using SmoothObjective =
+    std::function<double(const std::vector<double>& x,
+                         std::vector<double>* grad)>;
+
+struct OwlqnOptions {
+  int max_iterations = 100;
+  /// Convergence: ||pseudo-grad||_inf below this stops the optimizer.
+  double epsilon = 1e-4;
+  /// L-BFGS history size.
+  int memory = 6;
+  /// L1 coefficient (c1). 0 disables the orthant-wise machinery and the
+  /// algorithm reduces to plain L-BFGS with backtracking line search.
+  double l1_weight = 0.0;
+  /// Maximum backtracking steps per line search.
+  int max_linesearch = 30;
+};
+
+struct OwlqnReport {
+  int iterations = 0;
+  double final_objective = 0.0;  // smooth + L1
+  bool converged = false;
+};
+
+/// Minimizes f(x) + l1_weight * ||x||_1 with the Orthant-Wise Limited-
+/// memory Quasi-Newton method (Andrew & Gao, 2007). `x` holds the start
+/// point on entry and the solution on exit.
+Status MinimizeOwlqn(const SmoothObjective& objective,
+                     const OwlqnOptions& options, std::vector<double>* x,
+                     OwlqnReport* report);
+
+}  // namespace pae::crf
+
+#endif  // PAE_CRF_OWLQN_H_

@@ -1,0 +1,717 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/normalize.h"
+#include "datagen/word_factory.h"
+#include "text/negation.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace pae::datagen {
+
+namespace {
+
+uint64_t HashName(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The per-product sampled value of one attribute.
+struct ProductValue {
+  int attr_index = -1;
+  const AttributeSpec* attr = nullptr;
+  std::string enum_display;  // kEnum / kRange: fixed display string
+  double number = 0;         // kNumeric
+  bool is_decimal = false;   // kNumeric
+};
+
+class CategoryGenerator {
+ public:
+  CategoryGenerator(const CategorySpec& spec, const GeneratorConfig& config)
+      : spec_(spec),
+        config_(config),
+        rng_(config.seed ^ HashName(spec.name)),
+        wf_(spec.language),
+        ja_(spec.language == text::Language::kJa) {}
+
+  GeneratedCategory Run();
+
+ private:
+  // ---- resources ----
+  void Reg(const std::string& word) { lexicon_.insert(word); }
+  void RegPos(const std::string& word, std::string_view tag) {
+    lexicon_.insert(word);
+    pos_lexicon_.word_tags[word] = std::string(tag);
+  }
+  void InitCommon();
+  void RegisterSchema(const CategorySpec& s);
+
+  // ---- value rendering ----
+  ProductValue SampleValue(int attr_index, const AttributeSpec& attr);
+  std::string RenderValue(const ProductValue& pv, bool for_table);
+  std::string RenderRange(const AttributeSpec& attr);
+
+  // ---- text building ----
+  std::string Join(const std::vector<std::string>& tokens) const {
+    return ja_ ? StrJoin(tokens, "") : StrJoin(tokens, " ");
+  }
+  std::string AttributeSentence(const std::string& surface,
+                                const std::string& value, bool is_enum);
+  std::string FillerSentence();
+  std::string PickSurface(const AttributeSpec& attr);
+
+  // ---- truth bookkeeping ----
+  void AddTruth(const std::string& pid, const std::string& canonical,
+                const std::string& value, bool correct,
+                bool pair_valid = true);
+  void MaybeLogQuery(const AttributeSpec& attr, const std::string& value);
+
+  void GenerateProduct(int index);
+
+  const CategorySpec& spec_;
+  const GeneratorConfig& config_;
+  Rng rng_;
+  WordFactory wf_;
+  const bool ja_;
+
+  std::unordered_set<std::string> lexicon_;
+  text::PosLexicon pos_lexicon_;
+  std::vector<std::string> filler_nouns_;
+  std::vector<std::string> commentary_words_;
+  std::vector<std::string> product_nouns_;
+  std::vector<std::string> decorations_;
+  std::vector<std::pair<std::string, std::string>> junk_rows_;
+
+  GeneratedCategory out_;
+  std::unordered_set<std::string> truth_keys_;  // dedupe triple entries
+
+  struct QueryCandidate {
+    int mentions = 0;
+    double query_prob = 0;
+  };
+  std::unordered_map<std::string, QueryCandidate> query_candidates_;
+
+  /// normalized enum value → canonical attributes whose pool contains
+  /// it. Used to judge cross-attribute assignments of shared values as
+  /// incorrect (the annotator knowledge that makes heterogeneous
+  /// categories measurably harder, §VIII-E).
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      enum_value_attrs_;
+};
+
+void CategoryGenerator::InitCommon() {
+  for (const auto& w : wf_.FunctionWords()) {
+    RegPos(w, text::kPosParticle);
+  }
+  for (const auto& w : wf_.Copulas()) RegPos(w, text::kPosVerb);
+  for (const auto& cue : text::NegationDetector::Cues(
+           ja_ ? text::Language::kJa : text::Language::kDe)) {
+    Reg(cue);
+  }
+  for (const auto& u : wf_.Units()) RegPos(u, text::kPosUnit);
+
+  // Filler/product noun pools.
+  std::unordered_set<std::string> seen;
+  while (filler_nouns_.size() < 22) {
+    std::string w = ja_ ? (rng_.Bernoulli(0.5)
+                               ? wf_.MakeNoun(&rng_, static_cast<int>(
+                                                         rng_.NextInt(2, 4)))
+                               : wf_.MakeIdeographWord(&rng_, 2))
+                        : wf_.MakeNoun(&rng_, static_cast<int>(
+                                                  rng_.NextInt(2, 3)));
+    if (seen.insert(w).second) {
+      filler_nouns_.push_back(w);
+      Reg(w);
+    }
+  }
+  while (product_nouns_.size() < 8) {
+    std::string w = wf_.MakeNoun(&rng_, static_cast<int>(rng_.NextInt(3, 5)));
+    if (seen.insert(w).second) {
+      product_nouns_.push_back(w);
+      Reg(w);
+    }
+  }
+  // Commentary vocabulary: merchant opinions about attributes ("the
+  // color is gorgeous"). A wide pool ensures the taggers keep meeting
+  // unseen commentary words, which they drift onto as pseudo-values —
+  // the error class the semantic cleaner removes (§VIII-B).
+  if (ja_) {
+    commentary_words_ = {"人気", "重要", "大切", "特別", "最高",
+                         "魅力", "自慢", "評判"};
+  } else {
+    commentary_words_ = {"beliebt", "wichtig", "besonders", "hochwertig",
+                         "elegant", "robust"};
+  }
+  while (commentary_words_.size() < 24) {
+    std::string w = ja_ ? wf_.MakeIdeographWord(&rng_, 2)
+                        : wf_.MakeNoun(&rng_, 2);
+    if (seen.insert(w).second) commentary_words_.push_back(w);
+  }
+  for (const auto& w : commentary_words_) Reg(w);
+
+  if (ja_) {
+    for (const char* w :
+         {"商品", "送料", "無料", "価格", "新品", "即納", "備考",
+          "注意事項", "おすすめ", "円", "セール", "限定", "関連",
+          "キーワード"}) {
+      Reg(w);
+    }
+    RegPos("円", text::kPosUnit);
+    decorations_ = {"送料無料", "新品", "即納", "セール", "限定"};
+    for (const auto& d : decorations_) Reg(d);
+    junk_rows_ = {
+        {"備考", ""},          // value filled at render time
+        {"注意事項", ""},
+        {"送料", "無料"},
+        {"お問い合わせ", "こちらまで"},
+    };
+    Reg("お問い合わせ");
+    Reg("こちらまで");
+    Reg("ください");
+  } else {
+    decorations_ = {"Neu", "Sale", "Gratisversand", "Top"};
+    junk_rows_ = {
+        {"Hinweis", ""},
+        {"Versand", "kostenlos"},
+        {"Lieferzeit", "3 Tage"},
+    };
+  }
+}
+
+void CategoryGenerator::RegisterSchema(const CategorySpec& s) {
+  for (const auto& attr : s.attributes) {
+    Reg(attr.canonical);
+    out_.truth.attribute_aliases[attr.canonical] = attr.canonical;
+    for (const auto& syn : attr.synonyms) {
+      Reg(syn);
+      out_.truth.attribute_aliases[syn] = attr.canonical;
+    }
+    for (const auto& v : attr.enum_values) {
+      Reg(v);
+      enum_value_attrs_[core::NormalizeValue(v)].insert(attr.canonical);
+    }
+    if (!attr.numeric.unit.empty()) {
+      RegPos(attr.numeric.unit, text::kPosUnit);
+    }
+    bool known = false;
+    for (const auto& name : out_.attribute_names) {
+      if (name == attr.canonical) known = true;
+    }
+    if (!known) out_.attribute_names.push_back(attr.canonical);
+  }
+}
+
+ProductValue CategoryGenerator::SampleValue(int attr_index,
+                                            const AttributeSpec& attr) {
+  ProductValue pv;
+  pv.attr_index = attr_index;
+  pv.attr = &attr;
+  switch (attr.kind) {
+    case ValueKind::kEnum:
+      pv.enum_display = rng_.Pick(attr.enum_values);
+      break;
+    case ValueKind::kRange:
+      pv.enum_display = RenderRange(attr);
+      break;
+    case ValueKind::kNumeric: {
+      pv.is_decimal = rng_.Bernoulli(attr.numeric.decimal_prob_text);
+      double raw = rng_.NextUniform(attr.numeric.min, attr.numeric.max);
+      if (pv.is_decimal) {
+        const double scale = std::pow(10.0, attr.numeric.decimals);
+        pv.number = std::round(raw * scale) / scale;
+        // Avoid decimals that round to .0 (they would print as decimals
+        // with a trailing zero, which merchants do write, keep them).
+      } else {
+        pv.number = std::round(raw);
+      }
+      break;
+    }
+  }
+  return pv;
+}
+
+std::string CategoryGenerator::RenderRange(const AttributeSpec& attr) {
+  static const int kDenoms[] = {1000, 1250, 1600, 2000, 3200, 4000, 6000,
+                                8000};
+  static const int kSlows[] = {15, 30, 60};
+  const int d = kDenoms[rng_.NextBounded(8)];
+  const int n = kSlows[rng_.NextBounded(3)];
+  const std::string& unit = attr.numeric.unit;  // 秒
+  switch (rng_.NextBounded(3)) {
+    case 0:
+      return "1/" + std::to_string(d) + unit + "〜" + std::to_string(n) +
+             unit;
+    case 1:
+      return "1/" + std::to_string(d);
+    default:
+      return "1〜1/" + std::to_string(d) + unit;
+  }
+}
+
+std::string CategoryGenerator::RenderValue(const ProductValue& pv,
+                                           bool for_table) {
+  const AttributeSpec& attr = *pv.attr;
+  if (attr.kind != ValueKind::kNumeric) return pv.enum_display;
+
+  bool decimal = pv.is_decimal;
+  if (for_table && decimal) {
+    // Merchants round decimals away in spec tables with probability
+    // 1 - decimal_prob_table (the §VIII-A lever).
+    decimal = rng_.Bernoulli(attr.numeric.decimal_prob_table);
+  }
+  const double value = decimal ? pv.number : std::round(pv.number);
+  const bool thousands =
+      value >= 1000 && rng_.Bernoulli(attr.numeric.thousands_sep_prob);
+  std::string number = wf_.FormatNumber(
+      value, decimal ? attr.numeric.decimals : 0, thousands);
+  if (attr.numeric.unit.empty()) return number;
+  if (ja_) return number + attr.numeric.unit;
+  return number + " " + attr.numeric.unit;
+}
+
+std::string CategoryGenerator::PickSurface(const AttributeSpec& attr) {
+  if (attr.synonyms.empty() || rng_.Bernoulli(0.55)) return attr.canonical;
+  return rng_.Pick(attr.synonyms);
+}
+
+std::string CategoryGenerator::AttributeSentence(const std::string& surface,
+                                                 const std::string& value,
+                                                 bool is_enum) {
+  // Merchants in noisy categories more often drop the attribute name
+  // and write bare-value sentences; those ambiguous contexts are what
+  // drives tagger drift (and gives the cleaning modules work to do).
+  // Numeric specs essentially always carry their label ("重量:2.5kg"),
+  // so the bare form is only generated for named entities.
+  const double value_only_prob =
+      is_enum ? 0.12 + 0.5 * spec_.noise_level : 0.0;
+  if (rng_.Bernoulli(value_only_prob)) {
+    return ja_ ? Join({value, "の", rng_.Pick(filler_nouns_), "です", "。"})
+               : Join({"Mit", value, rng_.Pick(filler_nouns_), "."});
+  }
+  if (ja_) {
+    switch (rng_.NextBounded(4)) {
+      case 0:
+        return Join({surface, "は", value, "です", "。"});
+      case 1:
+        return Join({surface, ":", value, "。"});
+      case 2:
+        return Join({"この", "商品", "の", surface, "は", value, "です",
+                     "。"});
+      default:
+        return Join({surface, "が", value, "になります", "。"});
+    }
+  }
+  switch (rng_.NextBounded(4)) {
+    case 0:
+      return Join({surface, ":", value, "."});
+    case 1:
+      return Join({"Der", surface, "beträgt", value, "."});
+    case 2:
+      return Join({"Die", rng_.Pick(product_nouns_), "hat", surface, value,
+                   "."});
+    default:
+      return Join({surface, "ist", value, "."});
+  }
+}
+
+std::string CategoryGenerator::FillerSentence() {
+  const std::string price =
+      std::to_string(rng_.NextInt(3, 98) * 100 + rng_.NextInt(0, 1) * 80);
+  if (ja_) {
+    switch (rng_.NextBounded(5)) {
+      case 0:
+        return Join({rng_.Pick(filler_nouns_), "の",
+                     rng_.Pick(filler_nouns_), "です", "。"});
+      case 1:
+        return Join({"送料", "は", price, "円", "です", "。"});
+      case 2:
+        return Join({"価格", ":", price, "円", "。"});
+      case 3:
+        return Join({"この", rng_.Pick(filler_nouns_), "が", "おすすめ",
+                     "です", "。"});
+      default:
+        return Join({rng_.Pick(filler_nouns_), "と",
+                     rng_.Pick(filler_nouns_), "の",
+                     rng_.Pick(filler_nouns_), "です", "。"});
+    }
+  }
+  switch (rng_.NextBounded(4)) {
+    case 0:
+      return Join({"Die", rng_.Pick(filler_nouns_), "mit",
+                   rng_.Pick(filler_nouns_), "."});
+    case 1:
+      return Join({"Versand", ":", price, "€", "."});
+    case 2:
+      return Join({"Preis", ":", price, "€", "."});
+    default:
+      return Join({"Ein", rng_.Pick(filler_nouns_), "für",
+                   rng_.Pick(filler_nouns_), "."});
+  }
+}
+
+void CategoryGenerator::AddTruth(const std::string& pid,
+                                 const std::string& canonical,
+                                 const std::string& value, bool correct,
+                                 bool pair_valid) {
+  const std::string norm = core::NormalizeValue(value);
+  std::string key = pid + "\t" + canonical + "\t" + norm + "\t" +
+                    (correct ? "1" : "0");
+  if (!truth_keys_.insert(key).second) return;
+  core::TruthEntry entry;
+  entry.triple.product_id = pid;
+  entry.triple.attribute = canonical;
+  entry.triple.value = value;
+  entry.triple_correct = correct;
+  entry.pair_valid = pair_valid;
+  out_.truth.entries.push_back(std::move(entry));
+  if (correct && pair_valid) {
+    out_.truth.valid_pairs.insert(core::PairKey(canonical, norm));
+    // When the same surface value belongs to several attributes'
+    // pools, assigning it to one of the *other* attributes on this
+    // product is a judged error.
+    auto it = enum_value_attrs_.find(norm);
+    if (it != enum_value_attrs_.end()) {
+      for (const std::string& other : it->second) {
+        if (other != canonical) {
+          AddTruth(pid, other, value, /*correct=*/false,
+                   /*pair_valid=*/true);
+        }
+      }
+    }
+  }
+}
+
+void CategoryGenerator::MaybeLogQuery(const AttributeSpec& attr,
+                                      const std::string& value) {
+  // Queries mirror what shoppers actually type: only values that turn
+  // out to be *popular* across the catalog make it into the log (rare
+  // one-off formats — e.g. a specific decimal weight — are never
+  // searched, which is why the paper's initial seed misses them until
+  // value diversification recovers their shape).
+  auto [it, inserted] = query_candidates_.emplace(
+      value, QueryCandidate{0, attr.query_prob});
+  it->second.mentions += 1;
+}
+
+void CategoryGenerator::GenerateProduct(int index) {
+  const CategorySpec& sub =
+      spec_.heterogeneous()
+          ? spec_.mixture[rng_.NextBounded(spec_.mixture.size())]
+          : spec_;
+  char pid_buf[64];
+  std::snprintf(pid_buf, sizeof(pid_buf), "%s_%05d",
+                ja_ ? "item" : "artikel", index);
+  const std::string pid = pid_buf;
+
+  // ---- sample the product's true attribute values ----
+  const double sparse_prob =
+      std::min(0.55, 0.22 + 0.5 * sub.noise_level);
+  const bool sparse = rng_.Bernoulli(sparse_prob);
+  // Sparse pages describe accessories / bundles whose text carries no
+  // (or one) machine-readable attribute — the reason product coverage
+  // stays well below 100 % in the paper's Table III.
+  const size_t sparse_limit = rng_.Bernoulli(0.5) ? 0 : 1;
+  std::vector<ProductValue> values;
+  for (size_t i = 0; i < sub.attributes.size(); ++i) {
+    const AttributeSpec& attr = sub.attributes[i];
+    if (sparse && values.size() >= sparse_limit) break;
+    if (!rng_.Bernoulli(attr.presence_prob)) continue;
+    values.push_back(SampleValue(static_cast<int>(i), attr));
+  }
+
+  // ---- title ----
+  std::vector<std::string> title_tokens;
+  if (rng_.Bernoulli(0.6)) {
+    title_tokens.push_back(ja_ ? "【" + rng_.Pick(decorations_) + "】"
+                               : rng_.Pick(decorations_));
+  }
+  std::string title_value_mention;
+  for (const auto& pv : values) {
+    // Brand-ish and color-ish enums may surface in the title.
+    if (pv.attr->kind == ValueKind::kEnum && rng_.Bernoulli(0.35)) {
+      const std::string v = RenderValue(pv, /*for_table=*/false);
+      title_tokens.push_back(v);
+      AddTruth(pid, pv.attr->canonical, v, /*correct=*/true);
+      MaybeLogQuery(*pv.attr, v);
+      if (title_tokens.size() >= 3) break;
+    }
+  }
+  title_tokens.push_back(rng_.Pick(product_nouns_));
+  const std::string title = ja_ ? StrJoin(title_tokens, " ")
+                                : StrJoin(title_tokens, " ");
+
+  // ---- description sentences ----
+  std::vector<std::string> sentences;
+  for (const auto& pv : values) {
+    if (!rng_.Bernoulli(pv.attr->text_prob)) continue;
+    const int mentions = rng_.Bernoulli(0.2) ? 2 : 1;
+    for (int m = 0; m < mentions; ++m) {
+      const std::string v = RenderValue(pv, /*for_table=*/false);
+      sentences.push_back(AttributeSentence(
+          PickSurface(*pv.attr), v, pv.attr->kind == ValueKind::kEnum));
+      AddTruth(pid, pv.attr->canonical, v, /*correct=*/true);
+      MaybeLogQuery(*pv.attr, v);
+    }
+  }
+  const int n_filler = static_cast<int>(rng_.NextInt(
+      sub.min_sentences, sub.max_sentences));
+  for (int i = 0; i < n_filler; ++i) sentences.push_back(FillerSentence());
+
+  // Commentary sentences about attributes: same surface pattern as an
+  // attribute statement, but the "value" slot holds an opinion word.
+  // Judged as invalid associations by the annotators.
+  const int n_commentary =
+      rng_.Bernoulli(0.3 + sub.noise_level) ? static_cast<int>(
+          rng_.NextInt(1, 2)) : 0;
+  for (int i = 0; i < n_commentary && !sub.attributes.empty(); ++i) {
+    const AttributeSpec& attr =
+        sub.attributes[rng_.NextBounded(sub.attributes.size())];
+    const std::string& word = rng_.Pick(commentary_words_);
+    sentences.push_back(
+        ja_ ? Join({PickSurface(attr), "は", word, "です", "。"})
+            : Join({PickSurface(attr), "ist", word, "."}));
+    AddTruth(pid, attr.canonical, word, /*correct=*/false,
+             /*pair_valid=*/false);
+  }
+
+  // Negated mentions (Definition 3.1): the page explicitly says the
+  // product does NOT have some value ("ケースは付属しません").
+  // Extracting a triple from these is a judged error.
+  if (rng_.Bernoulli(0.07) && !sub.attributes.empty()) {
+    const AttributeSpec& attr =
+        sub.attributes[rng_.NextBounded(sub.attributes.size())];
+    ProductValue other = SampleValue(-1, attr);
+    const std::string v = RenderValue(other, /*for_table=*/false);
+    sentences.push_back(
+        ja_ ? (rng_.Bernoulli(0.5)
+                   ? Join({PickSurface(attr), "は", v, "ではありません",
+                           "。"})
+                   : Join({v, "は", "付属しません", "。"}))
+            : Join({"Der", PickSurface(attr), "ist", "nicht", v, "."}));
+    AddTruth(pid, attr.canonical, v, /*correct=*/false);
+  }
+
+  // Related-keyword lists: context-free enum values from other
+  // products. Anything the tagger picks up here is a judged error.
+  if (rng_.Bernoulli(sub.noise_level * 0.25) && !sub.attributes.empty()) {
+    std::vector<std::string> line;
+    line.push_back(ja_ ? "関連キーワード" : "Stichworte");
+    line.push_back(":");
+    const int k = static_cast<int>(rng_.NextInt(1, 2));
+    for (int i = 0; i < k; ++i) {
+      const AttributeSpec& attr =
+          sub.attributes[rng_.NextBounded(sub.attributes.size())];
+      if (attr.kind != ValueKind::kEnum || attr.enum_values.empty()) {
+        continue;
+      }
+      const std::string v = rng_.Pick(attr.enum_values);
+      line.push_back(v);
+      if (ja_) line.push_back("・");
+      // The keyword does not describe this product: judged incorrect
+      // unless the product genuinely has that exact value (in which
+      // case the earlier correct entry wins in the evaluator).
+      AddTruth(pid, attr.canonical, v, /*correct=*/false);
+    }
+    sentences.push_back(Join(line));
+  }
+  rng_.Shuffle(&sentences);
+
+  // Confusable siblings: when the page mentions both attributes of a
+  // confusable pair, record cross-assignments as judged-incorrect (the
+  // annotator-knowledge the paper's truth sample encodes).
+  for (const auto& a : values) {
+    if (a.attr->confusable_with < 0) continue;
+    for (const auto& b : values) {
+      if (b.attr_index != a.attr->confusable_with) continue;
+      const std::string va = RenderValue(a, false);
+      const std::string vb = RenderValue(b, false);
+      if (core::NormalizeValue(va) != core::NormalizeValue(vb)) {
+        AddTruth(pid, a.attr->canonical, vb, /*correct=*/false);
+      }
+    }
+  }
+
+  // ---- secondary product block (§VIII error source 1) ----
+  std::vector<std::string> secondary_sentences;
+  if (rng_.Bernoulli(sub.secondary_product_prob)) {
+    secondary_sentences.push_back(
+        ja_ ? Join({"おすすめ", "商品", ":", rng_.Pick(product_nouns_),
+                    "。"})
+            : Join({"Empfehlung", ":", rng_.Pick(product_nouns_), "."}));
+    const int k = static_cast<int>(rng_.NextInt(1, 2));
+    for (int i = 0; i < k && !sub.attributes.empty(); ++i) {
+      const size_t ai = rng_.NextBounded(sub.attributes.size());
+      const AttributeSpec& attr = sub.attributes[ai];
+      ProductValue pv = SampleValue(static_cast<int>(ai), attr);
+      const std::string v = RenderValue(pv, /*for_table=*/false);
+      secondary_sentences.push_back(
+          AttributeSentence(PickSurface(attr), v,
+                            attr.kind == ValueKind::kEnum));
+      // The value belongs to the secondary item, not this product.
+      AddTruth(pid, attr.canonical, v, /*correct=*/false);
+    }
+  }
+
+  // ---- spec table ----
+  std::string table_html;
+  if (rng_.Bernoulli(sub.table_fraction)) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    struct RowTruth {
+      const AttributeSpec* attr;
+      std::string canonical;
+      std::string value;
+      bool correct;
+    };
+    std::vector<RowTruth> row_truth;
+    for (const auto& pv : values) {
+      if (!rng_.Bernoulli(pv.attr->table_prob)) continue;
+      std::string v = RenderValue(pv, /*for_table=*/true);
+      bool corrupted = false;
+      if (rng_.Bernoulli(sub.noise_level * 0.25)) {
+        corrupted = true;
+        switch (rng_.NextBounded(3)) {
+          case 0:
+            v = ja_ ? "お問い合わせください" : "auf Anfrage";
+            break;
+          case 1:
+            v = "★" + v + "★";
+            break;
+          default: {
+            // A value leaked from another attribute.
+            const size_t ai = rng_.NextBounded(sub.attributes.size());
+            ProductValue other =
+                SampleValue(static_cast<int>(ai), sub.attributes[ai]);
+            v = RenderValue(other, true);
+            corrupted = (sub.attributes[ai].canonical !=
+                         pv.attr->canonical);
+            break;
+          }
+        }
+      }
+      rows.emplace_back(PickSurface(*pv.attr), v);
+      row_truth.push_back({pv.attr, pv.attr->canonical, v, !corrupted});
+    }
+    // Junk rows (noise): invalid associations in dictionary position.
+    if (rng_.Bernoulli(sub.noise_level) && !junk_rows_.empty()) {
+      auto junk = junk_rows_[rng_.NextBounded(junk_rows_.size())];
+      if (junk.second.empty()) junk.second = FillerSentence();
+      rows.push_back(junk);
+      row_truth.push_back({nullptr, junk.first, junk.second, false});
+    }
+    if (rows.size() >= 2) {
+      // Only record table mentions in the truth sample if the table is
+      // actually rendered on the page.
+      for (const auto& rt : row_truth) {
+        AddTruth(pid, rt.canonical, rt.value, rt.correct, rt.correct);
+        if (rt.correct && rt.attr != nullptr) MaybeLogQuery(*rt.attr, rt.value);
+      }
+      rng_.Shuffle(&rows);
+      std::string t = "<table>";
+      // The 2-rows × n-columns layout is ambiguous for 2×2 grids (it
+      // parses as two key/value rows), so merchants with two specs use
+      // the column layout.
+      if (rows.size() == 2 || rng_.Bernoulli(0.75)) {  // n rows × 2 columns
+        for (const auto& [k, v] : rows) {
+          t += "<tr><th>" + k + "</th><td>" + v + "</td></tr>";
+        }
+      } else {  // 2 rows × n columns
+        t += "<tr>";
+        for (const auto& [k, v] : rows) t += "<th>" + k + "</th>";
+        t += "</tr><tr>";
+        for (const auto& [k, v] : rows) t += "<td>" + v + "</td>";
+        t += "</tr>";
+      }
+      t += "</table>";
+      table_html = t;
+    }
+  }
+
+  // ---- assemble HTML ----
+  std::string html = "<html><head><title>" + title +
+                     "</title></head><body><h1>" + title + "</h1>";
+  html += "<div class=\"description\">";
+  for (const auto& s : sentences) {
+    std::string para = s;
+    if (rng_.Bernoulli(sub.noise_level * 0.5)) {
+      para += ja_ ? "<span>★★★</span>" : "<span>***</span>";
+    }
+    if (rng_.Bernoulli(0.3)) {
+      html += "<p><b>" + para + "</b></p>";
+    } else {
+      html += "<p>" + para + "</p>";
+    }
+  }
+  html += "</div>";
+  if (!secondary_sentences.empty()) {
+    html += "<div class=\"recommend\">";
+    for (const auto& s : secondary_sentences) html += "<p>" + s + "</p>";
+    html += "</div>";
+  }
+  html += table_html;
+  html += "</body></html>";
+
+  core::ProductPage page;
+  page.product_id = pid;
+  page.html = std::move(html);
+  out_.corpus.pages.push_back(std::move(page));
+}
+
+GeneratedCategory CategoryGenerator::Run() {
+  out_.corpus.category = spec_.name;
+  out_.corpus.language = spec_.language;
+  InitCommon();
+  if (spec_.heterogeneous()) {
+    for (const auto& sub : spec_.mixture) RegisterSchema(sub);
+  } else {
+    RegisterSchema(spec_);
+  }
+  for (int i = 0; i < config_.num_products; ++i) GenerateProduct(i);
+
+  // Query log from popular values (≥3 mentions across the catalog).
+  for (const auto& [value, candidate] : query_candidates_) {
+    if (candidate.mentions < 3) continue;
+    const int copies = static_cast<int>(
+        std::ceil(candidate.mentions * candidate.query_prob * 0.3));
+    for (int i = 0; i < copies; ++i) {
+      out_.corpus.query_log.push_back(value);
+    }
+  }
+
+  // Noise queries.
+  const int noise_queries = static_cast<int>(
+      config_.query_noise_fraction *
+      static_cast<double>(out_.corpus.query_log.size()));
+  for (int i = 0; i < noise_queries; ++i) {
+    out_.corpus.query_log.push_back(rng_.Pick(filler_nouns_));
+  }
+  rng_.Shuffle(&out_.corpus.query_log);
+
+  out_.corpus.tokenizer_lexicon.assign(lexicon_.begin(), lexicon_.end());
+  std::sort(out_.corpus.tokenizer_lexicon.begin(),
+            out_.corpus.tokenizer_lexicon.end());
+  out_.corpus.pos_lexicon = pos_lexicon_;
+  return std::move(out_);
+}
+
+}  // namespace
+
+GeneratedCategory GenerateCategory(const CategorySpec& spec,
+                                   const GeneratorConfig& config) {
+  CategoryGenerator generator(spec, config);
+  return generator.Run();
+}
+
+GeneratedCategory GenerateCategory(CategoryId id,
+                                   const GeneratorConfig& config) {
+  return GenerateCategory(BuildCategorySpec(id), config);
+}
+
+}  // namespace pae::datagen

@@ -1,0 +1,44 @@
+#ifndef PAE_DATAGEN_GENERATOR_H_
+#define PAE_DATAGEN_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "datagen/schema.h"
+
+namespace pae::datagen {
+
+/// Corpus-size and determinism knobs. `num_products` defaults to a
+/// laptop-scale corpus; the paper's categories held 2k–12k items and all
+/// experiment shapes are stable from a few hundred products up.
+struct GeneratorConfig {
+  int num_products = 800;
+  uint64_t seed = 12345;
+  /// Fraction of additional filler-only query-log entries.
+  double query_noise_fraction = 0.10;
+};
+
+/// One generated category: the extraction corpus (pages + query log +
+/// language resources) and the evaluation truth sample built with the
+/// §VI-B protocol (correct / incorrect judgements; alias knowledge).
+struct GeneratedCategory {
+  core::Corpus corpus;
+  core::TruthSample truth;
+  /// Canonical attribute names of the schema (union over sub-schemas for
+  /// heterogeneous categories).
+  std::vector<std::string> attribute_names;
+};
+
+/// Generates the synthetic corpus + ground truth for `spec`.
+/// Deterministic in (spec, config).
+GeneratedCategory GenerateCategory(const CategorySpec& spec,
+                                   const GeneratorConfig& config);
+
+/// Convenience overload: build the schema and generate in one call.
+GeneratedCategory GenerateCategory(CategoryId id,
+                                   const GeneratorConfig& config);
+
+}  // namespace pae::datagen
+
+#endif  // PAE_DATAGEN_GENERATOR_H_

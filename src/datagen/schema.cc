@@ -1,0 +1,916 @@
+#include "datagen/schema.h"
+
+#include <unordered_set>
+
+#include "datagen/word_factory.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace pae::datagen {
+
+namespace {
+
+// ---------- fixed value inventories ----------
+
+std::vector<std::string> JaColors() {
+  return {"ブラック", "ホワイト", "レッド",   "ブルー",   "グリーン",
+          "イエロー", "ピンク",   "パープル", "ブラウン", "グレー",
+          "シルバー", "ゴールド", "ネイビー", "ベージュ", "オレンジ",
+          "黒",       "白",       "赤",       "青",       "緑"};
+}
+
+std::vector<std::string> DeColors() {
+  return {"schwarz", "weiß", "rot",    "blau",   "grün",  "gelb",
+          "rosa",    "braun", "grau",  "silber", "beige", "anthrazit"};
+}
+
+std::vector<std::string> JaCountries() {
+  return {"日本",     "中国",   "韓国",     "台湾",   "ベトナム",
+          "タイ",     "ドイツ", "フランス", "イタリア", "アメリカ"};
+}
+
+std::vector<std::string> JaApparelSizes() {
+  return {"S", "M", "L", "XL", "LL", "フリーサイズ", "23cm", "24cm",
+          "25cm", "26cm", "27cm"};
+}
+
+// ---------- pool builders ----------
+
+std::vector<std::string> NounPool(const WordFactory& wf, Rng* rng, int n,
+                                  int min_syl, int max_syl) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> pool;
+  int guard = 0;
+  while (static_cast<int>(pool.size()) < n && guard++ < n * 50) {
+    std::string w = wf.MakeNoun(
+        rng, static_cast<int>(rng->NextInt(min_syl, max_syl)));
+    if (seen.insert(w).second) pool.push_back(w);
+  }
+  return pool;
+}
+
+std::vector<std::string> IdeographPool(const WordFactory& wf, Rng* rng, int n,
+                                       int len) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> pool;
+  int guard = 0;
+  while (static_cast<int>(pool.size()) < n && guard++ < n * 50) {
+    std::string w = wf.MakeIdeographWord(rng, len);
+    if (seen.insert(w).second) pool.push_back(w);
+  }
+  return pool;
+}
+
+// ---------- attribute builders ----------
+
+AttributeSpec Enum(std::string name, std::vector<std::string> synonyms,
+                   std::vector<std::string> values, double presence,
+                   double table_prob, double text_prob) {
+  AttributeSpec a;
+  a.canonical = std::move(name);
+  a.synonyms = std::move(synonyms);
+  a.kind = ValueKind::kEnum;
+  a.enum_values = std::move(values);
+  a.presence_prob = presence;
+  a.table_prob = table_prob;
+  a.text_prob = text_prob;
+  return a;
+}
+
+AttributeSpec Numeric(std::string name, std::vector<std::string> synonyms,
+                      NumericFormat format, double presence,
+                      double table_prob, double text_prob) {
+  AttributeSpec a;
+  a.canonical = std::move(name);
+  a.synonyms = std::move(synonyms);
+  a.kind = ValueKind::kNumeric;
+  a.numeric = std::move(format);
+  a.presence_prob = presence;
+  a.table_prob = table_prob;
+  a.text_prob = text_prob;
+  // Shoppers query brands/types/colors, not spec numbers: numeric
+  // values only survive seed cleaning through raw frequency, which is
+  // what starves rare formats (decimals, thousands separators) out of
+  // the initial seed (§VIII-A).
+  a.query_prob = 0.0;
+  return a;
+}
+
+NumericFormat Fmt(double min, double max, int decimals, double dec_table,
+                  double dec_text, std::string unit,
+                  double thousands = 0.0) {
+  NumericFormat f;
+  f.min = min;
+  f.max = max;
+  f.decimals = decimals;
+  f.decimal_prob_table = dec_table;
+  f.decimal_prob_text = dec_text;
+  f.unit = std::move(unit);
+  f.thousands_sep_prob = thousands;
+  return f;
+}
+
+// Shared attribute makers (JA).
+AttributeSpec JaMaker(const WordFactory& wf, Rng* rng) {
+  return Enum("メーカー", {"製造元", "ブランド"}, NounPool(wf, rng, 22, 3, 5),
+              0.85, 0.8, 0.5);
+}
+AttributeSpec JaColor() {
+  return Enum("カラー", {"色"}, JaColors(), 0.8, 0.7, 0.65);
+}
+AttributeSpec JaMaterial(const WordFactory& wf, Rng* rng) {
+  std::vector<std::string> pool = {"コットン", "ポリエステル", "ナイロン",
+                                   "レザー", "キャンバス"};
+  for (auto& w : IdeographPool(wf, rng, 10, 2)) pool.push_back(w);
+  return Enum("素材", {"材質"}, std::move(pool), 0.75, 0.7, 0.5);
+}
+AttributeSpec JaCountry() {
+  return Enum("原産国", {"生産国"}, JaCountries(), 0.6, 0.7, 0.35);
+}
+AttributeSpec JaWeight(double max_kg, double dec_table, double dec_text) {
+  return Numeric("重量", {"本体重量"},
+                 Fmt(1, max_kg, 1, dec_table, dec_text, "kg"), 0.7, 0.75,
+                 0.55);
+}
+
+CategorySpec Base(CategoryId id, const char* name, text::Language lang) {
+  CategorySpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.language = lang;
+  return spec;
+}
+
+// ---------- per-category schemas ----------
+
+CategorySpec BuildTennis() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1001);
+  CategorySpec s = Base(CategoryId::kTennis, "Tennis", text::Language::kJa);
+  s.table_fraction = 0.27;
+  s.noise_level = 0.03;
+  s.secondary_product_prob = 0.04;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Enum("サイズ", {"寸法"}, JaApparelSizes(), 0.7, 0.7, 0.5),
+      JaMaterial(wf, &rng),
+      Enum("ガット", {}, NounPool(wf, &rng, 12, 3, 4), 0.5, 0.6, 0.4),
+      Numeric("グリップサイズ", {}, Fmt(1, 5, 0, 0.0, 0.0, "号"), 0.55, 0.7,
+              0.45),
+  };
+  return s;
+}
+
+CategorySpec BuildKitchen() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1002);
+  CategorySpec s = Base(CategoryId::kKitchen, "Kitchen", text::Language::kJa);
+  s.table_fraction = 0.21;
+  s.noise_level = 0.14;
+  s.secondary_product_prob = 0.10;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      JaMaterial(wf, &rng),
+      Numeric("容量", {"内容量"}, Fmt(0.5, 5, 1, 0.4, 0.6, "L"), 0.7, 0.75,
+              0.5),
+      Numeric("耐熱温度", {}, Fmt(80, 250, 0, 0.0, 0.0, "度"), 0.5, 0.65,
+              0.35),
+      Enum("サイズ", {"寸法"},
+           {"20cm", "22cm", "24cm", "26cm", "28cm", "30cm"}, 0.65, 0.7, 0.45),
+      JaCountry(),
+  };
+  return s;
+}
+
+CategorySpec BuildCosmetics() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1003);
+  CategorySpec s =
+      Base(CategoryId::kCosmetics, "Cosmetics", text::Language::kJa);
+  s.table_fraction = 0.37;
+  s.noise_level = 0.10;
+  s.secondary_product_prob = 0.12;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      Numeric("内容量", {"容量"}, Fmt(10, 500, 0, 0.1, 0.2, "ml"), 0.85, 0.8,
+              0.6),
+      Enum("成分", {"主成分"}, NounPool(wf, &rng, 18, 4, 6), 0.6, 0.6, 0.5),
+      JaColor(),
+      JaCountry(),
+      Enum("タイプ", {"種類"}, IdeographPool(wf, &rng, 10, 2), 0.65, 0.65,
+           0.5),
+  };
+  return s;
+}
+
+CategorySpec BuildGarden() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1004);
+  CategorySpec s = Base(CategoryId::kGarden, "Garden", text::Language::kJa);
+  s.table_fraction = 0.085;
+  s.noise_level = 0.30;
+  s.secondary_product_prob = 0.10;
+  s.min_sentences = 2;
+  s.max_sentences = 6;
+  s.attributes = {
+      JaColor(),
+      Enum("花形", {"花の形"},
+           {"一重咲き", "八重咲き", "房咲き", "丸弁", "剣弁", "カップ咲き",
+            "ロゼット咲き", "平咲き"},
+           0.45, 0.5, 0.5),
+      JaMaterial(wf, &rng),
+      JaWeight(/*max_kg=*/25, /*dec_table=*/0.15, /*dec_text=*/0.5),
+      Enum("サイズ", {"寸法"}, {"30cm", "45cm", "60cm", "90cm", "120cm"},
+           0.6, 0.6, 0.4),
+      JaCountry(),
+  };
+  // Product weight vs maximum shipment weight (§VIII error source 2).
+  AttributeSpec max_load =
+      Numeric("最大積載重量", {}, Fmt(1, 25, 1, 0.15, 0.5, "kg"), 0.4, 0.4,
+              0.45);
+  s.attributes.push_back(max_load);
+  s.attributes[3].confusable_with = static_cast<int>(s.attributes.size()) - 1;
+  s.attributes.back().confusable_with = 3;
+  return s;
+}
+
+CategorySpec BuildShoes() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1005);
+  CategorySpec s = Base(CategoryId::kShoes, "Shoes", text::Language::kJa);
+  s.table_fraction = 0.07;
+  s.noise_level = 0.13;
+  s.secondary_product_prob = 0.10;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Enum("サイズ", {"寸法"}, JaApparelSizes(), 0.85, 0.75, 0.65),
+      JaMaterial(wf, &rng),
+      Numeric("ヒール高", {"ヒールの高さ"}, Fmt(1, 12, 1, 0.4, 0.6, "cm"),
+              0.5, 0.6, 0.45),
+      Enum("幅", {"足幅"}, {"2E", "3E", "4E", "D", "E"}, 0.4, 0.55, 0.3),
+  };
+  return s;
+}
+
+CategorySpec BuildLadiesBags() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1006);
+  CategorySpec s =
+      Base(CategoryId::kLadiesBags, "Ladies bags", text::Language::kJa);
+  s.table_fraction = 0.42;
+  s.noise_level = 0.04;
+  s.secondary_product_prob = 0.05;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Enum("サイズ", {"寸法"}, {"小", "中", "大", "A4対応", "B5対応"}, 0.7,
+           0.75, 0.5),
+      JaMaterial(wf, &rng),
+      JaWeight(/*max_kg=*/3, /*dec_table=*/0.5, /*dec_text=*/0.6),
+      Enum("開閉方式", {}, {"ファスナー", "マグネット", "ボタン", "オープン"},
+           0.55, 0.65, 0.4),
+  };
+  return s;
+}
+
+CategorySpec BuildDigitalCameras() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1007);
+  CategorySpec s = Base(CategoryId::kDigitalCameras, "Digital Cameras",
+                        text::Language::kJa);
+  s.table_fraction = 0.13;
+  s.noise_level = 0.05;
+  s.secondary_product_prob = 0.07;
+  s.min_sentences = 4;
+  s.max_sentences = 9;
+
+  AttributeSpec shutter;
+  shutter.canonical = "シャッタースピード";
+  shutter.synonyms = {"シャッター速度"};
+  shutter.kind = ValueKind::kRange;
+  shutter.numeric = Fmt(1000, 8000, 0, 0.0, 0.0, "秒");
+  shutter.presence_prob = 0.6;
+  shutter.table_prob = 0.8;
+  shutter.text_prob = 0.35;
+  shutter.query_prob = 0.0;
+
+  AttributeSpec effective_px =
+      Numeric("有効画素数", {"有効画素"},
+              Fmt(800, 6100, 0, 0.0, 0.0, "万画素", /*thousands=*/0.45), 0.7,
+              0.75, 0.5);
+  AttributeSpec total_px =
+      Numeric("総画素数", {},
+              Fmt(900, 6500, 0, 0.0, 0.0, "万画素", /*thousands=*/0.45), 0.5,
+              0.6, 0.35);
+  AttributeSpec optical_zoom = Numeric(
+      "光学ズーム", {}, Fmt(2, 40, 0, 0.0, 0.0, "倍"), 0.6, 0.65, 0.45);
+  AttributeSpec digital_zoom = Numeric(
+      "デジタルズーム", {}, Fmt(2, 40, 0, 0.0, 0.0, "倍"), 0.5, 0.6, 0.4);
+
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      shutter,
+      effective_px,
+      total_px,
+      optical_zoom,
+      digital_zoom,
+      JaWeight(/*max_kg=*/2, /*dec_table=*/0.4, /*dec_text=*/0.55),
+  };
+  s.attributes[3].confusable_with = 4;  // effective ↔ total pixels
+  s.attributes[4].confusable_with = 3;
+  s.attributes[5].confusable_with = 6;  // optical ↔ digital zoom
+  s.attributes[6].confusable_with = 5;
+  return s;
+}
+
+CategorySpec BuildVacuumCleaner() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1008);
+  CategorySpec s = Base(CategoryId::kVacuumCleaner, "Vacuum Cleaner",
+                        text::Language::kJa);
+  s.table_fraction = 0.28;
+  s.noise_level = 0.08;
+  s.secondary_product_prob = 0.08;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Enum("タイプ", {"種類"},
+           {"キャニスター", "スティック", "ハンディ", "ロボット",
+            "ふとん用"},
+           0.75, 0.75, 0.55),
+      Enum("集じん方式", {"集塵方式"},
+           {"サイクロン式", "紙パック式", "カプセル式", "フィルター式"},
+           0.65, 0.7, 0.5),
+      Enum("電源方式", {"電源"},
+           {"コード式", "充電式", "AC電源", "バッテリー式"}, 0.6, 0.65,
+           0.45),
+      // Integer-biased table weights vs decimal text weights: the
+      // §VIII-A diversification case study.
+      JaWeight(/*max_kg=*/8, /*dec_table=*/0.12, /*dec_text=*/0.75),
+      Numeric("容量", {"内容量"}, Fmt(0.3, 2, 1, 0.5, 0.7, "L"), 0.55, 0.6,
+              0.4),
+  };
+  return s;
+}
+
+CategorySpec BuildMailboxDe() {
+  WordFactory wf(text::Language::kDe);
+  Rng rng(2001);
+  CategorySpec s =
+      Base(CategoryId::kMailboxDe, "Mailbox (DE)", text::Language::kDe);
+  s.table_fraction = 0.30;
+  s.noise_level = 0.07;
+  s.secondary_product_prob = 0.06;
+  s.attributes = {
+      Enum("Farbe", {"Farbton"}, DeColors(), 0.8, 0.75, 0.6),
+      Enum("Material", {"Werkstoff"},
+           {"Edelstahl", "Stahl", "Aluminium", "Kunststoff", "Holz",
+            "Zink"},
+           0.75, 0.75, 0.55),
+      Numeric("Gewicht", {"Eigengewicht"}, Fmt(1, 15, 1, 0.3, 0.55, "kg"),
+              0.65, 0.7, 0.5),
+      Enum("Hersteller", {"Marke"}, NounPool(wf, &rng, 18, 2, 3), 0.8, 0.75,
+           0.5),
+      Enum("Montageart", {},
+           {"Wandmontage", "Standmontage", "Zaunmontage"}, 0.5, 0.6, 0.4),
+      Enum("Größe", {"Abmessung"}, {"30cm", "40cm", "50cm", "60cm"}, 0.55,
+           0.6, 0.4),
+  };
+  return s;
+}
+
+CategorySpec BuildCoffeeMachinesDe() {
+  WordFactory wf(text::Language::kDe);
+  Rng rng(2002);
+  CategorySpec s = Base(CategoryId::kCoffeeMachinesDe, "Coffee machines (DE)",
+                        text::Language::kDe);
+  s.table_fraction = 0.26;
+  s.noise_level = 0.10;
+  s.secondary_product_prob = 0.08;
+  s.attributes = {
+      Enum("Hersteller", {"Marke"}, NounPool(wf, &rng, 18, 2, 3), 0.85, 0.8,
+           0.55),
+      Enum("Farbe", {"Farbton"}, DeColors(), 0.75, 0.7, 0.55),
+      Numeric("Leistung", {}, Fmt(600, 2400, 0, 0.0, 0.0, "Watt"), 0.7,
+              0.75, 0.5),
+      Numeric("Fassungsvermögen", {"Volumen"},
+              Fmt(0.6, 2, 1, 0.6, 0.7, "Liter"), 0.6, 0.65, 0.45),
+      Enum("Typ", {"Bauart"},
+           {"Filtermaschine", "Kapselmaschine", "Vollautomat",
+            "Siebträger", "Padmaschine"},
+           0.7, 0.7, 0.5),
+      Numeric("Gewicht", {"Eigengewicht"}, Fmt(1, 12, 1, 0.3, 0.5, "kg"),
+              0.55, 0.6, 0.4),
+  };
+  return s;
+}
+
+CategorySpec BuildGardenDe() {
+  WordFactory wf(text::Language::kDe);
+  Rng rng(2003);
+  CategorySpec s =
+      Base(CategoryId::kGardenDe, "Garden (DE)", text::Language::kDe);
+  s.table_fraction = 0.12;
+  s.noise_level = 0.22;
+  s.secondary_product_prob = 0.12;
+  s.attributes = {
+      Enum("Farbe", {"Farbton"}, DeColors(), 0.75, 0.7, 0.6),
+      Enum("Material", {"Werkstoff"},
+           {"Holz", "Kunststoff", "Metall", "Rattan", "Stein"}, 0.7, 0.7,
+           0.5),
+      Numeric("Gewicht", {"Eigengewicht"}, Fmt(1, 30, 1, 0.2, 0.5, "kg"),
+              0.6, 0.6, 0.5),
+      Enum("Hersteller", {"Marke"}, NounPool(wf, &rng, 16, 2, 3), 0.7, 0.7,
+           0.45),
+      Enum("Größe", {"Abmessung"}, {"60cm", "90cm", "120cm", "180cm"}, 0.55,
+           0.55, 0.4),
+  };
+  AttributeSpec max_load = Numeric("Traglast", {"Belastbarkeit"},
+                                   Fmt(1, 30, 1, 0.2, 0.5, "kg"), 0.4, 0.45,
+                                   0.4);
+  s.attributes.push_back(max_load);
+  s.attributes[2].confusable_with = static_cast<int>(s.attributes.size()) - 1;
+  s.attributes.back().confusable_with = 2;
+  return s;
+}
+
+CategorySpec BuildBabyCarriers() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(3001);
+  CategorySpec s =
+      Base(CategoryId::kBabyCarriers, "Baby Carriers", text::Language::kJa);
+  s.table_fraction = 0.22;
+  s.noise_level = 0.12;
+  s.secondary_product_prob = 0.08;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Enum("タイプ", {"種類"},
+           {"抱っこ紐", "おんぶ紐", "スリング", "ヒップシート"}, 0.7, 0.7,
+           0.5),
+      Enum("対象年齢", {"対象月齢"},
+           {"新生児から", "3ヶ月から", "6ヶ月から", "12ヶ月から"}, 0.6,
+           0.65, 0.45),
+      JaWeight(/*max_kg=*/2, /*dec_table=*/0.4, /*dec_text=*/0.6),
+      Enum("安全基準", {}, {"SG基準", "EN基準", "ASTM基準"}, 0.4, 0.5, 0.3),
+  };
+  return s;
+}
+
+CategorySpec BuildBabyClothes() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(3002);
+  CategorySpec s =
+      Base(CategoryId::kBabyGoods, "Baby Clothes", text::Language::kJa);
+  s.table_fraction = 0.18;
+  s.noise_level = 0.12;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      // Bare-number sizes: in the heterogeneous parent these collide
+      // with the toys sub-schema's bare-number target ages — the
+      // "often overlapping values" of §VIII-E.
+      Enum("サイズ", {"寸法"}, {"50", "60", "70", "80", "90", "95"}, 0.85,
+           0.75, 0.6),
+      JaMaterial(wf, &rng),
+      Enum("対象年齢", {"対象月齢"},
+           {"50cm対応", "60cm対応", "70cm対応", "80cm対応"}, 0.5, 0.55,
+           0.4),
+  };
+  return s;
+}
+
+CategorySpec BuildBabyToys() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(3003);
+  CategorySpec s =
+      Base(CategoryId::kBabyGoods, "Baby Toys", text::Language::kJa);
+  s.table_fraction = 0.18;
+  s.noise_level = 0.12;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      // Target age in bare months — "60" and "70" collide with the
+      // clothes sub-schema's bare-number sizes (§VIII-E value overlap).
+      Enum("対象年齢", {"対象月齢"},
+           {"6", "12", "18", "24", "36", "60", "70"}, 0.7, 0.65, 0.5),
+      JaMaterial(wf, &rng),
+      Enum("電池", {"電源"}, {"単三電池", "単四電池", "ボタン電池", "不要"},
+           0.45, 0.55, 0.35),
+      Enum("タイプ", {"種類"},
+           {"ガラガラ", "積み木", "ぬいぐるみ", "知育玩具"}, 0.6, 0.6, 0.45),
+  };
+  return s;
+}
+
+CategorySpec BuildBabyGoods() {
+  CategorySpec s =
+      Base(CategoryId::kBabyGoods, "Baby Goods", text::Language::kJa);
+  s.table_fraction = 0.20;
+  s.noise_level = 0.12;
+  s.secondary_product_prob = 0.08;
+  s.mixture = {BuildBabyCarriers(), BuildBabyClothes(), BuildBabyToys()};
+  // The mixture children keep their own knobs; the parent's id/name win.
+  for (auto& sub : s.mixture) sub.id = CategoryId::kBabyGoods;
+  return s;
+}
+
+
+// ---------- additional Japanese categories (catalog breadth) ----------
+
+CategorySpec BuildWatches() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1011);
+  CategorySpec s = Base(CategoryId::kWatches, "Watches", text::Language::kJa);
+  s.table_fraction = 0.33;
+  s.noise_level = 0.06;
+  s.secondary_product_prob = 0.07;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Enum("バンド素材", {"ベルト素材"},
+           {"レザー", "ステンレス", "ラバー", "ナイロン", "チタン"}, 0.7,
+           0.7, 0.5),
+      Enum("ムーブメント", {"駆動方式"},
+           {"クオーツ", "自動巻き", "手巻き", "ソーラー", "電波"}, 0.65,
+           0.7, 0.45),
+      Numeric("ケース径", {"文字盤サイズ"}, Fmt(28, 46, 1, 0.3, 0.5, "mm"),
+              0.6, 0.65, 0.4),
+      Numeric("防水", {"防水性能"}, Fmt(3, 20, 0, 0.0, 0.0, "気圧"), 0.5,
+              0.6, 0.35),
+  };
+  return s;
+}
+
+CategorySpec BuildGolf() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1012);
+  CategorySpec s = Base(CategoryId::kGolf, "Golf", text::Language::kJa);
+  s.table_fraction = 0.24;
+  s.noise_level = 0.08;
+  s.secondary_product_prob = 0.08;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      Enum("シャフト", {"シャフト素材"},
+           {"カーボン", "スチール", "グラファイト"}, 0.65, 0.7, 0.5),
+      Numeric("ロフト角", {}, Fmt(8, 60, 1, 0.5, 0.6, "度"), 0.6, 0.7,
+              0.45),
+      Enum("フレックス", {"硬さ"}, {"R", "S", "SR", "X", "L"}, 0.6, 0.65,
+           0.45),
+      Numeric("長さ", {"クラブ長"}, Fmt(33, 46, 1, 0.4, 0.55, "インチ"),
+              0.55, 0.6, 0.4),
+      Enum("利き手", {}, {"右利き用", "左利き用", "両対応"}, 0.5, 0.6,
+           0.3),
+  };
+  return s;
+}
+
+CategorySpec BuildWine() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1013);
+  CategorySpec s = Base(CategoryId::kWine, "Wine", text::Language::kJa);
+  s.table_fraction = 0.30;
+  s.noise_level = 0.07;
+  s.secondary_product_prob = 0.12;
+  s.attributes = {
+      Enum("タイプ", {"種類"}, {"赤", "白", "ロゼ", "スパークリング"},
+           0.85, 0.8, 0.6),
+      Enum("産地", {"生産地"},
+           {"フランス", "イタリア", "スペイン", "チリ", "日本",
+            "アメリカ"},
+           0.75, 0.75, 0.55),
+      Enum("ぶどう品種", {"品種"}, NounPool(wf, &rng, 14, 4, 6), 0.6, 0.65,
+           0.45),
+      Numeric("容量", {"内容量"}, Fmt(375, 1500, 0, 0.0, 0.0, "ml"), 0.7,
+              0.75, 0.45),
+      Numeric("アルコール度数", {"度数"}, Fmt(5, 15, 1, 0.6, 0.7, "%"),
+              0.55, 0.65, 0.4),
+      Enum("ヴィンテージ", {"年代"},
+           {"2015年", "2016年", "2017年", "2018年", "2019年", "2020年",
+            "2021年"},
+           0.5, 0.6, 0.35),
+  };
+  return s;
+}
+
+CategorySpec BuildFuton() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1014);
+  CategorySpec s = Base(CategoryId::kFuton, "Futon", text::Language::kJa);
+  s.table_fraction = 0.19;
+  s.noise_level = 0.12;
+  s.secondary_product_prob = 0.1;
+  s.attributes = {
+      JaColor(),
+      JaMaterial(wf, &rng),
+      Enum("サイズ", {"寸法"},
+           {"シングル", "セミダブル", "ダブル", "クイーン"}, 0.8, 0.75,
+           0.55),
+      JaWeight(/*max_kg=*/6, /*dec_table=*/0.25, /*dec_text=*/0.6),
+      Enum("中綿", {"詰め物"},
+           {"羽毛", "羊毛", "ポリエステル綿", "綿"}, 0.6, 0.65, 0.45),
+      JaCountry(),
+  };
+  return s;
+}
+
+CategorySpec BuildRice() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1015);
+  CategorySpec s = Base(CategoryId::kRice, "Rice", text::Language::kJa);
+  s.table_fraction = 0.26;
+  s.noise_level = 0.09;
+  s.secondary_product_prob = 0.08;
+  s.attributes = {
+      Enum("銘柄", {"品種"},
+           {"コシヒカリ", "あきたこまち", "ひとめぼれ", "ササニシキ",
+            "ゆめぴりか"},
+           0.85, 0.8, 0.6),
+      Enum("産地", {"生産地"},
+           {"新潟県", "秋田県", "北海道", "宮城県", "山形県"}, 0.8, 0.75,
+           0.55),
+      Numeric("内容量", {"容量"}, Fmt(2, 30, 0, 0.0, 0.0, "kg"), 0.8,
+              0.75, 0.5),
+      Enum("精米", {"精米度"}, {"白米", "玄米", "無洗米", "分づき米"},
+           0.6, 0.65, 0.45),
+      Enum("産年", {"年産"}, {"令和4年産", "令和5年産", "令和6年産"},
+           0.5, 0.6, 0.3),
+  };
+  return s;
+}
+
+CategorySpec BuildHeadphones() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1016);
+  CategorySpec s =
+      Base(CategoryId::kHeadphones, "Headphones", text::Language::kJa);
+  s.table_fraction = 0.22;
+  s.noise_level = 0.06;
+  s.secondary_product_prob = 0.09;
+  s.min_sentences = 4;
+  s.max_sentences = 9;
+  AttributeSpec impedance = Numeric("インピーダンス", {},
+                                    Fmt(16, 300, 0, 0.0, 0.0, "Ω"), 0.55,
+                                    0.65, 0.35);
+  AttributeSpec sensitivity = Numeric("感度", {},
+                                      Fmt(85, 110, 0, 0.0, 0.0, "dB"), 0.5,
+                                      0.6, 0.3);
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Enum("接続方式", {"接続"},
+           {"ワイヤレス", "有線", "Bluetooth", "2.4GHz無線"}, 0.75, 0.75,
+           0.55),
+      Enum("装着方式", {"タイプ"},
+           {"オーバーイヤー", "オンイヤー", "カナル型", "インナーイヤー"},
+           0.65, 0.7, 0.5),
+      impedance,
+      sensitivity,
+      Numeric("重量", {"本体重量"}, Fmt(4, 400, 0, 0.1, 0.4, "g"), 0.6,
+              0.65, 0.45),
+  };
+  // Impedance and sensitivity are both bare numbers with unit; they are
+  // the camera-style confusable pair of this category.
+  s.attributes[4].confusable_with = 5;
+  s.attributes[5].confusable_with = 4;
+  return s;
+}
+
+CategorySpec BuildBackpacks() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1017);
+  CategorySpec s =
+      Base(CategoryId::kBackpacks, "Backpacks", text::Language::kJa);
+  s.table_fraction = 0.28;
+  s.noise_level = 0.05;
+  s.secondary_product_prob = 0.06;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Numeric("容量", {"内容量"}, Fmt(10, 60, 0, 0.0, 0.0, "L"), 0.75,
+              0.75, 0.55),
+      JaMaterial(wf, &rng),
+      JaWeight(/*max_kg=*/3, /*dec_table=*/0.4, /*dec_text=*/0.65),
+      Enum("用途", {}, {"通勤", "通学", "登山", "旅行", "タウンユース"},
+           0.55, 0.6, 0.45),
+  };
+  return s;
+}
+
+CategorySpec BuildCurtains() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1018);
+  CategorySpec s =
+      Base(CategoryId::kCurtains, "Curtains", text::Language::kJa);
+  s.table_fraction = 0.17;
+  s.noise_level = 0.14;
+  s.secondary_product_prob = 0.1;
+  s.attributes = {
+      JaColor(),
+      JaMaterial(wf, &rng),
+      Enum("サイズ", {"寸法"},
+           {"100×135cm", "100×178cm", "100×200cm", "150×178cm",
+            "150×200cm"},
+           0.8, 0.75, 0.55),
+      Enum("機能", {},
+           {"遮光", "遮熱", "防炎", "洗える", "UVカット"}, 0.65, 0.65,
+           0.5),
+      Enum("開閉タイプ", {}, {"両開き", "片開き", "シェード式"}, 0.45, 0.55, 0.3),
+  };
+  return s;
+}
+
+CategorySpec BuildPetSupplies() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1019);
+  CategorySpec s =
+      Base(CategoryId::kPetSupplies, "Pet Supplies", text::Language::kJa);
+  s.table_fraction = 0.15;
+  s.noise_level = 0.18;
+  s.secondary_product_prob = 0.12;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      Enum("対象", {"対象ペット"},
+           {"犬用", "猫用", "小動物用", "犬猫兼用"}, 0.8, 0.7, 0.55),
+      Numeric("内容量", {"容量"}, Fmt(0.5, 10, 1, 0.3, 0.55, "kg"), 0.65,
+              0.65, 0.45),
+      Enum("ライフステージ", {},
+           {"子犬用", "成犬用", "シニア犬用", "全年齢"}, 0.5, 0.6, 0.4),
+      JaCountry(),
+  };
+  return s;
+}
+
+CategorySpec BuildBicycles() {
+  WordFactory wf(text::Language::kJa);
+  Rng rng(1020);
+  CategorySpec s =
+      Base(CategoryId::kBicycles, "Bicycles", text::Language::kJa);
+  s.table_fraction = 0.21;
+  s.noise_level = 0.1;
+  s.secondary_product_prob = 0.09;
+  s.attributes = {
+      JaMaker(wf, &rng),
+      JaColor(),
+      Enum("タイヤサイズ", {"ホイールサイズ"},
+           {"20インチ", "24インチ", "26インチ", "27インチ", "700C"},
+           0.8, 0.75, 0.55),
+      Numeric("変速", {"変速段数"}, Fmt(1, 21, 0, 0.0, 0.0, "段"), 0.65,
+              0.7, 0.45),
+      JaWeight(/*max_kg=*/22, /*dec_table=*/0.2, /*dec_text=*/0.6),
+      Enum("フレーム素材", {"フレーム"},
+           {"アルミ", "スチール", "カーボン", "クロモリ"}, 0.55, 0.6,
+           0.4),
+  };
+  return s;
+}
+
+}  // namespace
+
+const std::vector<CategoryId>& AllCategories() {
+  static const auto* kAll = new std::vector<CategoryId>{
+      CategoryId::kTennis,          CategoryId::kKitchen,
+      CategoryId::kCosmetics,       CategoryId::kGarden,
+      CategoryId::kShoes,           CategoryId::kLadiesBags,
+      CategoryId::kDigitalCameras,  CategoryId::kVacuumCleaner,
+      CategoryId::kMailboxDe,       CategoryId::kCoffeeMachinesDe,
+      CategoryId::kGardenDe,        CategoryId::kBabyCarriers,
+      CategoryId::kBabyGoods,       CategoryId::kWatches,
+      CategoryId::kGolf,            CategoryId::kWine,
+      CategoryId::kFuton,           CategoryId::kRice,
+      CategoryId::kHeadphones,      CategoryId::kBackpacks,
+      CategoryId::kCurtains,        CategoryId::kPetSupplies,
+      CategoryId::kBicycles};
+  return *kAll;
+}
+
+const std::vector<CategoryId>& PaperTableCategories() {
+  static const auto* kTable = new std::vector<CategoryId>{
+      CategoryId::kTennis,         CategoryId::kKitchen,
+      CategoryId::kCosmetics,      CategoryId::kGarden,
+      CategoryId::kShoes,          CategoryId::kLadiesBags,
+      CategoryId::kDigitalCameras, CategoryId::kVacuumCleaner};
+  return *kTable;
+}
+
+const char* CategoryName(CategoryId id) {
+  switch (id) {
+    case CategoryId::kTennis:
+      return "Tennis";
+    case CategoryId::kKitchen:
+      return "Kitchen";
+    case CategoryId::kCosmetics:
+      return "Cosmetics";
+    case CategoryId::kGarden:
+      return "Garden";
+    case CategoryId::kShoes:
+      return "Shoes";
+    case CategoryId::kLadiesBags:
+      return "Ladies bags";
+    case CategoryId::kDigitalCameras:
+      return "Digital Cameras";
+    case CategoryId::kVacuumCleaner:
+      return "Vacuum Cleaner";
+    case CategoryId::kMailboxDe:
+      return "Mailbox (DE)";
+    case CategoryId::kCoffeeMachinesDe:
+      return "Coffee machines (DE)";
+    case CategoryId::kGardenDe:
+      return "Garden (DE)";
+    case CategoryId::kBabyCarriers:
+      return "Baby Carriers";
+    case CategoryId::kBabyGoods:
+      return "Baby Goods";
+    case CategoryId::kWatches:
+      return "Watches";
+    case CategoryId::kGolf:
+      return "Golf";
+    case CategoryId::kWine:
+      return "Wine";
+    case CategoryId::kFuton:
+      return "Futon";
+    case CategoryId::kRice:
+      return "Rice";
+    case CategoryId::kHeadphones:
+      return "Headphones";
+    case CategoryId::kBackpacks:
+      return "Backpacks";
+    case CategoryId::kCurtains:
+      return "Curtains";
+    case CategoryId::kPetSupplies:
+      return "Pet Supplies";
+    case CategoryId::kBicycles:
+      return "Bicycles";
+  }
+  return "Unknown";
+}
+
+text::Language CategoryLanguage(CategoryId id) {
+  switch (id) {
+    case CategoryId::kMailboxDe:
+    case CategoryId::kCoffeeMachinesDe:
+    case CategoryId::kGardenDe:
+      return text::Language::kDe;
+    default:
+      return text::Language::kJa;
+  }
+}
+
+CategorySpec BuildCategorySpec(CategoryId id) {
+  switch (id) {
+    case CategoryId::kTennis:
+      return BuildTennis();
+    case CategoryId::kKitchen:
+      return BuildKitchen();
+    case CategoryId::kCosmetics:
+      return BuildCosmetics();
+    case CategoryId::kGarden:
+      return BuildGarden();
+    case CategoryId::kShoes:
+      return BuildShoes();
+    case CategoryId::kLadiesBags:
+      return BuildLadiesBags();
+    case CategoryId::kDigitalCameras:
+      return BuildDigitalCameras();
+    case CategoryId::kVacuumCleaner:
+      return BuildVacuumCleaner();
+    case CategoryId::kMailboxDe:
+      return BuildMailboxDe();
+    case CategoryId::kCoffeeMachinesDe:
+      return BuildCoffeeMachinesDe();
+    case CategoryId::kGardenDe:
+      return BuildGardenDe();
+    case CategoryId::kBabyCarriers:
+      return BuildBabyCarriers();
+    case CategoryId::kBabyGoods:
+      return BuildBabyGoods();
+    case CategoryId::kWatches:
+      return BuildWatches();
+    case CategoryId::kGolf:
+      return BuildGolf();
+    case CategoryId::kWine:
+      return BuildWine();
+    case CategoryId::kFuton:
+      return BuildFuton();
+    case CategoryId::kRice:
+      return BuildRice();
+    case CategoryId::kHeadphones:
+      return BuildHeadphones();
+    case CategoryId::kBackpacks:
+      return BuildBackpacks();
+    case CategoryId::kCurtains:
+      return BuildCurtains();
+    case CategoryId::kPetSupplies:
+      return BuildPetSupplies();
+    case CategoryId::kBicycles:
+      return BuildBicycles();
+  }
+  PAE_LOG(FATAL) << "unknown category id";
+  return {};
+}
+
+}  // namespace pae::datagen

@@ -1,0 +1,127 @@
+#ifndef PAE_DATAGEN_SCHEMA_H_
+#define PAE_DATAGEN_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace pae::datagen {
+
+/// The evaluation categories of §VI-A plus the §VIII-E heterogeneity
+/// study. Eight Japanese categories carry the paper's table rows; three
+/// German categories back §VII-B/C; the Baby pair backs §VIII-E.
+enum class CategoryId {
+  kTennis,
+  kKitchen,
+  kCosmetics,
+  kGarden,
+  kShoes,
+  kLadiesBags,
+  kDigitalCameras,
+  kVacuumCleaner,
+  kMailboxDe,
+  kCoffeeMachinesDe,
+  kGardenDe,
+  kBabyCarriers,
+  kBabyGoods,  // heterogeneous parent category (carriers + clothes + toys)
+  // Additional Japanese categories rounding the catalog out to the
+  // paper's scale (§VI-A: 18 Japanese + 3 German categories).
+  kWatches,
+  kGolf,
+  kWine,
+  kFuton,
+  kRice,
+  kHeadphones,
+  kBackpacks,
+  kCurtains,
+  kPetSupplies,
+  kBicycles,
+};
+
+/// All category ids, in a stable reporting order.
+const std::vector<CategoryId>& AllCategories();
+
+/// The eight Japanese categories of Tables I–III (paper column order).
+const std::vector<CategoryId>& PaperTableCategories();
+
+const char* CategoryName(CategoryId id);
+text::Language CategoryLanguage(CategoryId id);
+
+/// How an attribute's values are built.
+enum class ValueKind {
+  kEnum,     // a fixed pool of named entities (colors, brands, types)
+  kNumeric,  // number + unit ("5kg", "2,430万画素")
+  kRange,    // "1/4000秒〜30秒"-style composite values (shutter speed)
+};
+
+/// Formatting knobs for numeric/range values. The split between
+/// `decimal_prob_table` and `decimal_prob_text` is the lever behind the
+/// value-diversification study (§VIII-A): vacuum-cleaner weights are
+/// written as integers in spec tables but as decimals in free text.
+struct NumericFormat {
+  double min = 1;
+  double max = 30;
+  int decimals = 1;
+  double decimal_prob_table = 0.1;
+  double decimal_prob_text = 0.5;
+  double thousands_sep_prob = 0.0;  // "2,430"-style grouping
+  std::string unit;
+};
+
+/// One product attribute of a category schema.
+struct AttributeSpec {
+  std::string canonical;              // primary surface name
+  std::vector<std::string> synonyms;  // merchant-variant surface names
+  ValueKind kind = ValueKind::kEnum;
+  std::vector<std::string> enum_values;
+  NumericFormat numeric;
+
+  /// Probability the product has this attribute at all.
+  double presence_prob = 0.8;
+  /// Probability the attribute appears in the page's spec table (when
+  /// the page has one and the product has the attribute).
+  double table_prob = 0.7;
+  /// Probability the attribute is mentioned in the description text.
+  double text_prob = 0.55;
+  /// Probability that values of this attribute show up in the query log.
+  double query_prob = 0.35;
+  /// Index of a sibling attribute with the same value space that pages
+  /// also mention (optical vs digital zoom; product weight vs maximum
+  /// shipment weight); -1 if none.
+  int confusable_with = -1;
+};
+
+/// A category schema plus its difficulty knobs.
+struct CategorySpec {
+  CategoryId id = CategoryId::kTennis;
+  std::string name;
+  text::Language language = text::Language::kJa;
+  std::vector<AttributeSpec> attributes;
+
+  /// Fraction of product pages that carry a dictionary-form spec table —
+  /// the dominant factor behind seed coverage (Table I: Garden ≈ 1–8 %,
+  /// Ladies Bags ≈ 40 %).
+  double table_fraction = 0.25;
+  /// 0..1: malformed table rows, markup inside values, stray symbols.
+  double noise_level = 0.1;
+  /// Probability a page also describes a secondary product (§VIII error
+  /// source 1).
+  double secondary_product_prob = 0.08;
+  int min_sentences = 3;
+  int max_sentences = 8;
+
+  /// Heterogeneous categories (§VIII-E): pages are drawn from these
+  /// sub-schemas instead of `attributes`.
+  std::vector<CategorySpec> mixture;
+
+  bool heterogeneous() const { return !mixture.empty(); }
+};
+
+/// Builds the full schema (with concrete deterministic value pools) for
+/// one category.
+CategorySpec BuildCategorySpec(CategoryId id);
+
+}  // namespace pae::datagen
+
+#endif  // PAE_DATAGEN_SCHEMA_H_

@@ -1,0 +1,153 @@
+#include "datagen/word_factory.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "text/utf8.h"
+
+namespace pae::datagen {
+
+namespace {
+
+// Katakana syllabary subset used to compose product-ish words.
+const std::vector<std::string>& KatakanaSyllables() {
+  static const auto* kSyllables = new std::vector<std::string>{
+      "ア", "イ", "ウ", "エ", "オ", "カ", "キ", "ク", "ケ", "コ",
+      "サ", "シ", "ス", "セ", "ソ", "タ", "チ", "ツ", "テ", "ト",
+      "ナ", "ニ", "ヌ", "ネ", "ノ", "ハ", "ヒ", "フ", "ヘ", "ホ",
+      "マ", "ミ", "ム", "メ", "モ", "ヤ", "ユ", "ヨ", "ラ", "リ",
+      "ル", "レ", "ロ", "ワ", "ン", "ー", "ガ", "ギ", "グ", "ゲ",
+      "ゴ", "ザ", "ジ", "ズ", "ゼ", "ゾ", "ダ", "デ", "ド", "バ",
+      "ビ", "ブ", "ベ", "ボ", "パ", "ピ", "プ", "ペ", "ポ"};
+  return *kSyllables;
+}
+
+// Pool of CJK ideographs for pseudo-kanji value/filler words.
+const std::vector<std::string>& KanjiPool() {
+  static const auto* kPool = new std::vector<std::string>{
+      "高", "品", "質", "新", "型", "軽", "強", "速", "静", "大",
+      "小", "中", "上", "下", "外", "内", "自", "動", "手", "作",
+      "業", "用", "専", "家", "庭", "園", "花", "形", "式", "能",
+      "力", "電", "源", "水", "火", "風", "光", "音", "波", "熱",
+      "冷", "温", "固", "柔", "軟", "硬", "黒", "白", "赤", "青",
+      "緑", "黄", "銀", "金", "茶", "紫", "灰", "桜", "紺", "橙"};
+  return *kPool;
+}
+
+const std::vector<std::string>& JaFunctionWords() {
+  static const auto* kWords = new std::vector<std::string>{
+      "の", "は", "が", "を", "に", "で", "と", "も", "や", "この",
+      "その", "より", "から", "まで"};
+  return *kWords;
+}
+
+const std::vector<std::string>& JaCopulas() {
+  static const auto* kWords =
+      new std::vector<std::string>{"です", "ます", "でした", "になります"};
+  return *kWords;
+}
+
+const std::vector<std::string>& JaUnits() {
+  static const auto* kUnits = new std::vector<std::string>{
+      "kg", "g", "cm", "mm", "秒", "万画素", "W", "L", "ml", "号", "倍"};
+  return *kUnits;
+}
+
+const std::vector<std::string>& DeSyllables() {
+  static const auto* kSyllables = new std::vector<std::string>{
+      "bau", "berg", "blat", "brau", "brief", "dorf", "fach", "feld",
+      "gar",  "gel",  "gras", "halt", "haus",  "hof",  "kam",  "kas",
+      "kes",  "klap", "korb", "kraft", "lade", "land", "lauf", "lech",
+      "mark", "meis", "pfan", "rahm", "rand",  "rau",  "reis", "scha",
+      "schlos", "schnit", "sei", "stahl", "stein", "tal", "tor", "wald",
+      "wan",  "wer",  "zeug", "zin"};
+  return *kSyllables;
+}
+
+const std::vector<std::string>& DeFunctionWords() {
+  static const auto* kWords = new std::vector<std::string>{
+      "der", "die", "das", "mit", "und", "für", "aus", "ein", "eine",
+      "im",  "am",  "zum", "bei", "sehr"};
+  return *kWords;
+}
+
+const std::vector<std::string>& DeCopulas() {
+  static const auto* kWords = new std::vector<std::string>{
+      "ist", "hat", "beträgt", "bietet", "liefert"};
+  return *kWords;
+}
+
+const std::vector<std::string>& DeUnits() {
+  static const auto* kUnits = new std::vector<std::string>{
+      "kg", "g", "cm", "mm", "Watt", "Liter", "ml", "Stück"};
+  return *kUnits;
+}
+
+}  // namespace
+
+WordFactory::WordFactory(text::Language lang) : lang_(lang) {}
+
+std::string WordFactory::MakeNoun(Rng* rng, int syllables) const {
+  std::string out;
+  if (lang_ == text::Language::kJa) {
+    const auto& pool = KatakanaSyllables();
+    for (int i = 0; i < syllables; ++i) out += rng->Pick(pool);
+    return out;
+  }
+  const auto& pool = DeSyllables();
+  for (int i = 0; i < syllables; ++i) out += rng->Pick(pool);
+  if (!out.empty()) {
+    out[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+std::string WordFactory::MakeIdeographWord(Rng* rng, int len) const {
+  if (lang_ != text::Language::kJa) return MakeNoun(rng, len);
+  std::string out;
+  for (int i = 0; i < len; ++i) out += rng->Pick(KanjiPool());
+  return out;
+}
+
+const std::vector<std::string>& WordFactory::FunctionWords() const {
+  return lang_ == text::Language::kJa ? JaFunctionWords() : DeFunctionWords();
+}
+
+const std::vector<std::string>& WordFactory::Copulas() const {
+  return lang_ == text::Language::kJa ? JaCopulas() : DeCopulas();
+}
+
+const std::vector<std::string>& WordFactory::Units() const {
+  return lang_ == text::Language::kJa ? JaUnits() : DeUnits();
+}
+
+std::string WordFactory::FormatNumber(double value, int decimals,
+                                      bool thousands_sep) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  std::string s(buf);
+  const char decimal_sep = (lang_ == text::Language::kDe) ? ',' : '.';
+  const char group_sep = (lang_ == text::Language::kDe) ? '.' : ',';
+  size_t dot = s.find('.');
+  std::string integer_part = (dot == std::string::npos) ? s : s.substr(0, dot);
+  std::string frac_part = (dot == std::string::npos) ? "" : s.substr(dot + 1);
+
+  if (thousands_sep && integer_part.size() > 3) {
+    std::string grouped;
+    int count = 0;
+    for (size_t i = integer_part.size(); i-- > 0;) {
+      grouped.insert(grouped.begin(), integer_part[i]);
+      if (++count == 3 && i > 0) {
+        grouped.insert(grouped.begin(), group_sep);
+        count = 0;
+      }
+    }
+    integer_part = grouped;
+  }
+  if (frac_part.empty()) return integer_part;
+  return integer_part + decimal_sep + frac_part;
+}
+
+}  // namespace pae::datagen

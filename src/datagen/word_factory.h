@@ -1,0 +1,53 @@
+#ifndef PAE_DATAGEN_WORD_FACTORY_H_
+#define PAE_DATAGEN_WORD_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace pae::datagen {
+
+/// Generates deterministic pseudo-vocabulary for the synthetic corpora.
+/// Japanese-like words use real katakana / CJK / hiragana code points so
+/// the UTF-8 and segmentation machinery is exercised exactly as it would
+/// be on real Rakuten Ichiba text; German-like words are syllable
+/// compounds over Latin letters.
+class WordFactory {
+ public:
+  explicit WordFactory(text::Language lang);
+
+  /// A content word (katakana word for JA, capitalized pseudo-noun for
+  /// DE). `syllables` controls length.
+  std::string MakeNoun(Rng* rng, int syllables) const;
+
+  /// A CJK-ideograph word of `len` characters (JA only; returns a Latin
+  /// word for DE).
+  std::string MakeIdeographWord(Rng* rng, int len) const;
+
+  /// Grammar glue: particles for JA (の, は, ...), function words for DE
+  /// (der, mit, ...).
+  const std::vector<std::string>& FunctionWords() const;
+
+  /// Sentence-final / copula tokens (です, ます / ist, hat ...).
+  const std::vector<std::string>& Copulas() const;
+
+  /// Measurement units in the language's writing system.
+  const std::vector<std::string>& Units() const;
+
+  /// Formats a number in merchant style. `decimals` = 0 renders an
+  /// integer. German uses a decimal comma; Japanese a decimal point.
+  /// `thousands_sep` inserts grouping separators (e.g. 2,430).
+  std::string FormatNumber(double value, int decimals,
+                           bool thousands_sep) const;
+
+  text::Language language() const { return lang_; }
+
+ private:
+  text::Language lang_;
+};
+
+}  // namespace pae::datagen
+
+#endif  // PAE_DATAGEN_WORD_FACTORY_H_

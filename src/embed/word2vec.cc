@@ -1,0 +1,251 @@
+#include "embed/word2vec.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "math/vec.h"
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace pae::embed {
+
+namespace {
+constexpr size_t kUnigramTableSize = 1 << 17;
+}
+
+Word2Vec::Word2Vec(Word2VecOptions options) : options_(options) {}
+
+Status Word2Vec::Train(
+    const std::vector<std::vector<std::string>>& sentences) {
+  if (sentences.empty()) {
+    return Status::InvalidArgument("word2vec corpus is empty");
+  }
+  Rng rng(options_.seed);
+
+  // Vocabulary with frequency threshold.
+  std::unordered_map<std::string, int64_t> raw_counts;
+  for (const auto& sentence : sentences) {
+    for (const auto& token : sentence) ++raw_counts[token];
+  }
+  vocab_ = text::Vocab();
+  counts_.assign(1, 0);  // <unk>
+  for (const auto& [word, count] : raw_counts) {
+    if (count >= options_.min_count) {
+      int32_t id = vocab_.GetOrAdd(word);
+      if (static_cast<size_t>(id) >= counts_.size()) counts_.resize(id + 1, 0);
+      counts_[static_cast<size_t>(id)] = count;
+    }
+  }
+  if (vocab_.size() <= 1) {
+    return Status::FailedPrecondition(
+        "word2vec: no words above min_count");
+  }
+
+  const size_t v = vocab_.size();
+  const size_t d = dim();
+  in_vectors_ = math::Matrix(v, d);
+  in_vectors_.UniformInit(&rng, 0.5f / static_cast<float>(d));
+  out_vectors_ = math::Matrix(v, d);
+  out_vectors_.SetZero();
+
+  // Unigram table with the standard 0.75 power smoothing.
+  unigram_table_.clear();
+  unigram_table_.reserve(kUnigramTableSize);
+  double total_pow = 0;
+  for (size_t i = 1; i < v; ++i) {
+    total_pow += std::pow(static_cast<double>(counts_[i]), 0.75);
+  }
+  size_t word_index = 1;
+  double cumulative =
+      std::pow(static_cast<double>(counts_[1]), 0.75) / total_pow;
+  for (size_t i = 0; i < kUnigramTableSize; ++i) {
+    unigram_table_.push_back(static_cast<int32_t>(word_index));
+    if (static_cast<double>(i) / kUnigramTableSize > cumulative &&
+        word_index < v - 1) {
+      ++word_index;
+      cumulative +=
+          std::pow(static_cast<double>(counts_[word_index]), 0.75) / total_pow;
+    }
+  }
+
+  // Encode corpus once, applying frequent-word subsampling.
+  int64_t total_tokens = 0;
+  for (size_t i = 1; i < v; ++i) total_tokens += counts_[i];
+  auto keep_prob = [&](int32_t id) -> double {
+    if (options_.subsample <= 0) return 1.0;
+    const double f = static_cast<double>(counts_[static_cast<size_t>(id)]) /
+                     static_cast<double>(total_tokens);
+    if (f <= options_.subsample) return 1.0;
+    const double r = options_.subsample / f;
+    return std::sqrt(r) + r;
+  };
+  std::vector<std::vector<int32_t>> encoded;
+  encoded.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    std::vector<int32_t> ids;
+    for (const auto& token : sentence) {
+      int32_t id = vocab_.Lookup(token);
+      if (id == text::Vocab::kUnkId) continue;
+      if (rng.NextDouble() >= keep_prob(id)) continue;
+      ids.push_back(id);
+    }
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+  if (encoded.empty()) {
+    return Status::FailedPrecondition("word2vec: corpus reduced to nothing");
+  }
+
+  std::vector<float> grad_in(d);
+  const float lr0 = options_.learning_rate;
+  const int total_epochs = std::max(1, options_.epochs);
+
+  for (int epoch = 0; epoch < total_epochs; ++epoch) {
+    const float lr = lr0 * (1.0f - static_cast<float>(epoch) /
+                                       static_cast<float>(total_epochs)) +
+                     lr0 * 1e-2f;
+    for (const auto& ids : encoded) {
+      const int n = static_cast<int>(ids.size());
+      for (int pos = 0; pos < n; ++pos) {
+        const int reduced =
+            1 + static_cast<int>(rng.NextBounded(
+                    static_cast<uint64_t>(options_.window)));
+        for (int off = -reduced; off <= reduced; ++off) {
+          if (off == 0) continue;
+          const int cpos = pos + off;
+          if (cpos < 0 || cpos >= n) continue;
+          const size_t center = static_cast<size_t>(ids[pos]);
+          float* vin = in_vectors_.Row(center);
+          std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+
+          for (int s = 0; s < options_.negative + 1; ++s) {
+            size_t target;
+            float label;
+            if (s == 0) {
+              target = static_cast<size_t>(ids[static_cast<size_t>(cpos)]);
+              label = 1.0f;
+            } else {
+              target = static_cast<size_t>(
+                  unigram_table_[rng.NextBounded(unigram_table_.size())]);
+              if (target == static_cast<size_t>(ids[static_cast<size_t>(cpos)])) {
+                continue;
+              }
+              label = 0.0f;
+            }
+            float* vout = out_vectors_.Row(target);
+            double dot = 0;
+            for (size_t k = 0; k < d; ++k) {
+              dot += static_cast<double>(vin[k]) * vout[k];
+            }
+            const float pred = math::Sigmoid(static_cast<float>(dot));
+            const float g = (label - pred) * lr;
+            for (size_t k = 0; k < d; ++k) {
+              grad_in[k] += g * vout[k];
+              vout[k] += g * vin[k];
+            }
+          }
+          for (size_t k = 0; k < d; ++k) vin[k] += grad_in[k];
+        }
+      }
+    }
+  }
+  // Centre the space: small skip-gram corpora develop a dominant common
+  // direction that drives all cosines toward 1 (anisotropy); removing
+  // the mean vector restores contrast (cf. "all-but-the-top").
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 1; i < v; ++i) {
+    const float* row = in_vectors_.Row(i);
+    for (size_t k = 0; k < d; ++k) mean[k] += row[k];
+  }
+  for (size_t k = 0; k < d; ++k) mean[k] /= static_cast<double>(v - 1);
+  for (size_t i = 1; i < v; ++i) {
+    float* row = in_vectors_.Row(i);
+    for (size_t k = 0; k < d; ++k) {
+      row[k] -= static_cast<float>(mean[k]);
+    }
+  }
+
+  trained_ = true;
+  return Status::Ok();
+}
+
+const float* Word2Vec::Vector(const std::string& word) const {
+  if (!trained_) return nullptr;
+  int32_t id = vocab_.Lookup(word);
+  if (id == text::Vocab::kUnkId) return nullptr;
+  return in_vectors_.Row(static_cast<size_t>(id));
+}
+
+bool Word2Vec::Contains(const std::string& word) const {
+  return trained_ && vocab_.Lookup(word) != text::Vocab::kUnkId;
+}
+
+double Word2Vec::Similarity(const std::string& a, const std::string& b) const {
+  const float* va = Vector(a);
+  const float* vb = Vector(b);
+  if (va == nullptr || vb == nullptr) return 0.0;
+  return Cosine(va, vb, dim());
+}
+
+double Word2Vec::Cosine(const float* a, const float* b, size_t dim) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t k = 0; k < dim; ++k) {
+    dot += static_cast<double>(a[k]) * b[k];
+    na += static_cast<double>(a[k]) * a[k];
+    nb += static_cast<double>(b[k]) * b[k];
+  }
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace pae::embed
+
+namespace pae::embed {
+
+namespace {
+constexpr uint32_t kW2vMagic = 0x57325631;  // "W2V1"
+constexpr uint32_t kW2vVersion = 1;
+}  // namespace
+
+Status Word2Vec::Save(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("word2vec: saving untrained model");
+  }
+  BinaryWriter writer(path, kW2vMagic, kW2vVersion);
+  writer.WriteI32(options_.dim);
+  std::vector<std::string> words;
+  words.reserve(vocab_.size());
+  for (size_t i = 0; i < vocab_.size(); ++i) {
+    words.push_back(vocab_.Word(static_cast<int32_t>(i)));
+  }
+  writer.WriteStringVec(words);
+  writer.WriteFloatVec(in_vectors_.data());
+  return writer.Finish();
+}
+
+Status Word2Vec::Load(const std::string& path) {
+  BinaryReader reader(path, kW2vMagic, kW2vVersion);
+  if (!reader.ok()) return reader.status();
+  int32_t dim = 0;
+  std::vector<std::string> words;
+  std::vector<float> vectors;
+  if (!reader.ReadI32(&dim) || !reader.ReadStringVec(&words) ||
+      !reader.ReadFloatVec(&vectors)) {
+    return reader.status().ok()
+               ? Status::Internal("word2vec: malformed model file")
+               : reader.status();
+  }
+  if (dim <= 0 ||
+      vectors.size() != words.size() * static_cast<size_t>(dim)) {
+    return Status::InvalidArgument("word2vec: dimension mismatch");
+  }
+  options_.dim = dim;
+  vocab_ = text::Vocab();
+  for (const std::string& word : words) vocab_.GetOrAdd(word);
+  in_vectors_ = math::Matrix(words.size(), static_cast<size_t>(dim));
+  in_vectors_.data() = std::move(vectors);
+  out_vectors_ = math::Matrix();
+  trained_ = true;
+  return Status::Ok();
+}
+
+}  // namespace pae::embed

@@ -1,0 +1,517 @@
+#include "lstm/bilstm_tagger.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/vec.h"
+#include "text/utf8.h"
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace pae::lstm {
+
+struct BiLstmTagger::TokenTrace {
+  LstmTrace char_fwd;
+  LstmTrace char_bwd;
+  std::vector<int> char_ids;
+  std::vector<float> repr_full;  // [h_word_fwd; h_word_bwd; word_emb]
+};
+
+BiLstmTagger::BiLstmTagger(BiLstmOptions options) : options_(options) {}
+
+std::vector<std::string> BiLstmTagger::TokenChars(const std::string& token) {
+  std::vector<std::string> chars;
+  size_t pos = 0;
+  while (pos < token.size()) {
+    size_t start = pos;
+    text::NextCodepoint(token, &pos);
+    chars.push_back(token.substr(start, pos - start));
+  }
+  return chars;
+}
+
+void BiLstmTagger::CharRepr(const std::vector<int>& char_ids,
+                            LstmTrace* fwd_trace, LstmTrace* bwd_trace,
+                            std::vector<float>* repr) const {
+  const size_t dc = static_cast<size_t>(options_.char_dim);
+  const size_t hc = static_cast<size_t>(options_.char_hidden);
+  std::vector<std::vector<float>> inputs(char_ids.size());
+  for (size_t k = 0; k < char_ids.size(); ++k) {
+    const float* row = char_emb_.Row(static_cast<size_t>(char_ids[k]));
+    inputs[k].assign(row, row + dc);
+  }
+  LstmForward(char_fwd_, inputs, fwd_trace);
+  std::reverse(inputs.begin(), inputs.end());
+  LstmForward(char_bwd_, inputs, bwd_trace);
+
+  repr->assign(2 * hc, 0.0f);
+  if (!char_ids.empty()) {
+    const auto& hf = fwd_trace->h.back();
+    const auto& hb = bwd_trace->h.back();
+    std::copy(hf.begin(), hf.end(), repr->begin());
+    std::copy(hb.begin(), hb.end(), repr->begin() + static_cast<long>(hc));
+  }
+}
+
+void BiLstmTagger::Forward(
+    const std::vector<int>& word_ids,
+    const std::vector<std::vector<int>>& char_ids,
+    const std::vector<std::vector<float>>& dropout_masks, bool training,
+    std::vector<std::vector<float>>* logits, std::vector<TokenTrace>* traces,
+    std::vector<LstmTrace>* word_fwd_trace,
+    std::vector<LstmTrace>* word_bwd_trace,
+    std::vector<std::vector<float>>* word_inputs) const {
+  const size_t T = word_ids.size();
+  const size_t hc = static_cast<size_t>(options_.char_hidden);
+  const size_t hw = static_cast<size_t>(options_.word_hidden);
+  const size_t dw = static_cast<size_t>(options_.word_dim);
+  const size_t L = labels_.size();
+
+  if (traces != nullptr) traces->resize(T);
+  word_inputs->assign(T, {});
+
+  std::vector<TokenTrace> local_traces;
+  if (traces == nullptr) local_traces.resize(T);
+  std::vector<TokenTrace>& tt = (traces != nullptr) ? *traces : local_traces;
+
+  for (size_t t = 0; t < T; ++t) {
+    tt[t].char_ids = char_ids[t];
+    std::vector<float> repr;
+    CharRepr(char_ids[t], &tt[t].char_fwd, &tt[t].char_bwd, &repr);
+    if (training) {
+      PAE_CHECK_EQ(dropout_masks[t].size(), repr.size());
+      for (size_t k = 0; k < repr.size(); ++k) repr[k] *= dropout_masks[t][k];
+    }
+    (*word_inputs)[t] = std::move(repr);
+  }
+
+  // Word-level BiLSTM.
+  word_fwd_trace->resize(1);
+  word_bwd_trace->resize(1);
+  LstmForward(word_fwd_, *word_inputs, &(*word_fwd_trace)[0]);
+  std::vector<std::vector<float>> reversed(word_inputs->rbegin(),
+                                           word_inputs->rend());
+  LstmForward(word_bwd_, reversed, &(*word_bwd_trace)[0]);
+
+  logits->assign(T, std::vector<float>(L, 0.0f));
+  for (size_t t = 0; t < T; ++t) {
+    std::vector<float>& repr_full = tt[t].repr_full;
+    repr_full.assign(2 * hw + dw, 0.0f);
+    const auto& hf = (*word_fwd_trace)[0].h[t];
+    const auto& hb = (*word_bwd_trace)[0].h[T - 1 - t];
+    std::copy(hf.begin(), hf.end(), repr_full.begin());
+    std::copy(hb.begin(), hb.end(), repr_full.begin() + static_cast<long>(hw));
+    const float* emb = word_emb_.Row(static_cast<size_t>(word_ids[t]));
+    std::copy(emb, emb + dw, repr_full.begin() + static_cast<long>(2 * hw));
+
+    std::vector<float>& out = (*logits)[t];
+    for (size_t y = 0; y < L; ++y) {
+      const float* row = out_w_.Row(y);
+      double s = out_b_[y];
+      for (size_t k = 0; k < repr_full.size(); ++k) {
+        s += static_cast<double>(row[k]) * repr_full[k];
+      }
+      out[y] = static_cast<float>(s);
+    }
+  }
+}
+
+Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("BiLSTM training set is empty");
+  }
+  Rng rng(options_.seed);
+
+  // Vocabularies and label inventory.
+  labels_.clear();
+  label_ids_.clear();
+  labels_.push_back(text::kOutsideLabel);
+  label_ids_[text::kOutsideLabel] = 0;
+  word_vocab_ = text::Vocab();
+  char_vocab_ = text::Vocab();
+
+  std::unordered_map<std::string, int> word_counts;
+  for (const auto& seq : data) {
+    if (!seq.HasLabels()) {
+      return Status::InvalidArgument("BiLSTM training sequence without labels");
+    }
+    for (const auto& token : seq.tokens) {
+      ++word_counts[token];
+      word_vocab_.GetOrAdd(token);
+      for (const auto& ch : TokenChars(token)) char_vocab_.GetOrAdd(ch);
+    }
+    for (const auto& label : seq.labels) {
+      if (label_ids_.emplace(label, static_cast<int>(labels_.size())).second) {
+        labels_.push_back(label);
+      }
+    }
+  }
+
+  const size_t dc = static_cast<size_t>(options_.char_dim);
+  const size_t hc = static_cast<size_t>(options_.char_hidden);
+  const size_t hw = static_cast<size_t>(options_.word_hidden);
+  const size_t dw = static_cast<size_t>(options_.word_dim);
+  const size_t L = labels_.size();
+  const size_t repr_dim = 2 * hw + dw;
+
+  char_emb_ = math::Matrix(char_vocab_.size(), dc);
+  char_emb_.UniformInit(&rng, 0.1f);
+  word_emb_ = math::Matrix(word_vocab_.size(), dw);
+  word_emb_.UniformInit(&rng, 0.1f);
+  char_fwd_ = LstmParams(dc, hc);
+  char_bwd_ = LstmParams(dc, hc);
+  word_fwd_ = LstmParams(2 * hc, hw);
+  word_bwd_ = LstmParams(2 * hc, hw);
+  char_fwd_.Init(&rng);
+  char_bwd_.Init(&rng);
+  word_fwd_.Init(&rng);
+  word_bwd_.Init(&rng);
+  out_w_ = math::Matrix(L, repr_dim);
+  out_w_.XavierInit(&rng);
+  out_b_.assign(L, 0.0f);
+
+  // Gradient buffers (reused across sentences).
+  LstmParams g_char_fwd(dc, hc), g_char_bwd(dc, hc);
+  LstmParams g_word_fwd(2 * hc, hw), g_word_bwd(2 * hc, hw);
+  math::Matrix g_out_w(L, repr_dim);
+  std::vector<float> g_out_b(L, 0.0f);
+  std::unordered_map<int, std::vector<float>> g_word_emb, g_char_emb;
+
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const float keep = 1.0f - options_.dropout;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0;
+    size_t epoch_tokens = 0;
+
+    for (size_t si : order) {
+      const auto& seq = data[si];
+      const size_t T = seq.tokens.size();
+      if (T == 0) continue;
+
+      // Encode tokens.
+      std::vector<int> word_ids(T);
+      std::vector<std::vector<int>> char_ids(T);
+      std::vector<int> gold(T);
+      for (size_t t = 0; t < T; ++t) {
+        int wid = word_vocab_.Lookup(seq.tokens[t]);
+        // Stochastic <unk> replacement for singletons.
+        auto it = word_counts.find(seq.tokens[t]);
+        if (it != word_counts.end() && it->second <= 1 &&
+            rng.Bernoulli(options_.unk_replace_prob)) {
+          wid = text::Vocab::kUnkId;
+        }
+        word_ids[t] = wid;
+        for (const auto& ch : TokenChars(seq.tokens[t])) {
+          char_ids[t].push_back(char_vocab_.Lookup(ch));
+        }
+        gold[t] = label_ids_.at(seq.labels[t]);
+      }
+
+      // Inverted dropout masks on the word-LSTM inputs.
+      std::vector<std::vector<float>> masks(T,
+                                            std::vector<float>(2 * hc, 0.0f));
+      for (auto& mask : masks) {
+        for (float& m : mask) {
+          m = rng.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+        }
+      }
+
+      std::vector<std::vector<float>> logits;
+      std::vector<TokenTrace> traces;
+      std::vector<LstmTrace> word_fwd_trace, word_bwd_trace;
+      std::vector<std::vector<float>> word_inputs;
+      Forward(word_ids, char_ids, masks, /*training=*/true, &logits, &traces,
+              &word_fwd_trace, &word_bwd_trace, &word_inputs);
+
+      // Loss and ∂L/∂logits.
+      std::vector<std::vector<float>> dlogits(T);
+      for (size_t t = 0; t < T; ++t) {
+        std::vector<float> p = logits[t];
+        math::SoftmaxInPlace(&p);
+        epoch_loss -= std::log(std::max(p[static_cast<size_t>(gold[t])],
+                                        1e-12f));
+        p[static_cast<size_t>(gold[t])] -= 1.0f;
+        dlogits[t] = std::move(p);
+      }
+      epoch_tokens += T;
+
+      // ---- Backward ----
+      g_char_fwd.SetZero();
+      g_char_bwd.SetZero();
+      g_word_fwd.SetZero();
+      g_word_bwd.SetZero();
+      g_out_w.SetZero();
+      std::fill(g_out_b.begin(), g_out_b.end(), 0.0f);
+      g_word_emb.clear();
+      g_char_emb.clear();
+
+      std::vector<std::vector<float>> dh_word_fwd(
+          T, std::vector<float>(hw, 0.0f));
+      std::vector<std::vector<float>> dh_word_bwd(
+          T, std::vector<float>(hw, 0.0f));
+
+      for (size_t t = 0; t < T; ++t) {
+        const auto& repr_full = traces[t].repr_full;
+        const auto& dl = dlogits[t];
+        // Output layer gradients.
+        g_out_w.AddOuter(1.0f, dl, repr_full);
+        for (size_t y = 0; y < L; ++y) g_out_b[y] += dl[y];
+        // d repr_full = out_w^T * dlogits.
+        std::vector<float> drepr(repr_dim, 0.0f);
+        out_w_.MatTVec(dl, &drepr);
+        // Split: word fwd h, word bwd h, word embedding.
+        for (size_t k = 0; k < hw; ++k) dh_word_fwd[t][k] += drepr[k];
+        for (size_t k = 0; k < hw; ++k) {
+          dh_word_bwd[T - 1 - t][k] += drepr[hw + k];
+        }
+        auto [emb_it, unused] = g_word_emb.try_emplace(
+            word_ids[t], std::vector<float>(dw, 0.0f));
+        for (size_t k = 0; k < dw; ++k) {
+          emb_it->second[k] += drepr[2 * hw + k];
+        }
+      }
+
+      // Word BiLSTM backward → gradients into the (dropped) inputs.
+      std::vector<std::vector<float>> dx_fwd, dx_bwd;
+      LstmBackward(word_fwd_, word_fwd_trace[0], dh_word_fwd, &g_word_fwd,
+                   &dx_fwd);
+      LstmBackward(word_bwd_, word_bwd_trace[0], dh_word_bwd, &g_word_bwd,
+                   &dx_bwd);
+
+      for (size_t t = 0; t < T; ++t) {
+        std::vector<float> dinput(2 * hc, 0.0f);
+        for (size_t k = 0; k < 2 * hc; ++k) {
+          dinput[k] = dx_fwd[t][k] + dx_bwd[T - 1 - t][k];
+          dinput[k] *= masks[t][k];  // through the dropout
+        }
+        // Char BiLSTM backward: gradient arrives only at the final
+        // hidden state of each direction.
+        const size_t n_chars = traces[t].char_ids.size();
+        if (n_chars == 0) continue;
+        std::vector<std::vector<float>> dh_cf(n_chars,
+                                              std::vector<float>(hc, 0.0f));
+        std::vector<std::vector<float>> dh_cb(n_chars,
+                                              std::vector<float>(hc, 0.0f));
+        for (size_t k = 0; k < hc; ++k) {
+          dh_cf[n_chars - 1][k] = dinput[k];
+          dh_cb[n_chars - 1][k] = dinput[hc + k];
+        }
+        std::vector<std::vector<float>> dxc_f, dxc_b;
+        LstmBackward(char_fwd_, traces[t].char_fwd, dh_cf, &g_char_fwd,
+                     &dxc_f);
+        LstmBackward(char_bwd_, traces[t].char_bwd, dh_cb, &g_char_bwd,
+                     &dxc_b);
+        for (size_t k = 0; k < n_chars; ++k) {
+          auto [it_f, unused2] = g_char_emb.try_emplace(
+              traces[t].char_ids[k], std::vector<float>(dc, 0.0f));
+          for (size_t d = 0; d < dc; ++d) {
+            // Forward direction saw char k at step k; backward at
+            // step n-1-k.
+            it_f->second[d] += dxc_f[k][d] + dxc_b[n_chars - 1 - k][d];
+          }
+        }
+      }
+
+      // Global-norm gradient clipping.
+      double sq = g_char_fwd.SquaredNorm() + g_char_bwd.SquaredNorm() +
+                  g_word_fwd.SquaredNorm() + g_word_bwd.SquaredNorm();
+      for (float v : g_out_w.data()) sq += static_cast<double>(v) * v;
+      for (float v : g_out_b) sq += static_cast<double>(v) * v;
+      for (const auto& [id, g] : g_word_emb) {
+        for (float v : g) sq += static_cast<double>(v) * v;
+      }
+      for (const auto& [id, g] : g_char_emb) {
+        for (float v : g) sq += static_cast<double>(v) * v;
+      }
+      double norm = std::sqrt(sq);
+      float scale = 1.0f;
+      if (norm > options_.clip_norm && norm > 0) {
+        scale = static_cast<float>(options_.clip_norm / norm);
+      }
+      const float step = -options_.learning_rate * scale;
+
+      char_fwd_.AddScaled(step, g_char_fwd);
+      char_bwd_.AddScaled(step, g_char_bwd);
+      word_fwd_.AddScaled(step, g_word_fwd);
+      word_bwd_.AddScaled(step, g_word_bwd);
+      out_w_.AddScaled(step, g_out_w);
+      for (size_t y = 0; y < L; ++y) out_b_[y] += step * g_out_b[y];
+      for (const auto& [id, g] : g_word_emb) {
+        float* row = word_emb_.Row(static_cast<size_t>(id));
+        for (size_t d = 0; d < dw; ++d) row[d] += step * g[d];
+      }
+      for (const auto& [id, g] : g_char_emb) {
+        float* row = char_emb_.Row(static_cast<size_t>(id));
+        for (size_t d = 0; d < dc; ++d) row[d] += step * g[d];
+      }
+    }
+    final_epoch_loss_ =
+        epoch_tokens > 0 ? epoch_loss / static_cast<double>(epoch_tokens) : 0;
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+std::vector<std::string> BiLstmTagger::Predict(
+    const text::LabeledSequence& seq) const {
+  return PredictScored(seq).labels;
+}
+
+text::SequenceTagger::ScoredPrediction BiLstmTagger::PredictScored(
+    const text::LabeledSequence& seq) const {
+  const size_t T = seq.tokens.size();
+  ScoredPrediction out;
+  if (!trained_ || T == 0) {
+    out.labels.assign(T, text::kOutsideLabel);
+    out.confidence.assign(T, 1.0);
+    return out;
+  }
+  std::vector<int> word_ids(T);
+  std::vector<std::vector<int>> char_ids(T);
+  for (size_t t = 0; t < T; ++t) {
+    word_ids[t] = word_vocab_.Lookup(seq.tokens[t]);
+    for (const auto& ch : TokenChars(seq.tokens[t])) {
+      char_ids[t].push_back(char_vocab_.Lookup(ch));
+    }
+  }
+  std::vector<std::vector<float>> logits;
+  std::vector<LstmTrace> word_fwd_trace, word_bwd_trace;
+  std::vector<std::vector<float>> word_inputs;
+  Forward(word_ids, char_ids, {}, /*training=*/false, &logits, nullptr,
+          &word_fwd_trace, &word_bwd_trace, &word_inputs);
+
+  out.labels.resize(T);
+  out.confidence.resize(T);
+  for (size_t t = 0; t < T; ++t) {
+    std::vector<float> probs = logits[t];
+    math::SoftmaxInPlace(&probs);
+    size_t best = 0;
+    for (size_t y = 1; y < labels_.size(); ++y) {
+      if (probs[y] > probs[best]) best = y;
+    }
+    out.labels[t] = labels_[best];
+    out.confidence[t] = probs[best];
+  }
+  return out;
+}
+
+}  // namespace pae::lstm
+
+namespace pae::lstm {
+
+namespace {
+constexpr uint32_t kLstmMagic = 0x4C53544D;  // "LSTM"
+constexpr uint32_t kLstmVersion = 1;
+
+void WriteMatrix(BinaryWriter* writer, const math::Matrix& m) {
+  writer->WriteU32(static_cast<uint32_t>(m.rows()));
+  writer->WriteU32(static_cast<uint32_t>(m.cols()));
+  writer->WriteFloatVec(m.data());
+}
+
+bool ReadMatrix(BinaryReader* reader, math::Matrix* m) {
+  uint32_t rows = 0, cols = 0;
+  std::vector<float> data;
+  if (!reader->ReadU32(&rows) || !reader->ReadU32(&cols) ||
+      !reader->ReadFloatVec(&data)) {
+    return false;
+  }
+  if (data.size() != static_cast<size_t>(rows) * cols) return false;
+  *m = math::Matrix(rows, cols);
+  m->data() = std::move(data);
+  return true;
+}
+
+void WriteLstmParams(BinaryWriter* writer, const LstmParams& p) {
+  writer->WriteU32(static_cast<uint32_t>(p.input_dim));
+  writer->WriteU32(static_cast<uint32_t>(p.hidden_dim));
+  WriteMatrix(writer, p.wx);
+  WriteMatrix(writer, p.wh);
+  writer->WriteFloatVec(p.b);
+}
+
+bool ReadLstmParams(BinaryReader* reader, LstmParams* p) {
+  uint32_t input = 0, hidden = 0;
+  if (!reader->ReadU32(&input) || !reader->ReadU32(&hidden)) return false;
+  *p = LstmParams(input, hidden);
+  return ReadMatrix(reader, &p->wx) && ReadMatrix(reader, &p->wh) &&
+         reader->ReadFloatVec(&p->b);
+}
+
+void WriteVocab(BinaryWriter* writer, const text::Vocab& vocab) {
+  std::vector<std::string> words;
+  words.reserve(vocab.size());
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    words.push_back(vocab.Word(static_cast<int32_t>(i)));
+  }
+  writer->WriteStringVec(words);
+}
+
+bool ReadVocab(BinaryReader* reader, text::Vocab* vocab) {
+  std::vector<std::string> words;
+  if (!reader->ReadStringVec(&words)) return false;
+  *vocab = text::Vocab();  // already contains <unk> at id 0
+  for (const std::string& word : words) vocab->GetOrAdd(word);
+  return true;
+}
+
+}  // namespace
+
+Status BiLstmTagger::Save(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("BiLSTM: saving an untrained model");
+  }
+  BinaryWriter writer(path, kLstmMagic, kLstmVersion);
+  writer.WriteI32(options_.char_dim);
+  writer.WriteI32(options_.char_hidden);
+  writer.WriteI32(options_.word_dim);
+  writer.WriteI32(options_.word_hidden);
+  writer.WriteStringVec(labels_);
+  WriteVocab(&writer, word_vocab_);
+  WriteVocab(&writer, char_vocab_);
+  WriteMatrix(&writer, char_emb_);
+  WriteMatrix(&writer, word_emb_);
+  WriteLstmParams(&writer, char_fwd_);
+  WriteLstmParams(&writer, char_bwd_);
+  WriteLstmParams(&writer, word_fwd_);
+  WriteLstmParams(&writer, word_bwd_);
+  WriteMatrix(&writer, out_w_);
+  writer.WriteFloatVec(out_b_);
+  return writer.Finish();
+}
+
+Status BiLstmTagger::Load(const std::string& path) {
+  BinaryReader reader(path, kLstmMagic, kLstmVersion);
+  if (!reader.ok()) return reader.status();
+  int32_t char_dim = 0, char_hidden = 0, word_dim = 0, word_hidden = 0;
+  if (!reader.ReadI32(&char_dim) || !reader.ReadI32(&char_hidden) ||
+      !reader.ReadI32(&word_dim) || !reader.ReadI32(&word_hidden) ||
+      !reader.ReadStringVec(&labels_) || !ReadVocab(&reader, &word_vocab_) ||
+      !ReadVocab(&reader, &char_vocab_) ||
+      !ReadMatrix(&reader, &char_emb_) || !ReadMatrix(&reader, &word_emb_) ||
+      !ReadLstmParams(&reader, &char_fwd_) ||
+      !ReadLstmParams(&reader, &char_bwd_) ||
+      !ReadLstmParams(&reader, &word_fwd_) ||
+      !ReadLstmParams(&reader, &word_bwd_) ||
+      !ReadMatrix(&reader, &out_w_) || !reader.ReadFloatVec(&out_b_)) {
+    return reader.status().ok()
+               ? Status::Internal("BiLSTM: malformed model file")
+               : reader.status();
+  }
+  options_.char_dim = char_dim;
+  options_.char_hidden = char_hidden;
+  options_.word_dim = word_dim;
+  options_.word_hidden = word_hidden;
+  label_ids_.clear();
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    label_ids_[labels_[i]] = static_cast<int>(i);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+}  // namespace pae::lstm

@@ -1,0 +1,102 @@
+#ifndef PAE_LSTM_BILSTM_TAGGER_H_
+#define PAE_LSTM_BILSTM_TAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lstm/lstm_cell.h"
+#include "math/matrix.h"
+#include "text/sequence_tagger.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace pae::lstm {
+
+/// Hyper-parameters of the BiLSTM tagger. The epoch count is the
+/// experimental knob of Tables II/III and Fig. 6 (2 vs 10 epochs).
+struct BiLstmOptions {
+  int char_dim = 12;
+  int char_hidden = 12;
+  int word_dim = 24;
+  int word_hidden = 32;
+  int epochs = 2;
+  float learning_rate = 0.25f;
+  float dropout = 0.5f;
+  float clip_norm = 5.0f;
+  /// Probability of replacing a training-singleton word by <unk> so the
+  /// unknown-word embedding gets trained.
+  float unk_replace_prob = 0.3f;
+  uint64_t seed = 42;
+};
+
+/// Bidirectional-LSTM sequence tagger in the NeuroNER configuration the
+/// paper describes (§VI-D): character embeddings feed a char-level
+/// BiLSTM whose final states are the input of a word-level BiLSTM; the
+/// word embedding is appended to the BiLSTM output; a feed-forward
+/// layer yields per-token label probabilities. Trained with SGD and
+/// (inverted) dropout.
+class BiLstmTagger : public text::SequenceTagger {
+ public:
+  explicit BiLstmTagger(BiLstmOptions options = {});
+
+  Status Train(const std::vector<text::LabeledSequence>& data) override;
+  std::vector<std::string> Predict(
+      const text::LabeledSequence& seq) const override;
+  /// Argmax labels with softmax posteriors as confidences.
+  ScoredPrediction PredictScored(
+      const text::LabeledSequence& seq) const override;
+  std::string Name() const override { return "bilstm"; }
+
+  /// Persists the trained network (vocabularies, labels, all weight
+  /// matrices) to `path`.
+  Status Save(const std::string& path) const;
+  /// Restores a model previously written by Save.
+  Status Load(const std::string& path);
+
+  /// Mean training loss (per token) of the final epoch.
+  double final_epoch_loss() const { return final_epoch_loss_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  bool trained() const { return trained_; }
+
+ private:
+  struct TokenTrace;  // per-token forward activations (training)
+
+  /// Splits a token into character-unit strings (code points).
+  static std::vector<std::string> TokenChars(const std::string& token);
+
+  /// Computes the char-BiLSTM representation of one token.
+  void CharRepr(const std::vector<int>& char_ids, LstmTrace* fwd_trace,
+                LstmTrace* bwd_trace, std::vector<float>* repr) const;
+
+  /// Forward pass over a sentence. Returns per-token logits; fills the
+  /// traces needed for backprop when `training` is true.
+  void Forward(const std::vector<int>& word_ids,
+               const std::vector<std::vector<int>>& char_ids,
+               const std::vector<std::vector<float>>& dropout_masks,
+               bool training, std::vector<std::vector<float>>* logits,
+               std::vector<TokenTrace>* traces,
+               std::vector<LstmTrace>* word_fwd_trace,
+               std::vector<LstmTrace>* word_bwd_trace,
+               std::vector<std::vector<float>>* word_inputs) const;
+
+  BiLstmOptions options_;
+  text::Vocab word_vocab_;
+  text::Vocab char_vocab_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int> label_ids_;
+
+  math::Matrix char_emb_;   // |chars| × char_dim
+  math::Matrix word_emb_;   // |words| × word_dim
+  LstmParams char_fwd_, char_bwd_;  // char_dim → char_hidden
+  LstmParams word_fwd_, word_bwd_;  // 2*char_hidden → word_hidden
+  math::Matrix out_w_;      // L × (2*word_hidden + word_dim)
+  std::vector<float> out_b_;
+
+  double final_epoch_loss_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace pae::lstm
+
+#endif  // PAE_LSTM_BILSTM_TAGGER_H_

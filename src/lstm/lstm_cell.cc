@@ -1,0 +1,143 @@
+#include "lstm/lstm_cell.h"
+
+#include <cmath>
+
+#include "math/vec.h"
+#include "util/logging.h"
+
+namespace pae::lstm {
+
+void LstmParams::Init(Rng* rng) {
+  wx.XavierInit(rng);
+  wh.XavierInit(rng);
+  std::fill(b.begin(), b.end(), 0.0f);
+  // Forget-gate bias = 1.
+  for (size_t i = hidden_dim; i < 2 * hidden_dim; ++i) b[i] = 1.0f;
+}
+
+void LstmParams::AddScaled(float alpha, const LstmParams& g) {
+  wx.AddScaled(alpha, g.wx);
+  wh.AddScaled(alpha, g.wh);
+  PAE_CHECK_EQ(b.size(), g.b.size());
+  for (size_t i = 0; i < b.size(); ++i) b[i] += alpha * g.b[i];
+}
+
+double LstmParams::SquaredNorm() const {
+  double s = 0;
+  for (float v : wx.data()) s += static_cast<double>(v) * v;
+  for (float v : wh.data()) s += static_cast<double>(v) * v;
+  for (float v : b) s += static_cast<double>(v) * v;
+  return s;
+}
+
+void LstmParams::SetZero() {
+  wx.SetZero();
+  wh.SetZero();
+  std::fill(b.begin(), b.end(), 0.0f);
+}
+
+void LstmForward(const LstmParams& params,
+                 const std::vector<std::vector<float>>& inputs,
+                 LstmTrace* trace) {
+  const size_t H = params.hidden_dim;
+  const size_t T = inputs.size();
+  trace->x = inputs;
+  trace->i.assign(T, std::vector<float>(H));
+  trace->f.assign(T, std::vector<float>(H));
+  trace->o.assign(T, std::vector<float>(H));
+  trace->g.assign(T, std::vector<float>(H));
+  trace->c.assign(T, std::vector<float>(H));
+  trace->h.assign(T, std::vector<float>(H));
+
+  std::vector<float> pre(4 * H);
+  std::vector<float> h_prev(H, 0.0f), c_prev(H, 0.0f);
+
+  for (size_t t = 0; t < T; ++t) {
+    PAE_CHECK_EQ(inputs[t].size(), params.input_dim);
+    // pre = Wx * x_t + Wh * h_{t-1} + b
+    params.wx.MatVec(inputs[t], &pre);
+    for (size_t r = 0; r < 4 * H; ++r) {
+      const float* row = params.wh.Row(r);
+      double s = pre[r] + params.b[r];
+      for (size_t k = 0; k < H; ++k) s += static_cast<double>(row[k]) * h_prev[k];
+      pre[r] = static_cast<float>(s);
+    }
+    auto& it = trace->i[t];
+    auto& ft = trace->f[t];
+    auto& ot = trace->o[t];
+    auto& gt = trace->g[t];
+    auto& ct = trace->c[t];
+    auto& ht = trace->h[t];
+    for (size_t k = 0; k < H; ++k) {
+      it[k] = math::Sigmoid(pre[k]);
+      ft[k] = math::Sigmoid(pre[H + k]);
+      ot[k] = math::Sigmoid(pre[2 * H + k]);
+      gt[k] = std::tanh(pre[3 * H + k]);
+      ct[k] = ft[k] * c_prev[k] + it[k] * gt[k];
+      ht[k] = ot[k] * std::tanh(ct[k]);
+    }
+    h_prev = ht;
+    c_prev = ct;
+  }
+}
+
+void LstmBackward(const LstmParams& params, const LstmTrace& trace,
+                  const std::vector<std::vector<float>>& dh, LstmParams* grad,
+                  std::vector<std::vector<float>>* dx) {
+  const size_t H = params.hidden_dim;
+  const size_t T = trace.x.size();
+  PAE_CHECK_EQ(dh.size(), T);
+  if (dx != nullptr) {
+    dx->assign(T, std::vector<float>(params.input_dim, 0.0f));
+  }
+  if (T == 0) return;
+
+  std::vector<float> dh_next(H, 0.0f);  // ∂L/∂h_t flowing from t+1
+  std::vector<float> dc_next(H, 0.0f);  // ∂L/∂c_t flowing from t+1
+  std::vector<float> dpre(4 * H);
+  std::vector<float> dx_t(params.input_dim);
+  std::vector<float> dh_prev(H);
+
+  for (size_t t = T; t-- > 0;) {
+    const auto& it = trace.i[t];
+    const auto& ft = trace.f[t];
+    const auto& ot = trace.o[t];
+    const auto& gt = trace.g[t];
+    const auto& ct = trace.c[t];
+    const std::vector<float>* c_prev = (t > 0) ? &trace.c[t - 1] : nullptr;
+
+    for (size_t k = 0; k < H; ++k) {
+      const float dht = dh[t][k] + dh_next[k];
+      const float tanh_c = std::tanh(ct[k]);
+      const float dct = dht * ot[k] * (1.0f - tanh_c * tanh_c) + dc_next[k];
+      const float cp = (c_prev != nullptr) ? (*c_prev)[k] : 0.0f;
+      const float di = dct * gt[k];
+      const float df = dct * cp;
+      const float dout = dht * tanh_c;
+      const float dg = dct * it[k];
+      dpre[k] = di * it[k] * (1.0f - it[k]);
+      dpre[H + k] = df * ft[k] * (1.0f - ft[k]);
+      dpre[2 * H + k] = dout * ot[k] * (1.0f - ot[k]);
+      dpre[3 * H + k] = dg * (1.0f - gt[k] * gt[k]);
+      dc_next[k] = dct * ft[k];
+    }
+
+    // Parameter gradients.
+    grad->wx.AddOuter(1.0f, dpre, trace.x[t]);
+    if (t > 0) {
+      grad->wh.AddOuter(1.0f, dpre, trace.h[t - 1]);
+    }
+    for (size_t r = 0; r < 4 * H; ++r) grad->b[r] += dpre[r];
+
+    // Input gradient.
+    if (dx != nullptr) {
+      params.wx.MatTVec(dpre, &dx_t);
+      (*dx)[t] = dx_t;
+    }
+    // Gradient to h_{t-1}.
+    params.wh.MatTVec(dpre, &dh_prev);
+    dh_next = dh_prev;
+  }
+}
+
+}  // namespace pae::lstm

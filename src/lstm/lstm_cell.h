@@ -1,0 +1,66 @@
+#ifndef PAE_LSTM_LSTM_CELL_H_
+#define PAE_LSTM_LSTM_CELL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace pae::lstm {
+
+/// Parameters of one LSTM direction. Gate order within the stacked 4H
+/// rows is [input; forget; output; candidate].
+struct LstmParams {
+  LstmParams() = default;
+  LstmParams(size_t input_dim, size_t hidden_dim)
+      : wx(4 * hidden_dim, input_dim),
+        wh(4 * hidden_dim, hidden_dim),
+        b(4 * hidden_dim, 0.0f),
+        input_dim(input_dim),
+        hidden_dim(hidden_dim) {}
+
+  /// Xavier-initializes weights; forget-gate bias starts at 1.0 (the
+  /// standard trick to keep early memory open).
+  void Init(Rng* rng);
+
+  /// p += alpha * g (same shapes); used by SGD.
+  void AddScaled(float alpha, const LstmParams& g);
+
+  /// Sum of squared parameter entries (for clipping).
+  double SquaredNorm() const;
+
+  void SetZero();
+
+  math::Matrix wx;       // 4H × In
+  math::Matrix wh;       // 4H × H
+  std::vector<float> b;  // 4H
+  size_t input_dim = 0;
+  size_t hidden_dim = 0;
+};
+
+/// Per-sequence activations recorded by Forward for use in Backward.
+/// All vectors are in processing order (the caller reverses inputs for
+/// the backward direction of a BiLSTM).
+struct LstmTrace {
+  std::vector<std::vector<float>> x;  // inputs
+  std::vector<std::vector<float>> i, f, o, g;  // gate activations
+  std::vector<std::vector<float>> c;  // cell states
+  std::vector<std::vector<float>> h;  // hidden states (outputs)
+};
+
+/// Runs the LSTM over `inputs` (processing order), recording activations.
+void LstmForward(const LstmParams& params,
+                 const std::vector<std::vector<float>>& inputs,
+                 LstmTrace* trace);
+
+/// Backpropagates through the recorded trace. `dh` holds ∂L/∂h_t for each
+/// step (same order as trace). Parameter gradients are *accumulated* into
+/// `grad` (caller zeroes); input gradients are written to `dx` if non-null.
+void LstmBackward(const LstmParams& params, const LstmTrace& trace,
+                  const std::vector<std::vector<float>>& dh, LstmParams* grad,
+                  std::vector<std::vector<float>>* dx);
+
+}  // namespace pae::lstm
+
+#endif  // PAE_LSTM_LSTM_CELL_H_

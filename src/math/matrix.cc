@@ -1,0 +1,62 @@
+#include "math/matrix.h"
+
+#include <cmath>
+
+namespace pae::math {
+
+void Matrix::XavierInit(Rng* rng) {
+  const float s = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+  UniformInit(rng, s);
+}
+
+void Matrix::UniformInit(Rng* rng, float range) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng->NextUniform(-range, range));
+  }
+}
+
+void Matrix::MatVec(const std::vector<float>& x,
+                    std::vector<float>* out) const {
+  PAE_CHECK_EQ(x.size(), cols_);
+  out->assign(rows_, 0.0f);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* row = Row(r);
+    double s = 0;
+    for (size_t c = 0; c < cols_; ++c) s += static_cast<double>(row[c]) * x[c];
+    (*out)[r] = static_cast<float>(s);
+  }
+}
+
+void Matrix::MatTVec(const std::vector<float>& x,
+                     std::vector<float>* out) const {
+  PAE_CHECK_EQ(x.size(), rows_);
+  out->assign(cols_, 0.0f);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* row = Row(r);
+    const float xv = x[r];
+    if (xv == 0.0f) continue;
+    for (size_t c = 0; c < cols_; ++c) (*out)[c] += xv * row[c];
+  }
+}
+
+void Matrix::AddOuter(float alpha, const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  PAE_CHECK_EQ(a.size(), rows_);
+  PAE_CHECK_EQ(b.size(), cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float av = alpha * a[r];
+    if (av == 0.0f) continue;
+    float* row = Row(r);
+    for (size_t c = 0; c < cols_; ++c) row[c] += av * b[c];
+  }
+}
+
+void Matrix::AddScaled(float alpha, const Matrix& other) {
+  PAE_CHECK_EQ(rows_, other.rows());
+  PAE_CHECK_EQ(cols_, other.cols());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data()[i];
+  }
+}
+
+}  // namespace pae::math

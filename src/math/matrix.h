@@ -1,0 +1,71 @@
+#ifndef PAE_MATH_MATRIX_H_
+#define PAE_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace pae::math {
+
+/// Dense row-major float matrix. Sized for the small recurrent networks
+/// and embedding tables this library trains (dozens to a few hundred
+/// rows/cols); no BLAS dependency by design.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  float& at(size_t r, size_t c) {
+    PAE_CHECK_LT(r, rows_);
+    PAE_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    PAE_CHECK_LT(r, rows_);
+    PAE_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked row pointer (hot paths).
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  /// Xavier/Glorot uniform initialization: U(-s, s), s = sqrt(6/(r+c)).
+  void XavierInit(Rng* rng);
+
+  /// Uniform initialization in [-range, range].
+  void UniformInit(Rng* rng, float range);
+
+  /// out = this * x  (x has cols() entries, out gets rows() entries).
+  void MatVec(const std::vector<float>& x, std::vector<float>* out) const;
+
+  /// out = this^T * x (x has rows() entries, out gets cols() entries).
+  void MatTVec(const std::vector<float>& x, std::vector<float>* out) const;
+
+  /// this += alpha * a b^T  (rank-1 update; a has rows(), b has cols()).
+  void AddOuter(float alpha, const std::vector<float>& a,
+                const std::vector<float>& b);
+
+  /// this += alpha * other (same shape).
+  void AddScaled(float alpha, const Matrix& other);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace pae::math
+
+#endif  // PAE_MATH_MATRIX_H_

@@ -1,0 +1,77 @@
+#ifndef PAE_MATH_VEC_H_
+#define PAE_MATH_VEC_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pae::math {
+
+/// Dot product of equally sized vectors.
+inline float Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  PAE_CHECK_EQ(a.size(), b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(s);
+}
+
+/// y += alpha * x.
+inline void Axpy(float alpha, const std::vector<float>& x,
+                 std::vector<float>* y) {
+  PAE_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+/// x *= alpha.
+inline void Scale(float alpha, std::vector<float>* x) {
+  for (float& v : *x) v *= alpha;
+}
+
+/// Euclidean norm.
+inline double Norm2(const std::vector<float>& x) {
+  double s = 0;
+  for (float v : x) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+/// Cosine similarity; returns 0 when either vector is (near) zero.
+inline double CosineSimilarity(const std::vector<float>& a,
+                               const std::vector<float>& b) {
+  double na = Norm2(a), nb = Norm2(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+/// Numerically stable log(sum(exp(x))) over doubles.
+inline double LogSumExp(const std::vector<double>& x) {
+  PAE_CHECK(!x.empty());
+  double m = x[0];
+  for (double v : x) m = std::max(m, v);
+  if (!std::isfinite(m)) return m;  // all -inf
+  double s = 0;
+  for (double v : x) s += std::exp(v - m);
+  return m + std::log(s);
+}
+
+/// In-place softmax over floats (stable).
+inline void SoftmaxInPlace(std::vector<float>* x) {
+  PAE_CHECK(!x->empty());
+  float m = (*x)[0];
+  for (float v : *x) m = std::max(m, v);
+  double s = 0;
+  for (float& v : *x) {
+    v = std::exp(v - m);
+    s += v;
+  }
+  const float inv = static_cast<float>(1.0 / s);
+  for (float& v : *x) v *= inv;
+}
+
+/// Elementwise sigmoid.
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace pae::math
+
+#endif  // PAE_MATH_VEC_H_

@@ -1,0 +1,73 @@
+#ifndef PAE_TEXT_CHAR_CLASS_H_
+#define PAE_TEXT_CHAR_CLASS_H_
+
+#include <cstdint>
+
+namespace pae::text {
+
+/// Coarse Unicode character classes driving segmentation and the
+/// PoS-tagger fallback rules.
+enum class CharClass {
+  kSpace,
+  kDigit,        // ASCII and fullwidth digits
+  kLatin,        // ASCII letters and Latin-1 letters (incl. umlauts)
+  kHiragana,     // U+3040..U+309F
+  kKatakana,     // U+30A0..U+30FF and halfwidth katakana
+  kCjk,          // CJK unified ideographs
+  kSymbol,       // punctuation and everything symbol-like
+  kOther,
+};
+
+/// Classifies a single code point.
+inline CharClass ClassifyChar(char32_t cp) {
+  if (cp == U' ' || cp == U'\t' || cp == U'\n' || cp == U'\r' ||
+      cp == 0x3000 /* ideographic space */) {
+    return CharClass::kSpace;
+  }
+  if ((cp >= U'0' && cp <= U'9') || (cp >= 0xFF10 && cp <= 0xFF19)) {
+    return CharClass::kDigit;
+  }
+  if ((cp >= U'A' && cp <= U'Z') || (cp >= U'a' && cp <= U'z') ||
+      (cp >= 0x00C0 && cp <= 0x024F)) {  // Latin-1 supplement + extended
+    return CharClass::kLatin;
+  }
+  if (cp >= 0x3040 && cp <= 0x309F) return CharClass::kHiragana;
+  if ((cp >= 0x30A0 && cp <= 0x30FF) || (cp >= 0xFF66 && cp <= 0xFF9D)) {
+    return CharClass::kKatakana;
+  }
+  if ((cp >= 0x4E00 && cp <= 0x9FFF) || (cp >= 0x3400 && cp <= 0x4DBF)) {
+    return CharClass::kCjk;
+  }
+  if (cp < 0x80 || (cp >= 0x2000 && cp <= 0x206F) ||
+      (cp >= 0x3001 && cp <= 0x303F) || (cp >= 0xFF00 && cp <= 0xFF65)) {
+    return CharClass::kSymbol;  // remaining ASCII + general/CJK punctuation
+  }
+  return CharClass::kOther;
+}
+
+/// Returns a short stable name for the class ("digit", "latin", ...).
+inline const char* CharClassName(CharClass c) {
+  switch (c) {
+    case CharClass::kSpace:
+      return "space";
+    case CharClass::kDigit:
+      return "digit";
+    case CharClass::kLatin:
+      return "latin";
+    case CharClass::kHiragana:
+      return "hiragana";
+    case CharClass::kKatakana:
+      return "katakana";
+    case CharClass::kCjk:
+      return "cjk";
+    case CharClass::kSymbol:
+      return "symbol";
+    case CharClass::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_CHAR_CLASS_H_

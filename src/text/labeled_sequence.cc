@@ -1,0 +1,38 @@
+#include "text/labeled_sequence.h"
+
+namespace pae::text {
+
+bool ParseBioLabel(const std::string& label, std::string* attribute,
+                   bool* begin) {
+  if (label.size() < 3) return false;
+  if (label[1] != '-') return false;
+  if (label[0] == 'B') {
+    *begin = true;
+  } else if (label[0] == 'I') {
+    *begin = false;
+  } else {
+    return false;
+  }
+  *attribute = label.substr(2);
+  return true;
+}
+
+std::vector<ValueSpan> DecodeBioSpans(const std::vector<std::string>& labels) {
+  std::vector<ValueSpan> spans;
+  std::string attr;
+  bool begin = false;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (!ParseBioLabel(labels[i], &attr, &begin)) continue;  // "O"
+    const bool continues = !begin && !spans.empty() &&
+                           spans.back().end == i &&
+                           spans.back().attribute == attr;
+    if (continues) {
+      spans.back().end = i + 1;
+    } else {
+      spans.push_back(ValueSpan{attr, i, i + 1});
+    }
+  }
+  return spans;
+}
+
+}  // namespace pae::text

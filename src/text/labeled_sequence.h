@@ -1,0 +1,52 @@
+#ifndef PAE_TEXT_LABELED_SEQUENCE_H_
+#define PAE_TEXT_LABELED_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+namespace pae::text {
+
+/// Label used for tokens outside any attribute value.
+inline constexpr const char* kOutsideLabel = "O";
+
+/// One tokenized sentence with parallel PoS tags and (for training data)
+/// BIO labels: "O", "B-<attribute>", "I-<attribute>".
+struct LabeledSequence {
+  std::vector<std::string> tokens;
+  std::vector<std::string> pos;
+  std::vector<std::string> labels;
+
+  /// Index of this sentence within its product page; a CRF feature
+  /// (§VI-D lists "the sentence number" in the template).
+  int sentence_index = 0;
+
+  bool HasLabels() const { return labels.size() == tokens.size(); }
+};
+
+/// Builds a BIO label pair for an attribute ("B-colour", "I-colour").
+inline std::string BeginLabel(const std::string& attribute) {
+  return "B-" + attribute;
+}
+inline std::string InsideLabel(const std::string& attribute) {
+  return "I-" + attribute;
+}
+
+/// True if `label` marks an attribute span; if so, *attribute receives
+/// the attribute name and *begin whether it is a B- tag.
+bool ParseBioLabel(const std::string& label, std::string* attribute,
+                   bool* begin);
+
+/// A contiguous value span decoded from a BIO-labeled sequence.
+struct ValueSpan {
+  std::string attribute;
+  size_t begin = 0;  // token index, inclusive
+  size_t end = 0;    // token index, exclusive
+};
+
+/// Decodes the maximal BIO spans of a label sequence. An I- tag without a
+/// preceding compatible B-/I- tag starts a new span (standard BIO repair).
+std::vector<ValueSpan> DecodeBioSpans(const std::vector<std::string>& labels);
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_LABELED_SEQUENCE_H_

@@ -1,0 +1,46 @@
+#include "text/negation.h"
+
+#include <unordered_set>
+
+namespace pae::text {
+
+namespace {
+
+const std::vector<std::string>& JaCues() {
+  static const auto* kCues = new std::vector<std::string>{
+      "ない",       "ありません", "ではありません", "含まれません",
+      "除く",       "以外",       "付属しません",   "非対応",
+      "不可",       "なし"};
+  return *kCues;
+}
+
+const std::vector<std::string>& DeCues() {
+  static const auto* kCues = new std::vector<std::string>{
+      "nicht", "kein", "keine", "keinen", "ohne", "ausgenommen",
+      "exklusive"};
+  return *kCues;
+}
+
+}  // namespace
+
+NegationDetector::NegationDetector(Language language)
+    : language_(language) {}
+
+const std::vector<std::string>& NegationDetector::Cues(Language language) {
+  return language == Language::kJa ? JaCues() : DeCues();
+}
+
+bool NegationDetector::IsNegated(
+    const std::vector<std::string>& tokens) const {
+  static const auto* kJaSet =
+      new std::unordered_set<std::string>(JaCues().begin(), JaCues().end());
+  static const auto* kDeSet =
+      new std::unordered_set<std::string>(DeCues().begin(), DeCues().end());
+  const auto& cues = language_ == Language::kJa ? *kJaSet : *kDeSet;
+  for (const std::string& token : tokens) {
+    if (cues.count(token) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace pae::text

@@ -1,0 +1,35 @@
+#ifndef PAE_TEXT_NEGATION_H_
+#define PAE_TEXT_NEGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace pae::text {
+
+/// Sentence-scope negation detection. Definition 3.1 of the paper
+/// requires that "this product does not include an Apple phone" yields
+/// no <cellphone, brand, Apple> triple; the pipeline drops value spans
+/// found in negated sentences when negation filtering is enabled.
+///
+/// The heuristic is deliberately simple (whole-sentence scope, cue-word
+/// lexicon per language): negation cues are rare and overwhelmingly
+/// sentence-final in merchant text, so finer scoping buys little.
+class NegationDetector {
+ public:
+  explicit NegationDetector(Language language);
+
+  /// True if the token sequence contains a negation cue.
+  bool IsNegated(const std::vector<std::string>& tokens) const;
+
+  /// The cue inventory for `language` (exposed for corpus builders).
+  static const std::vector<std::string>& Cues(Language language);
+
+ private:
+  Language language_;
+};
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_NEGATION_H_

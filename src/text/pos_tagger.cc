@@ -1,0 +1,55 @@
+#include "text/pos_tagger.h"
+
+#include "text/char_class.h"
+#include "text/utf8.h"
+
+namespace pae::text {
+
+PosTagger::PosTagger(Language lang, PosLexicon lexicon)
+    : lang_(lang), lexicon_(std::move(lexicon)) {}
+
+std::string PosTagger::TagToken(const std::string& token) const {
+  auto it = lexicon_.word_tags.find(token);
+  if (it != lexicon_.word_tags.end()) return it->second;
+
+  std::vector<char32_t> cps = DecodeUtf8(token);
+  if (cps.empty()) return std::string(kPosSymbol);
+
+  bool all_digits = true;
+  bool all_hiragana = true;
+  for (char32_t cp : cps) {
+    CharClass cls = ClassifyChar(cp);
+    if (cls != CharClass::kDigit) all_digits = false;
+    if (cls != CharClass::kHiragana) all_hiragana = false;
+  }
+  if (all_digits) return std::string(kPosNumber);
+  // Latin numbers may keep an inner separator ("2,5"); still NUM.
+  if (ClassifyChar(cps[0]) == CharClass::kDigit &&
+      ClassifyChar(cps.back()) == CharClass::kDigit) {
+    bool numeric = true;
+    for (char32_t cp : cps) {
+      CharClass cls = ClassifyChar(cp);
+      if (cls != CharClass::kDigit && cp != U'.' && cp != U',') {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) return std::string(kPosNumber);
+  }
+  if (cps.size() == 1 && (ClassifyChar(cps[0]) == CharClass::kSymbol ||
+                          ClassifyChar(cps[0]) == CharClass::kOther)) {
+    return std::string(kPosSymbol);
+  }
+  if (all_hiragana) return std::string(kPosParticle);
+  return std::string(kPosNoun);
+}
+
+std::vector<std::string> PosTagger::Tag(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> tags;
+  tags.reserve(tokens.size());
+  for (const std::string& token : tokens) tags.push_back(TagToken(token));
+  return tags;
+}
+
+}  // namespace pae::text

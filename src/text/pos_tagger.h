@@ -1,0 +1,51 @@
+#ifndef PAE_TEXT_POS_TAGGER_H_
+#define PAE_TEXT_POS_TAGGER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace pae::text {
+
+/// Part-of-speech tags emitted by the rule/lexicon tagger. The CRF
+/// feature template and the value-diversification module consume these
+/// as opaque strings, so the inventory only needs to be stable.
+inline constexpr std::string_view kPosNoun = "NN";
+inline constexpr std::string_view kPosNumber = "NUM";
+inline constexpr std::string_view kPosSymbol = "SYM";
+inline constexpr std::string_view kPosUnit = "UNIT";
+inline constexpr std::string_view kPosParticle = "PRT";
+inline constexpr std::string_view kPosVerb = "VB";
+inline constexpr std::string_view kPosAdjective = "ADJ";
+
+/// Word → tag entries that override the class-based fallback rules.
+/// Populated by the corpus generator (units, particles, verbs) — this is
+/// the "existing PoS tagger" the paper treats as given per language.
+struct PosLexicon {
+  std::unordered_map<std::string, std::string> word_tags;
+};
+
+/// Deterministic rule + lexicon PoS tagger. Fallback rules:
+/// lexicon hit → its tag; all-digit token → NUM; single symbol → SYM;
+/// hiragana-only token → PRT; everything else → NN.
+class PosTagger {
+ public:
+  PosTagger(Language lang, PosLexicon lexicon);
+
+  /// Tags a full token sequence (one tag per token).
+  std::vector<std::string> Tag(const std::vector<std::string>& tokens) const;
+
+  /// Tags a single token.
+  std::string TagToken(const std::string& token) const;
+
+ private:
+  Language lang_;
+  PosLexicon lexicon_;
+};
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_POS_TAGGER_H_

@@ -1,0 +1,44 @@
+#include "text/sentence.h"
+
+#include "text/char_class.h"
+#include "text/utf8.h"
+#include "util/strings.h"
+
+namespace pae::text {
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<char32_t> cps = DecodeUtf8(text);
+  std::vector<std::string> sentences;
+  std::string current;
+
+  auto flush = [&]() {
+    std::string_view trimmed = StripAsciiWhitespace(current);
+    if (!trimmed.empty()) sentences.emplace_back(trimmed);
+    current.clear();
+  };
+
+  for (size_t i = 0; i < cps.size(); ++i) {
+    const char32_t cp = cps[i];
+    bool boundary = false;
+    if (cp == U'\n' || cp == 0x3002 /* 。 */ || cp == U'!' || cp == U'?' ||
+        cp == 0xFF01 /* ！ */ || cp == 0xFF1F /* ？ */) {
+      boundary = true;
+    } else if (cp == U'.') {
+      const bool digit_before =
+          i > 0 && ClassifyChar(cps[i - 1]) == CharClass::kDigit;
+      const bool digit_after =
+          i + 1 < cps.size() && ClassifyChar(cps[i + 1]) == CharClass::kDigit;
+      boundary = !(digit_before && digit_after);
+    }
+    if (boundary) {
+      if (cp != U'\n') AppendUtf8(cp, &current);
+      flush();
+    } else {
+      AppendUtf8(cp, &current);
+    }
+  }
+  flush();
+  return sentences;
+}
+
+}  // namespace pae::text

@@ -1,0 +1,18 @@
+#ifndef PAE_TEXT_SENTENCE_H_
+#define PAE_TEXT_SENTENCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pae::text {
+
+/// Splits raw text into sentences. Boundaries: newline, '。', '!', '?',
+/// fullwidth '！'/'？', and '.' when not between two digits (so decimal
+/// numbers survive). Empty sentences are dropped; surrounding ASCII
+/// whitespace is trimmed.
+std::vector<std::string> SplitSentences(std::string_view text);
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_SENTENCE_H_

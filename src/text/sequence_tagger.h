@@ -1,0 +1,50 @@
+#ifndef PAE_TEXT_SEQUENCE_TAGGER_H_
+#define PAE_TEXT_SEQUENCE_TAGGER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/labeled_sequence.h"
+#include "util/status.h"
+
+namespace pae::text {
+
+/// Strategy interface over the two sequence-labeling model families the
+/// paper evaluates (CRF, BiLSTM). The bootstrap Tagger module (§V-B)
+/// programs against this interface only.
+class SequenceTagger {
+ public:
+  virtual ~SequenceTagger() = default;
+
+  /// Trains the model from scratch on `data` (labels required).
+  virtual Status Train(const std::vector<LabeledSequence>& data) = 0;
+
+  /// Predicts one BIO label per token. `seq.labels` is ignored.
+  virtual std::vector<std::string> Predict(
+      const LabeledSequence& seq) const = 0;
+
+  /// A prediction with a per-token confidence in [0, 1]: the model's
+  /// posterior for the emitted label (CRF marginals, LSTM softmax).
+  struct ScoredPrediction {
+    std::vector<std::string> labels;
+    std::vector<double> confidence;
+  };
+
+  /// Like Predict but with confidences. The default implementation
+  /// reports full confidence everywhere; models override it with their
+  /// posteriors so the pipeline can trade coverage for precision
+  /// (min_span_confidence).
+  virtual ScoredPrediction PredictScored(const LabeledSequence& seq) const {
+    ScoredPrediction out;
+    out.labels = Predict(seq);
+    out.confidence.assign(out.labels.size(), 1.0);
+    return out;
+  }
+
+  /// Short model name for reports ("crf", "bilstm").
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_SEQUENCE_TAGGER_H_

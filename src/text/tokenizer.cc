@@ -1,0 +1,147 @@
+#include "text/tokenizer.h"
+
+#include "text/char_class.h"
+#include "text/utf8.h"
+
+namespace pae::text {
+
+const char* LanguageName(Language lang) {
+  return lang == Language::kJa ? "ja" : "de";
+}
+
+std::vector<std::string> LatinTokenizer::Tokenize(
+    std::string_view text) const {
+  std::vector<char32_t> cps = DecodeUtf8(text);
+  std::vector<std::string> tokens;
+  std::string current;
+  CharClass current_class = CharClass::kSpace;
+
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+
+  for (size_t i = 0; i < cps.size(); ++i) {
+    const char32_t cp = cps[i];
+    CharClass cls = ClassifyChar(cp);
+    if (cls == CharClass::kSpace) {
+      flush();
+      current_class = CharClass::kSpace;
+      continue;
+    }
+    // A '.' or ',' between two digits stays inside the number token.
+    if (cls == CharClass::kSymbol && (cp == U'.' || cp == U',') &&
+        current_class == CharClass::kDigit && i + 1 < cps.size() &&
+        ClassifyChar(cps[i + 1]) == CharClass::kDigit) {
+      AppendUtf8(cp, &current);
+      continue;
+    }
+    if (cls == CharClass::kSymbol) {
+      flush();
+      tokens.push_back(EncodeUtf8(cp));
+      current_class = CharClass::kSymbol;
+      continue;
+    }
+    // Letters and digits: extend runs of the same class; treat Latin,
+    // hiragana/katakana/CJK alike (they rarely occur in Latin text).
+    const bool same_run =
+        (cls == current_class) ||
+        (cls == CharClass::kLatin && current_class == CharClass::kLatin);
+    if (!same_run) flush();
+    AppendUtf8(cp, &current);
+    current_class = cls;
+  }
+  flush();
+  return tokens;
+}
+
+CjkTokenizer::CjkTokenizer(const std::vector<std::string>& lexicon) {
+  for (const std::string& word : lexicon) {
+    if (word.empty()) continue;
+    lexicon_.insert(word);
+    size_t n = Utf8Length(word);
+    if (n > max_word_cps_) max_word_cps_ = n;
+  }
+}
+
+std::vector<std::string> CjkTokenizer::Tokenize(std::string_view text) const {
+  std::vector<char32_t> cps = DecodeUtf8(text);
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = cps.size();
+
+  auto run_end = [&](size_t start, CharClass cls) {
+    size_t j = start;
+    while (j < n && ClassifyChar(cps[j]) == cls) ++j;
+    return j;
+  };
+  auto encode_range = [&](size_t b, size_t e) {
+    std::string out;
+    for (size_t k = b; k < e; ++k) AppendUtf8(cps[k], &out);
+    return out;
+  };
+
+  while (i < n) {
+    const char32_t cp = cps[i];
+    const CharClass cls = ClassifyChar(cp);
+    switch (cls) {
+      case CharClass::kSpace:
+        ++i;
+        break;
+      case CharClass::kDigit: {
+        size_t j = run_end(i, CharClass::kDigit);
+        tokens.push_back(encode_range(i, j));
+        i = j;
+        break;
+      }
+      case CharClass::kLatin: {
+        size_t j = run_end(i, CharClass::kLatin);
+        tokens.push_back(encode_range(i, j));
+        i = j;
+        break;
+      }
+      case CharClass::kKatakana: {
+        size_t j = run_end(i, CharClass::kKatakana);
+        tokens.push_back(encode_range(i, j));
+        i = j;
+        break;
+      }
+      case CharClass::kHiragana:
+      case CharClass::kCjk: {
+        // Greedy longest match against the lexicon within the run.
+        size_t j = run_end(i, cls);
+        while (i < j) {
+          size_t best = 1;
+          size_t limit = std::min(max_word_cps_, j - i);
+          for (size_t len = limit; len >= 2; --len) {
+            if (lexicon_.count(encode_range(i, i + len)) > 0) {
+              best = len;
+              break;
+            }
+          }
+          tokens.push_back(encode_range(i, i + best));
+          i += best;
+        }
+        break;
+      }
+      case CharClass::kSymbol:
+      case CharClass::kOther:
+        tokens.push_back(EncodeUtf8(cp));
+        ++i;
+        break;
+    }
+  }
+  return tokens;
+}
+
+std::unique_ptr<Tokenizer> MakeTokenizer(
+    Language lang, const std::vector<std::string>& lexicon) {
+  if (lang == Language::kJa) {
+    return std::make_unique<CjkTokenizer>(lexicon);
+  }
+  return std::make_unique<LatinTokenizer>();
+}
+
+}  // namespace pae::text

@@ -1,0 +1,67 @@
+#ifndef PAE_TEXT_TOKENIZER_H_
+#define PAE_TEXT_TOKENIZER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace pae::text {
+
+/// The two corpus languages of the evaluation (§VI-A). The tokenizer and
+/// PoS tagger are the only language-specific components of the pipeline,
+/// exactly as in the paper.
+enum class Language { kJa, kDe };
+
+/// Returns "ja" or "de".
+const char* LanguageName(Language lang);
+
+/// Splits raw text into surface tokens.
+class Tokenizer {
+ public:
+  virtual ~Tokenizer() = default;
+
+  /// Tokenizes one sentence (or any text span without sentence logic).
+  virtual std::vector<std::string> Tokenize(std::string_view text) const = 0;
+};
+
+/// Whitespace + character-class tokenizer for space-separated languages.
+/// Decimal points and thousands separators *between digits* stay inside
+/// the number token ("2,5" and "1.299" are single tokens); any other
+/// punctuation becomes a single-character token.
+class LatinTokenizer : public Tokenizer {
+ public:
+  std::vector<std::string> Tokenize(std::string_view text) const override;
+};
+
+/// Dictionary + character-class tokenizer for unsegmented (Japanese-like)
+/// text. Segmentation rules, mirroring a MeCab-style tokenizer's
+/// behaviour as described in the paper:
+///   * digit runs are one token, but '.' and ',' are always separate
+///     tokens, so "1.5" tokenizes into three tokens (§V-A footnote 3);
+///   * katakana runs and Latin runs are single tokens;
+///   * CJK/hiragana runs are segmented by greedy longest match against
+///     the lexicon, falling back to single characters;
+///   * every symbol is a single token; whitespace is dropped.
+class CjkTokenizer : public Tokenizer {
+ public:
+  /// `lexicon` lists known words (UTF-8) used for longest-match
+  /// segmentation of ideograph/hiragana runs.
+  explicit CjkTokenizer(const std::vector<std::string>& lexicon);
+
+  std::vector<std::string> Tokenize(std::string_view text) const override;
+
+ private:
+  std::unordered_set<std::string> lexicon_;
+  size_t max_word_cps_ = 1;  // longest lexicon entry, in code points
+};
+
+/// Factory selecting the tokenizer for `lang`. The lexicon is ignored by
+/// the Latin tokenizer.
+std::unique_ptr<Tokenizer> MakeTokenizer(
+    Language lang, const std::vector<std::string>& lexicon);
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_TOKENIZER_H_

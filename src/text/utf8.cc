@@ -1,0 +1,97 @@
+#include "text/utf8.h"
+
+namespace pae::text {
+
+char32_t NextCodepoint(std::string_view s, size_t* pos) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(s.data());
+  size_t i = *pos;
+  unsigned char b0 = bytes[i];
+
+  auto fail = [&]() -> char32_t {
+    *pos = i + 1;
+    return kReplacementChar;
+  };
+
+  if (b0 < 0x80) {
+    *pos = i + 1;
+    return b0;
+  }
+  int len;
+  char32_t cp;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1F;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0F;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07;
+  } else {
+    return fail();
+  }
+  if (i + len > s.size()) return fail();
+  for (int k = 1; k < len; ++k) {
+    unsigned char b = bytes[i + k];
+    if ((b & 0xC0) != 0x80) return fail();
+    cp = (cp << 6) | (b & 0x3F);
+  }
+  // Reject overlong encodings and surrogates.
+  static constexpr char32_t kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMin[len] || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+    return fail();
+  }
+  *pos = i + len;
+  return cp;
+}
+
+std::vector<char32_t> DecodeUtf8(std::string_view s) {
+  std::vector<char32_t> out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) out.push_back(NextCodepoint(s, &pos));
+  return out;
+}
+
+void AppendUtf8(char32_t cp, std::string* out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) cp = kReplacementChar;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string EncodeUtf8(char32_t cp) {
+  std::string out;
+  AppendUtf8(cp, &out);
+  return out;
+}
+
+std::string EncodeUtf8(const std::vector<char32_t>& cps) {
+  std::string out;
+  out.reserve(cps.size() * 3);
+  for (char32_t cp : cps) AppendUtf8(cp, &out);
+  return out;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t pos = 0, n = 0;
+  while (pos < s.size()) {
+    NextCodepoint(s, &pos);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace pae::text

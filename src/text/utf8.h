@@ -1,0 +1,36 @@
+#ifndef PAE_TEXT_UTF8_H_
+#define PAE_TEXT_UTF8_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pae::text {
+
+/// Replacement character emitted for invalid byte sequences.
+inline constexpr char32_t kReplacementChar = 0xFFFD;
+
+/// Decodes the UTF-8 code point starting at `*pos` in `s` and advances
+/// `*pos` past it. Invalid sequences consume one byte and yield
+/// kReplacementChar. Precondition: *pos < s.size().
+char32_t NextCodepoint(std::string_view s, size_t* pos);
+
+/// Decodes a whole string; invalid bytes become kReplacementChar.
+std::vector<char32_t> DecodeUtf8(std::string_view s);
+
+/// Encodes one code point as UTF-8 and appends it to `out`.
+void AppendUtf8(char32_t cp, std::string* out);
+
+/// Encodes one code point as a UTF-8 string.
+std::string EncodeUtf8(char32_t cp);
+
+/// Encodes a code point sequence as a UTF-8 string.
+std::string EncodeUtf8(const std::vector<char32_t>& cps);
+
+/// Number of code points in `s`.
+size_t Utf8Length(std::string_view s);
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_UTF8_H_

@@ -1,0 +1,54 @@
+#ifndef PAE_TEXT_VOCAB_H_
+#define PAE_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pae::text {
+
+/// Bidirectional string ↔ dense-id map shared by the ML modules.
+/// Id 0 is reserved for the unknown token "<unk>".
+class Vocab {
+ public:
+  Vocab() { GetOrAdd("<unk>"); }
+
+  static constexpr int32_t kUnkId = 0;
+
+  /// Returns the id for `word`, inserting it if absent.
+  int32_t GetOrAdd(const std::string& word) {
+    auto [it, inserted] =
+        ids_.emplace(word, static_cast<int32_t>(words_.size()));
+    if (inserted) words_.push_back(word);
+    return it->second;
+  }
+
+  /// Returns the id for `word` or kUnkId if absent.
+  int32_t Lookup(const std::string& word) const {
+    auto it = ids_.find(word);
+    return it == ids_.end() ? kUnkId : it->second;
+  }
+
+  /// True if `word` is present.
+  bool Contains(const std::string& word) const { return ids_.count(word) > 0; }
+
+  /// The word for `id`.
+  const std::string& Word(int32_t id) const {
+    PAE_CHECK_GE(id, 0);
+    PAE_CHECK_LT(static_cast<size_t>(id), words_.size());
+    return words_[id];
+  }
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> words_;
+};
+
+}  // namespace pae::text
+
+#endif  // PAE_TEXT_VOCAB_H_

@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+namespace pae {
+namespace internal_logging {
+
+LogSeverity& MinLogSeverity() {
+  static LogSeverity severity = LogSeverity::kInfo;
+  return severity;
+}
+
+namespace {
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity()) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+
+void SetMinLogLevel(int level) {
+  using internal_logging::LogSeverity;
+  if (level < 0) level = 0;
+  if (level > 3) level = 3;
+  internal_logging::MinLogSeverity() = static_cast<LogSeverity>(level);
+}
+
+}  // namespace pae

@@ -1,0 +1,75 @@
+#ifndef PAE_UTIL_LOGGING_H_
+#define PAE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pae {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity that is actually emitted. Benchmarks raise this to
+/// kWarning to keep experiment output clean.
+LogSeverity& MinLogSeverity();
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the global minimum log severity (0=INFO .. 3=FATAL).
+void SetMinLogLevel(int level);
+
+}  // namespace pae
+
+#define PAE_LOG_INFO                                                \
+  ::pae::internal_logging::LogMessage(                              \
+      ::pae::internal_logging::LogSeverity::kInfo, __FILE__, __LINE__)
+#define PAE_LOG_WARNING                                             \
+  ::pae::internal_logging::LogMessage(                              \
+      ::pae::internal_logging::LogSeverity::kWarning, __FILE__, __LINE__)
+#define PAE_LOG_ERROR                                               \
+  ::pae::internal_logging::LogMessage(                              \
+      ::pae::internal_logging::LogSeverity::kError, __FILE__, __LINE__)
+#define PAE_LOG_FATAL                                               \
+  ::pae::internal_logging::LogMessage(                              \
+      ::pae::internal_logging::LogSeverity::kFatal, __FILE__, __LINE__)
+
+#define PAE_LOG(severity) PAE_LOG_##severity
+
+/// CHECK aborts with a message when `cond` is false, in all build modes.
+/// Used for programmer errors (broken invariants), not for data errors.
+#define PAE_CHECK(cond)                                          \
+  if (!(cond))                                                   \
+  PAE_LOG(FATAL) << "Check failed: " #cond " at " << __FILE__ << ":" \
+                 << __LINE__ << " "
+
+#define PAE_CHECK_EQ(a, b) PAE_CHECK((a) == (b))
+#define PAE_CHECK_NE(a, b) PAE_CHECK((a) != (b))
+#define PAE_CHECK_LT(a, b) PAE_CHECK((a) < (b))
+#define PAE_CHECK_LE(a, b) PAE_CHECK((a) <= (b))
+#define PAE_CHECK_GT(a, b) PAE_CHECK((a) > (b))
+#define PAE_CHECK_GE(a, b) PAE_CHECK((a) >= (b))
+
+#endif  // PAE_UTIL_LOGGING_H_

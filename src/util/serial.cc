@@ -1,0 +1,115 @@
+#include "util/serial.h"
+
+namespace pae {
+
+namespace {
+// Guard against corrupt files requesting absurd allocations.
+constexpr uint32_t kMaxElements = 1u << 28;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic,
+                           uint32_t version)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  WriteU32(magic);
+  WriteU32(version);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t size) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteDoubleVec(const std::vector<double>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteFloatVec(const std::vector<float>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteStringVec(const std::vector<std::string>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) WriteString(s);
+}
+
+Status BinaryWriter::Finish() {
+  out_.flush();
+  if (!out_.good()) {
+    return Status::Internal("failed writing " + path_);
+  }
+  out_.close();
+  return Status::Ok();
+}
+
+BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
+                           uint32_t expected_version)
+    : in_(path, std::ios::binary) {
+  if (!in_.good()) {
+    status_ = Status::NotFound("cannot open " + path);
+    return;
+  }
+  good_ = true;
+  uint32_t file_magic = 0, version = 0;
+  if (!ReadU32(&file_magic) || file_magic != magic) {
+    good_ = false;
+    status_ = Status::InvalidArgument(path + ": bad magic");
+    return;
+  }
+  if (!ReadU32(&version) || version != expected_version) {
+    good_ = false;
+    status_ = Status::InvalidArgument(path + ": unsupported version");
+  }
+}
+
+bool BinaryReader::ReadRaw(void* data, size_t size) {
+  if (!good_) return false;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (!in_.good()) {
+    good_ = false;
+    status_ = Status::OutOfRange("truncated model file");
+  }
+  return good_;
+}
+
+bool BinaryReader::ReadString(std::string* s) {
+  uint32_t size = 0;
+  if (!ReadU32(&size) || size > kMaxElements) return false;
+  s->resize(size);
+  return size == 0 || ReadRaw(s->data(), size);
+}
+
+bool BinaryReader::ReadDoubleVec(std::vector<double>* v) {
+  uint32_t size = 0;
+  if (!ReadU32(&size) || size > kMaxElements) return false;
+  v->resize(size);
+  return size == 0 || ReadRaw(v->data(), size * sizeof(double));
+}
+
+bool BinaryReader::ReadFloatVec(std::vector<float>* v) {
+  uint32_t size = 0;
+  if (!ReadU32(&size) || size > kMaxElements) return false;
+  v->resize(size);
+  return size == 0 || ReadRaw(v->data(), size * sizeof(float));
+}
+
+bool BinaryReader::ReadStringVec(std::vector<std::string>* v) {
+  uint32_t size = 0;
+  if (!ReadU32(&size) || size > kMaxElements) return false;
+  v->clear();
+  v->reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    std::string s;
+    if (!ReadString(&s)) return false;
+    v->push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace pae

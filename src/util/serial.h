@@ -1,0 +1,74 @@
+#ifndef PAE_UTIL_SERIAL_H_
+#define PAE_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pae {
+
+/// Minimal binary serialization for model persistence. Fixed-width
+/// little-endian scalars, length-prefixed strings and vectors, and a
+/// magic+version header per file. Not an interchange format — models
+/// are written and read by the same library version.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the header.
+  BinaryWriter(const std::string& path, uint32_t magic, uint32_t version);
+
+  bool ok() const { return out_.good(); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteFloat(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(const std::string& s);
+  void WriteDoubleVec(const std::vector<double>& v);
+  void WriteFloatVec(const std::vector<float>& v);
+  void WriteStringVec(const std::vector<std::string>& v);
+
+  /// Flushes and reports the final state.
+  Status Finish();
+
+ private:
+  void WriteRaw(const void* data, size_t size);
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Counterpart reader. Every Read* returns false once the stream is
+/// bad; callers check ok()/status at the end (or per field).
+class BinaryReader {
+ public:
+  /// Opens `path` and validates the header.
+  BinaryReader(const std::string& path, uint32_t magic,
+               uint32_t expected_version);
+
+  bool ok() const { return good_ && in_.good(); }
+  /// Error found while opening/validating (ok status if none).
+  const Status& status() const { return status_; }
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadI32(int32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadDouble(double* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadFloat(float* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadString(std::string* s);
+  bool ReadDoubleVec(std::vector<double>* v);
+  bool ReadFloatVec(std::vector<float>* v);
+  bool ReadStringVec(std::vector<std::string>* v);
+
+ private:
+  bool ReadRaw(void* data, size_t size);
+  std::ifstream in_;
+  bool good_ = false;
+  Status status_;
+};
+
+}  // namespace pae
+
+#endif  // PAE_UTIL_SERIAL_H_

@@ -1,0 +1,89 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pae {
+
+std::vector<std::string> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplitSkipEmpty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (auto& piece : StrSplit(s, sep)) {
+    if (!piece.empty()) out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view StripAsciiWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool IsAsciiDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string StrReplaceAll(std::string_view s, std::string_view from,
+                          std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      break;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace pae

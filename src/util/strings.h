@@ -1,0 +1,38 @@
+#ifndef PAE_UTIL_STRINGS_H_
+#define PAE_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pae {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string> StrSplitSkipEmpty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// ASCII lowercase copy (multibyte UTF-8 sequences pass through).
+std::string AsciiToLower(std::string_view s);
+
+/// True if `s` consists only of ASCII digits (and is non-empty).
+bool IsAsciiDigits(std::string_view s);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string StrReplaceAll(std::string_view s, std::string_view from,
+                          std::string_view to);
+
+/// Formats `value` with `digits` decimal places ("12.34").
+std::string FormatDouble(double value, int digits);
+
+}  // namespace pae
+
+#endif  // PAE_UTIL_STRINGS_H_

@@ -1,0 +1,35 @@
+#ifndef PAE_UTIL_TABLE_PRINTER_H_
+#define PAE_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pae {
+
+/// Renders aligned plain-text tables for the experiment harnesses so
+/// every bench binary prints the same row/column layout as the paper's
+/// tables. Cells are strings; numeric formatting is the caller's job.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pae
+
+#endif  // PAE_UTIL_TABLE_PRINTER_H_

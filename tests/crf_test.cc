@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crf/crf_model.h"
+#include "crf/crf_tagger.h"
+#include "crf/feature_extractor.h"
+#include "crf/owlqn.h"
+#include "text/labeled_sequence.h"
+#include "util/rng.h"
+
+namespace pae::crf {
+namespace {
+
+// ---------------- feature extraction ----------------
+
+text::LabeledSequence MakeSeq() {
+  text::LabeledSequence seq;
+  seq.tokens = {"重量", "は", "5", "kg"};
+  seq.pos = {"NN", "PRT", "NUM", "UNIT"};
+  seq.sentence_index = 2;
+  return seq;
+}
+
+TEST(FeatureExtractorTest, ContainsPaperTemplate) {
+  std::vector<std::vector<std::string>> feats;
+  FeatureConfig config;
+  config.window = 2;
+  ExtractFeatures(MakeSeq(), config, &feats);
+  ASSERT_EQ(feats.size(), 4u);
+  const auto& f0 = feats[0];
+  // The word itself.
+  EXPECT_NE(std::find(f0.begin(), f0.end(), "w[0]=重量"), f0.end());
+  // Window words with boundary padding.
+  EXPECT_NE(std::find(f0.begin(), f0.end(), "w[-1]=<s>"), f0.end());
+  EXPECT_NE(std::find(f0.begin(), f0.end(), "w[1]=は"), f0.end());
+  EXPECT_NE(std::find(f0.begin(), f0.end(), "w[2]=5"), f0.end());
+  // PoS of window positions.
+  EXPECT_NE(std::find(f0.begin(), f0.end(), "p[0]=NN"), f0.end());
+  EXPECT_NE(std::find(f0.begin(), f0.end(), "p[2]=NUM"), f0.end());
+  // PoS concatenation of the window.
+  EXPECT_NE(std::find(f0.begin(), f0.end(),
+                      "pwin=<s>|<s>|NN|PRT|NUM"),
+            f0.end());
+  // Sentence number.
+  EXPECT_NE(std::find(f0.begin(), f0.end(), "sent=2"), f0.end());
+}
+
+TEST(FeatureExtractorTest, SentenceBucketCapped) {
+  text::LabeledSequence seq = MakeSeq();
+  seq.sentence_index = 99;
+  FeatureConfig config;
+  config.max_sentence_bucket = 8;
+  std::vector<std::vector<std::string>> feats;
+  ExtractFeatures(seq, config, &feats);
+  EXPECT_NE(std::find(feats[0].begin(), feats[0].end(), "sent=8"),
+            feats[0].end());
+}
+
+TEST(FeatureExtractorTest, EmptySequence) {
+  text::LabeledSequence seq;
+  std::vector<std::vector<std::string>> feats;
+  ExtractFeatures(seq, FeatureConfig{}, &feats);
+  EXPECT_TRUE(feats.empty());
+}
+
+// ---------------- OWL-QN ----------------
+
+TEST(OwlqnTest, MinimizesQuadratic) {
+  // f(x) = Σ (x_i - t_i)^2, minimum at t.
+  const std::vector<double> target = {1.5, -2.0, 0.25};
+  SmoothObjective obj = [&](const std::vector<double>& x,
+                            std::vector<double>* grad) {
+    grad->assign(x.size(), 0.0);
+    double f = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - target[i];
+      f += d * d;
+      (*grad)[i] = 2 * d;
+    }
+    return f;
+  };
+  std::vector<double> x(3, 0.0);
+  OwlqnOptions options;
+  options.epsilon = 1e-8;
+  OwlqnReport report;
+  ASSERT_TRUE(MinimizeOwlqn(obj, options, &x, &report).ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], target[i], 1e-4);
+}
+
+TEST(OwlqnTest, L1ProducesSoftThresholdedSolution) {
+  // min ½(x-a)² + c|x|  →  x* = sign(a)·max(0, |a|-c).
+  const double a = 2.0, c = 0.5;
+  SmoothObjective obj = [&](const std::vector<double>& x,
+                            std::vector<double>* grad) {
+    grad->assign(1, x[0] - a);
+    return 0.5 * (x[0] - a) * (x[0] - a);
+  };
+  std::vector<double> x = {0.0};
+  OwlqnOptions options;
+  options.l1_weight = c;
+  options.epsilon = 1e-9;
+  options.max_iterations = 200;
+  OwlqnReport report;
+  ASSERT_TRUE(MinimizeOwlqn(obj, options, &x, &report).ok());
+  EXPECT_NEAR(x[0], 1.5, 1e-3);
+}
+
+TEST(OwlqnTest, StrongL1DrivesWeightToZero) {
+  const double a = 0.3, c = 1.0;  // |a| < c → x* = 0
+  SmoothObjective obj = [&](const std::vector<double>& x,
+                            std::vector<double>* grad) {
+    grad->assign(1, x[0] - a);
+    return 0.5 * (x[0] - a) * (x[0] - a);
+  };
+  std::vector<double> x = {0.8};
+  OwlqnOptions options;
+  options.l1_weight = c;
+  options.max_iterations = 200;
+  OwlqnReport report;
+  ASSERT_TRUE(MinimizeOwlqn(obj, options, &x, &report).ok());
+  EXPECT_NEAR(x[0], 0.0, 1e-4);
+}
+
+TEST(OwlqnTest, RejectsEmptyVector) {
+  std::vector<double> x;
+  OwlqnReport report;
+  SmoothObjective obj = [](const std::vector<double>&,
+                           std::vector<double>*) { return 0.0; };
+  EXPECT_FALSE(MinimizeOwlqn(obj, OwlqnOptions{}, &x, &report).ok());
+}
+
+TEST(OwlqnTest, RosenbrockConverges) {
+  SmoothObjective obj = [](const std::vector<double>& x,
+                           std::vector<double>* grad) {
+    const double a = 1.0, b = 100.0;
+    grad->assign(2, 0.0);
+    const double f = (a - x[0]) * (a - x[0]) +
+                     b * (x[1] - x[0] * x[0]) * (x[1] - x[0] * x[0]);
+    (*grad)[0] = -2 * (a - x[0]) - 4 * b * x[0] * (x[1] - x[0] * x[0]);
+    (*grad)[1] = 2 * b * (x[1] - x[0] * x[0]);
+    return f;
+  };
+  std::vector<double> x = {-1.2, 1.0};
+  OwlqnOptions options;
+  options.max_iterations = 500;
+  options.epsilon = 1e-10;
+  OwlqnReport report;
+  ASSERT_TRUE(MinimizeOwlqn(obj, options, &x, &report).ok());
+  EXPECT_NEAR(x[0], 1.0, 1e-2);
+  EXPECT_NEAR(x[1], 1.0, 1e-2);
+}
+
+// ---------------- CRF model core ----------------
+
+/// Builds a tiny model with known labels/features and a random compiled
+/// sequence for gradient/inference checks.
+struct TinyCrf {
+  CrfModel model;
+  CompiledSequence seq;
+  std::vector<double> weights;
+
+  explicit TinyCrf(uint64_t seed, size_t num_labels = 3,
+                   size_t num_features = 5, size_t length = 4) {
+    Rng rng(seed);
+    for (size_t y = 0; y < num_labels; ++y) {
+      model.AddLabel("L" + std::to_string(y));
+    }
+    for (size_t f = 0; f < num_features; ++f) {
+      model.AddFeature("F" + std::to_string(f));
+    }
+    seq.features.resize(length);
+    seq.labels.resize(length);
+    for (size_t t = 0; t < length; ++t) {
+      for (size_t f = 0; f < num_features; ++f) {
+        if (rng.Bernoulli(0.5)) {
+          seq.features[t].push_back(static_cast<int>(f));
+        }
+      }
+      seq.labels[t] = static_cast<int>(rng.NextBounded(num_labels));
+    }
+    weights.resize(model.WeightDim());
+    for (double& w : weights) w = rng.NextGaussian() * 0.4;
+  }
+};
+
+TEST(CrfModelTest, MarginalsSumToOne) {
+  TinyCrf tiny(21);
+  std::vector<double> marginals;
+  tiny.model.Marginals(tiny.seq, tiny.weights, &marginals);
+  const size_t L = tiny.model.num_labels();
+  for (size_t t = 0; t < tiny.seq.length(); ++t) {
+    double sum = 0;
+    for (size_t y = 0; y < L; ++y) sum += marginals[t * L + y];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CrfModelTest, NllIsNonNegativeLogProb) {
+  TinyCrf tiny(22);
+  std::vector<double> grad(tiny.weights.size(), 0.0);
+  const double nll = tiny.model.SequenceNll(tiny.seq, tiny.weights, &grad);
+  EXPECT_GE(nll, 0.0);  // -log p ≥ 0
+}
+
+// Gradient check against central finite differences.
+class CrfGradientTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrfGradientTest, AnalyticMatchesNumeric) {
+  TinyCrf tiny(static_cast<uint64_t>(GetParam()) * 131 + 7);
+  std::vector<double> grad(tiny.weights.size(), 0.0);
+  tiny.model.SequenceNll(tiny.seq, tiny.weights, &grad);
+
+  Rng rng(static_cast<uint64_t>(GetParam()) + 500);
+  const double eps = 1e-6;
+  for (int check = 0; check < 12; ++check) {
+    const size_t i = rng.NextBounded(tiny.weights.size());
+    std::vector<double> wp = tiny.weights, wm = tiny.weights;
+    wp[i] += eps;
+    wm[i] -= eps;
+    std::vector<double> dummy(tiny.weights.size(), 0.0);
+    const double fp = tiny.model.SequenceNll(tiny.seq, wp, &dummy);
+    dummy.assign(tiny.weights.size(), 0.0);
+    const double fm = tiny.model.SequenceNll(tiny.seq, wm, &dummy);
+    const double numeric = (fp - fm) / (2 * eps);
+    EXPECT_NEAR(grad[i], numeric, 1e-4)
+        << "weight index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrfGradientTest, ::testing::Range(0, 8));
+
+// Viterbi against brute-force enumeration.
+class CrfViterbiTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrfViterbiTest, MatchesBruteForce) {
+  TinyCrf tiny(static_cast<uint64_t>(GetParam()) * 31 + 3,
+               /*num_labels=*/3, /*num_features=*/4, /*length=*/5);
+  const size_t L = tiny.model.num_labels();
+  const size_t T = tiny.seq.length();
+
+  std::vector<double> scores;
+  tiny.model.UnigramScores(tiny.seq, tiny.weights, &scores);
+  const size_t F = tiny.model.num_features();
+  const double* trans = tiny.weights.data() + F * L;
+  const double* start = trans + L * L;
+  const double* end = start + L;
+
+  double best = -1e300;
+  std::vector<int> best_path;
+  std::vector<int> path(T, 0);
+  // Enumerate all L^T paths.
+  const size_t total = static_cast<size_t>(std::pow(L, T));
+  for (size_t code = 0; code < total; ++code) {
+    size_t c = code;
+    for (size_t t = 0; t < T; ++t) {
+      path[t] = static_cast<int>(c % L);
+      c /= L;
+    }
+    double score = start[path[0]] + end[path[T - 1]];
+    for (size_t t = 0; t < T; ++t) {
+      score += scores[t * L + static_cast<size_t>(path[t])];
+      if (t > 0) {
+        score += trans[static_cast<size_t>(path[t - 1]) * L +
+                       static_cast<size_t>(path[t])];
+      }
+    }
+    if (score > best) {
+      best = score;
+      best_path = path;
+    }
+  }
+  EXPECT_EQ(tiny.model.Viterbi(tiny.seq, tiny.weights), best_path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrfViterbiTest, ::testing::Range(0, 8));
+
+// ---------------- end-to-end tagger ----------------
+
+std::vector<text::LabeledSequence> PatternedData(int n, uint64_t seed) {
+  // Pattern: "<attr> は <value> です" where <value> after 色 is a color
+  // word and after 重 is a number+kg.
+  Rng rng(seed);
+  const std::vector<std::string> colors = {"赤", "青", "白", "黒"};
+  std::vector<text::LabeledSequence> data;
+  for (int i = 0; i < n; ++i) {
+    text::LabeledSequence seq;
+    if (rng.Bernoulli(0.5)) {
+      const std::string color = colors[rng.NextBounded(colors.size())];
+      seq.tokens = {"色", "は", color, "です"};
+      seq.pos = {"NN", "PRT", "NN", "VB"};
+      seq.labels = {"O", "O", "B-色", "O"};
+    } else {
+      const std::string num = std::to_string(rng.NextInt(1, 9));
+      seq.tokens = {"重", "は", num, "kg", "です"};
+      seq.pos = {"NN", "PRT", "NUM", "UNIT", "VB"};
+      seq.labels = {"O", "O", "B-重", "I-重", "O"};
+    }
+    data.push_back(std::move(seq));
+  }
+  return data;
+}
+
+TEST(CrfTaggerTest, LearnsSimplePattern) {
+  CrfOptions options;
+  options.max_iterations = 50;
+  CrfTagger tagger(options);
+  ASSERT_TRUE(tagger.Train(PatternedData(120, 77)).ok());
+
+  // Unseen value in a known context: window features carry it.
+  text::LabeledSequence probe;
+  probe.tokens = {"重", "は", "7", "kg", "です"};
+  probe.pos = {"NN", "PRT", "NUM", "UNIT", "VB"};
+  std::vector<std::string> labels = tagger.Predict(probe);
+  EXPECT_EQ(labels[2], "B-重");
+  EXPECT_EQ(labels[3], "I-重");
+  EXPECT_EQ(labels[0], "O");
+}
+
+TEST(CrfTaggerTest, EmptyTrainingSetRejected) {
+  CrfTagger tagger;
+  EXPECT_FALSE(tagger.Train({}).ok());
+}
+
+TEST(CrfTaggerTest, MissingLabelsRejected) {
+  text::LabeledSequence seq;
+  seq.tokens = {"a"};
+  seq.pos = {"NN"};
+  CrfTagger tagger;
+  EXPECT_FALSE(tagger.Train({seq}).ok());
+}
+
+TEST(CrfTaggerTest, UntrainedPredictsOutside) {
+  CrfTagger tagger;
+  text::LabeledSequence probe;
+  probe.tokens = {"a", "b"};
+  probe.pos = {"NN", "NN"};
+  EXPECT_EQ(tagger.Predict(probe),
+            (std::vector<std::string>{"O", "O"}));
+}
+
+TEST(CrfTaggerTest, UnknownFeaturesHandledAtPrediction) {
+  CrfOptions options;
+  options.max_iterations = 20;
+  CrfTagger tagger(options);
+  ASSERT_TRUE(tagger.Train(PatternedData(40, 88)).ok());
+  text::LabeledSequence probe;
+  probe.tokens = {"全く", "新しい", "文"};
+  probe.pos = {"X", "Y", "Z"};
+  std::vector<std::string> labels = tagger.Predict(probe);
+  EXPECT_EQ(labels.size(), 3u);  // never crashes, length preserved
+}
+
+TEST(CrfTaggerTest, AdagradTrainerLearnsSamePattern) {
+  CrfOptions options;
+  options.trainer = CrfTrainer::kAdagrad;
+  options.max_iterations = 80;
+  CrfTagger tagger(options);
+  ASSERT_TRUE(tagger.Train(PatternedData(120, 77)).ok());
+  text::LabeledSequence probe;
+  probe.tokens = {"重", "は", "7", "kg", "です"};
+  probe.pos = {"NN", "PRT", "NUM", "UNIT", "VB"};
+  std::vector<std::string> labels = tagger.Predict(probe);
+  EXPECT_EQ(labels[2], "B-重");
+  EXPECT_EQ(labels[3], "I-重");
+}
+
+TEST(CrfTaggerTest, AdagradObjectiveDecreases) {
+  CrfOptions few;
+  few.trainer = CrfTrainer::kAdagrad;
+  few.max_iterations = 2;
+  few.epsilon = 0;  // no early stop
+  CrfTagger short_run(few);
+  ASSERT_TRUE(short_run.Train(PatternedData(60, 88)).ok());
+
+  CrfOptions many = few;
+  many.max_iterations = 60;
+  CrfTagger long_run(many);
+  ASSERT_TRUE(long_run.Train(PatternedData(60, 88)).ok());
+  EXPECT_LT(long_run.training_report().final_objective,
+            short_run.training_report().final_objective);
+}
+
+TEST(CrfTaggerTest, L1SparsifiesWeights) {
+  CrfOptions dense_options;
+  dense_options.c1 = 0.0;
+  dense_options.max_iterations = 40;
+  CrfTagger dense(dense_options);
+  ASSERT_TRUE(dense.Train(PatternedData(80, 99)).ok());
+
+  CrfOptions sparse_options;
+  sparse_options.c1 = 2.0;
+  sparse_options.max_iterations = 40;
+  CrfTagger sparse(sparse_options);
+  ASSERT_TRUE(sparse.Train(PatternedData(80, 99)).ok());
+
+  auto count_zeros = [](const std::vector<double>& w) {
+    size_t zeros = 0;
+    for (double v : w) {
+      if (v == 0.0) ++zeros;
+    }
+    return zeros;
+  };
+  EXPECT_GT(count_zeros(sparse.weights()), count_zeros(dense.weights()));
+}
+
+}  // namespace
+}  // namespace pae::crf

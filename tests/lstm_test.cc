@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lstm/bilstm_tagger.h"
+#include "lstm/lstm_cell.h"
+#include "util/rng.h"
+
+namespace pae::lstm {
+namespace {
+
+// ---------------- LSTM cell ----------------
+
+TEST(LstmCellTest, ForwardShapes) {
+  Rng rng(1);
+  LstmParams params(3, 4);
+  params.Init(&rng);
+  std::vector<std::vector<float>> inputs(5, std::vector<float>(3, 0.1f));
+  LstmTrace trace;
+  LstmForward(params, inputs, &trace);
+  ASSERT_EQ(trace.h.size(), 5u);
+  EXPECT_EQ(trace.h[0].size(), 4u);
+  EXPECT_EQ(trace.c.size(), 5u);
+}
+
+TEST(LstmCellTest, HiddenStateBounded) {
+  Rng rng(2);
+  LstmParams params(2, 3);
+  params.Init(&rng);
+  std::vector<std::vector<float>> inputs(20, std::vector<float>(2, 5.0f));
+  LstmTrace trace;
+  LstmForward(params, inputs, &trace);
+  for (const auto& h : trace.h) {
+    for (float v : h) EXPECT_LE(std::fabs(v), 1.0f);  // |o·tanh(c)| ≤ 1
+  }
+}
+
+TEST(LstmCellTest, EmptySequence) {
+  Rng rng(3);
+  LstmParams params(2, 3);
+  params.Init(&rng);
+  LstmTrace trace;
+  LstmForward(params, {}, &trace);
+  EXPECT_TRUE(trace.h.empty());
+  LstmParams grad(2, 3);
+  std::vector<std::vector<float>> dx;
+  LstmBackward(params, trace, {}, &grad, &dx);
+  EXPECT_TRUE(dx.empty());
+}
+
+/// Scalar loss for gradient checking: sum of all hidden states.
+double ForwardLoss(const LstmParams& params,
+                   const std::vector<std::vector<float>>& inputs) {
+  LstmTrace trace;
+  LstmForward(params, inputs, &trace);
+  double loss = 0;
+  for (const auto& h : trace.h) {
+    for (float v : h) loss += v;
+  }
+  return loss;
+}
+
+class LstmGradientTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LstmGradientTest, BackwardMatchesFiniteDifferences) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 5);
+  const size_t in_dim = 3, hidden = 4, T = 4;
+  LstmParams params(in_dim, hidden);
+  params.Init(&rng);
+  std::vector<std::vector<float>> inputs(T, std::vector<float>(in_dim));
+  for (auto& x : inputs) {
+    for (float& v : x) v = static_cast<float>(rng.NextGaussian() * 0.5);
+  }
+
+  LstmTrace trace;
+  LstmForward(params, inputs, &trace);
+  // dLoss/dh = 1 everywhere.
+  std::vector<std::vector<float>> dh(T, std::vector<float>(hidden, 1.0f));
+  LstmParams grad(in_dim, hidden);
+  std::vector<std::vector<float>> dx;
+  LstmBackward(params, trace, dh, &grad, &dx);
+
+  const float eps = 1e-3f;
+  // Check a few parameter coordinates in each block.
+  auto check_matrix = [&](math::Matrix* m, const math::Matrix& g,
+                          const char* name) {
+    for (int probe = 0; probe < 5; ++probe) {
+      const size_t r = rng.NextBounded(m->rows());
+      const size_t c = rng.NextBounded(m->cols());
+      const float saved = m->at(r, c);
+      m->at(r, c) = saved + eps;
+      const double fp = ForwardLoss(params, inputs);
+      m->at(r, c) = saved - eps;
+      const double fm = ForwardLoss(params, inputs);
+      m->at(r, c) = saved;
+      const double numeric = (fp - fm) / (2 * eps);
+      EXPECT_NEAR(g.at(r, c), numeric, 5e-2)
+          << name << "[" << r << "," << c << "]";
+    }
+  };
+  check_matrix(&params.wx, grad.wx, "wx");
+  check_matrix(&params.wh, grad.wh, "wh");
+
+  // Bias coordinates.
+  for (int probe = 0; probe < 4; ++probe) {
+    const size_t i = rng.NextBounded(params.b.size());
+    const float saved = params.b[i];
+    params.b[i] = saved + eps;
+    const double fp = ForwardLoss(params, inputs);
+    params.b[i] = saved - eps;
+    const double fm = ForwardLoss(params, inputs);
+    params.b[i] = saved;
+    EXPECT_NEAR(grad.b[i], (fp - fm) / (2 * eps), 5e-2) << "b[" << i << "]";
+  }
+
+  // Input gradients.
+  for (int probe = 0; probe < 4; ++probe) {
+    const size_t t = rng.NextBounded(T);
+    const size_t d = rng.NextBounded(in_dim);
+    const float saved = inputs[t][d];
+    inputs[t][d] = saved + eps;
+    const double fp = ForwardLoss(params, inputs);
+    inputs[t][d] = saved - eps;
+    const double fm = ForwardLoss(params, inputs);
+    inputs[t][d] = saved;
+    EXPECT_NEAR(dx[t][d], (fp - fm) / (2 * eps), 5e-2)
+        << "dx[" << t << "][" << d << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LstmGradientTest, ::testing::Range(0, 6));
+
+// ---------------- BiLSTM tagger ----------------
+
+std::vector<text::LabeledSequence> ToyData(int n, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::string> colors = {"red", "blue", "green", "pink"};
+  std::vector<text::LabeledSequence> data;
+  for (int i = 0; i < n; ++i) {
+    text::LabeledSequence seq;
+    const std::string color = colors[rng.NextBounded(colors.size())];
+    const std::string num = std::to_string(rng.NextInt(1, 9));
+    if (rng.Bernoulli(0.5)) {
+      seq.tokens = {"color", "is", color, "today"};
+      seq.pos = {"NN", "VB", "NN", "NN"};
+      seq.labels = {"O", "O", "B-color", "O"};
+    } else {
+      seq.tokens = {"weight", "is", num, "kg"};
+      seq.pos = {"NN", "VB", "NUM", "UNIT"};
+      seq.labels = {"O", "O", "B-weight", "I-weight"};
+    }
+    data.push_back(std::move(seq));
+  }
+  return data;
+}
+
+TEST(BiLstmTaggerTest, LearnsToyPattern) {
+  BiLstmOptions options;
+  options.epochs = 12;
+  options.learning_rate = 0.08f;
+  options.dropout = 0.2f;
+  options.seed = 5;
+  BiLstmTagger tagger(options);
+  ASSERT_TRUE(tagger.Train(ToyData(200, 44)).ok());
+
+  text::LabeledSequence probe;
+  probe.tokens = {"weight", "is", "7", "kg"};
+  probe.pos = {"NN", "VB", "NUM", "UNIT"};
+  std::vector<std::string> labels = tagger.Predict(probe);
+  EXPECT_EQ(labels[2], "B-weight");
+  EXPECT_EQ(labels[0], "O");
+}
+
+TEST(BiLstmTaggerTest, MoreEpochsLowerTrainingLoss) {
+  auto data = ToyData(120, 45);
+  BiLstmOptions short_options;
+  short_options.epochs = 1;
+  short_options.seed = 6;
+  BiLstmTagger short_run(short_options);
+  ASSERT_TRUE(short_run.Train(data).ok());
+
+  BiLstmOptions long_options;
+  long_options.epochs = 10;
+  long_options.seed = 6;
+  BiLstmTagger long_run(long_options);
+  ASSERT_TRUE(long_run.Train(data).ok());
+
+  EXPECT_LT(long_run.final_epoch_loss(), short_run.final_epoch_loss());
+}
+
+TEST(BiLstmTaggerTest, DeterministicGivenSeed) {
+  auto data = ToyData(60, 46);
+  BiLstmOptions options;
+  options.epochs = 2;
+  options.seed = 77;
+  BiLstmTagger a(options), b(options);
+  ASSERT_TRUE(a.Train(data).ok());
+  ASSERT_TRUE(b.Train(data).ok());
+  text::LabeledSequence probe;
+  probe.tokens = {"color", "is", "red", "today"};
+  probe.pos = {"NN", "VB", "NN", "NN"};
+  EXPECT_EQ(a.Predict(probe), b.Predict(probe));
+}
+
+TEST(BiLstmTaggerTest, EmptyTrainingSetRejected) {
+  BiLstmTagger tagger;
+  EXPECT_FALSE(tagger.Train({}).ok());
+}
+
+TEST(BiLstmTaggerTest, UntrainedPredictsOutside) {
+  BiLstmTagger tagger;
+  text::LabeledSequence probe;
+  probe.tokens = {"x"};
+  probe.pos = {"NN"};
+  EXPECT_EQ(tagger.Predict(probe), (std::vector<std::string>{"O"}));
+}
+
+TEST(BiLstmTaggerTest, HandlesUnseenWordsViaCharsAndUnk) {
+  BiLstmOptions options;
+  options.epochs = 8;
+  options.seed = 9;
+  BiLstmTagger tagger(options);
+  ASSERT_TRUE(tagger.Train(ToyData(150, 47)).ok());
+  text::LabeledSequence probe;
+  probe.tokens = {"weight", "is", "42", "kg"};  // "42" unseen
+  probe.pos = {"NN", "VB", "NUM", "UNIT"};
+  std::vector<std::string> labels = tagger.Predict(probe);
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(BiLstmTaggerTest, MultibyteTokensSplitIntoCharUnits) {
+  BiLstmOptions options;
+  options.epochs = 2;
+  options.seed = 10;
+  BiLstmTagger tagger(options);
+  std::vector<text::LabeledSequence> data;
+  text::LabeledSequence seq;
+  seq.tokens = {"重量", "は", "5", "kg"};
+  seq.pos = {"NN", "PRT", "NUM", "UNIT"};
+  seq.labels = {"O", "O", "B-重量", "I-重量"};
+  data.assign(30, seq);
+  ASSERT_TRUE(tagger.Train(data).ok());
+  EXPECT_EQ(tagger.Predict(seq).size(), 4u);
+}
+
+}  // namespace
+}  // namespace pae::lstm

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "util/rng.h"
+
+namespace pae::math {
+namespace {
+
+TEST(VecTest, Dot) {
+  EXPECT_FLOAT_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0f);
+  EXPECT_FLOAT_EQ(Dot({}, {}), 0.0f);
+}
+
+TEST(VecTest, Axpy) {
+  std::vector<float> y = {1, 1};
+  Axpy(2.0f, {3, 4}, &y);
+  EXPECT_FLOAT_EQ(y[0], 7.0f);
+  EXPECT_FLOAT_EQ(y[1], 9.0f);
+}
+
+TEST(VecTest, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2({}), 0.0);
+}
+
+TEST(VecTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-6);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);  // zero vector guard
+}
+
+TEST(VecTest, LogSumExpMatchesBruteForce) {
+  std::vector<double> x = {0.5, -1.2, 3.0, 2.2};
+  double brute = 0;
+  for (double v : x) brute += std::exp(v);
+  EXPECT_NEAR(LogSumExp(x), std::log(brute), 1e-12);
+}
+
+TEST(VecTest, LogSumExpStableForLargeInputs) {
+  std::vector<double> x = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(x), 1000.0 + std::log(2.0), 1e-9);
+  std::vector<double> y = {-1e9, -1e9};
+  EXPECT_NEAR(LogSumExp(y), -1e9 + std::log(2.0), 1.0);
+}
+
+TEST(VecTest, SoftmaxNormalizes) {
+  std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  SoftmaxInPlace(&x);
+  float sum = x[0] + x[1] + x[2];
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_GT(x[2], x[1]);
+  EXPECT_GT(x[1], x[0]);
+}
+
+TEST(VecTest, SoftmaxHandlesLargeLogits) {
+  std::vector<float> x = {10000.0f, 9999.0f};
+  SoftmaxInPlace(&x);
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_NEAR(x[0] + x[1], 1.0f, 1e-5);
+}
+
+TEST(VecTest, Sigmoid) {
+  EXPECT_NEAR(Sigmoid(0.0f), 0.5f, 1e-6);
+  EXPECT_GT(Sigmoid(10.0f), 0.999f);
+  EXPECT_LT(Sigmoid(-10.0f), 0.001f);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  // [[1,2,3],[4,5,6]]
+  float v = 1;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  }
+  std::vector<float> out;
+  m.MatVec({1, 1, 1}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FLOAT_EQ(out[0], 6.0f);
+  EXPECT_FLOAT_EQ(out[1], 15.0f);
+}
+
+TEST(MatrixTest, MatTVecIsTransposeOfMatVec) {
+  Rng rng(11);
+  Matrix m(4, 3);
+  m.XavierInit(&rng);
+  // Verify  y^T (M x) == (M^T y)^T x  for random vectors.
+  std::vector<float> x = {0.3f, -1.2f, 0.7f};
+  std::vector<float> y = {1.0f, -0.5f, 0.25f, 2.0f};
+  std::vector<float> mx, mty;
+  m.MatVec(x, &mx);
+  m.MatTVec(y, &mty);
+  EXPECT_NEAR(Dot(y, mx), Dot(mty, x), 1e-4);
+}
+
+TEST(MatrixTest, AddOuterMatchesManual) {
+  Matrix m(2, 2);
+  m.AddOuter(2.0f, {1, 3}, {5, 7});
+  EXPECT_FLOAT_EQ(m.at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 14.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 30.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 42.0f);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a(1, 2), b(1, 2);
+  a.at(0, 0) = 1;
+  b.at(0, 0) = 2;
+  b.at(0, 1) = 4;
+  a.AddScaled(0.5f, b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 2.0f);
+}
+
+TEST(MatrixTest, XavierInitWithinBounds) {
+  Rng rng(12);
+  Matrix m(10, 30);
+  m.XavierInit(&rng);
+  const float bound = std::sqrt(6.0f / 40.0f);
+  float max_abs = 0;
+  for (float v : m.data()) max_abs = std::max(max_abs, std::fabs(v));
+  EXPECT_LE(max_abs, bound);
+  EXPECT_GT(max_abs, 0.0f);
+}
+
+TEST(MatrixTest, SetZero) {
+  Rng rng(13);
+  Matrix m(3, 3);
+  m.XavierInit(&rng);
+  m.SetZero();
+  for (float v : m.data()) EXPECT_EQ(v, 0.0f);
+}
+
+// Property sweep: MatVec linearity over random shapes/seeds.
+class MatrixPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixPropertyTest, MatVecIsLinear) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t rows = 1 + rng.NextBounded(8);
+  const size_t cols = 1 + rng.NextBounded(8);
+  Matrix m(rows, cols);
+  m.XavierInit(&rng);
+  std::vector<float> x(cols), y(cols);
+  for (auto& v : x) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : y) v = static_cast<float>(rng.NextGaussian());
+  const float a = 0.7f, b = -1.3f;
+
+  std::vector<float> combo(cols);
+  for (size_t i = 0; i < cols; ++i) combo[i] = a * x[i] + b * y[i];
+  std::vector<float> m_combo, mx, my;
+  m.MatVec(combo, &m_combo);
+  m.MatVec(x, &mx);
+  m.MatVec(y, &my);
+  for (size_t r = 0; r < rows; ++r) {
+    EXPECT_NEAR(m_combo[r], a * mx[r] + b * my[r], 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace pae::math

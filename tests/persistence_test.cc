@@ -1,0 +1,283 @@
+// Serialization: BinaryWriter/Reader primitives, model Save/Load
+// round-trips (CRF, BiLSTM, word2vec), and the on-disk corpus layout.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/corpus_io.h"
+#include "crf/crf_tagger.h"
+#include "datagen/generator.h"
+#include "embed/word2vec.h"
+#include "lstm/bilstm_tagger.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace pae {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / ("pae_test_" + name)).string();
+}
+
+// ---------------- binary primitives ----------------
+
+TEST(SerialTest, ScalarAndVectorRoundTrip) {
+  const std::string path = TempPath("scalars.bin");
+  {
+    BinaryWriter writer(path, 0xABCD0001, 3);
+    writer.WriteU32(42);
+    writer.WriteI32(-7);
+    writer.WriteU64(1ULL << 40);
+    writer.WriteDouble(3.25);
+    writer.WriteFloat(-1.5f);
+    writer.WriteString("重量=5kg");
+    writer.WriteDoubleVec({1.0, 2.0, 3.0});
+    writer.WriteFloatVec({0.5f});
+    writer.WriteStringVec({"a", "", "長い文字列"});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path, 0xABCD0001, 3);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  uint32_t u32 = 0;
+  int32_t i32 = 0;
+  uint64_t u64 = 0;
+  double d = 0;
+  float f = 0;
+  std::string s;
+  std::vector<double> dv;
+  std::vector<float> fv;
+  std::vector<std::string> sv;
+  EXPECT_TRUE(reader.ReadU32(&u32));
+  EXPECT_TRUE(reader.ReadI32(&i32));
+  EXPECT_TRUE(reader.ReadU64(&u64));
+  EXPECT_TRUE(reader.ReadDouble(&d));
+  EXPECT_TRUE(reader.ReadFloat(&f));
+  EXPECT_TRUE(reader.ReadString(&s));
+  EXPECT_TRUE(reader.ReadDoubleVec(&dv));
+  EXPECT_TRUE(reader.ReadFloatVec(&fv));
+  EXPECT_TRUE(reader.ReadStringVec(&sv));
+  EXPECT_EQ(u32, 42u);
+  EXPECT_EQ(i32, -7);
+  EXPECT_EQ(u64, 1ULL << 40);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(f, -1.5f);
+  EXPECT_EQ(s, "重量=5kg");
+  EXPECT_EQ(dv, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(sv, (std::vector<std::string>{"a", "", "長い文字列"}));
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, BadMagicRejected) {
+  const std::string path = TempPath("magic.bin");
+  {
+    BinaryWriter writer(path, 0x11111111, 1);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path, 0x22222222, 1);
+  EXPECT_FALSE(reader.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, WrongVersionRejected) {
+  const std::string path = TempPath("version.bin");
+  {
+    BinaryWriter writer(path, 0x11111111, 1);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path, 0x11111111, 2);
+  EXPECT_FALSE(reader.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, TruncatedFileFailsGracefully) {
+  const std::string path = TempPath("trunc.bin");
+  {
+    BinaryWriter writer(path, 0x11111111, 1);
+    writer.WriteU32(1234);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  fs::resize_file(path, 9);  // header (8) + 1 byte
+  BinaryReader reader(path, 0x11111111, 1);
+  ASSERT_TRUE(reader.ok());
+  uint32_t v = 0;
+  EXPECT_FALSE(reader.ReadU32(&v));
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, MissingFileIsNotFound) {
+  BinaryReader reader(TempPath("does_not_exist.bin"), 1, 1);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------- model round-trips ----------------
+
+std::vector<text::LabeledSequence> TinyTrainingData() {
+  Rng rng(9);
+  std::vector<text::LabeledSequence> data;
+  for (int i = 0; i < 80; ++i) {
+    text::LabeledSequence seq;
+    const std::string v = std::to_string(rng.NextInt(1, 9));
+    seq.tokens = {"重量", "は", v, "kg", "です"};
+    seq.pos = {"NN", "PRT", "NUM", "UNIT", "VB"};
+    seq.labels = {"O", "O", "B-重量", "I-重量", "O"};
+    data.push_back(std::move(seq));
+  }
+  return data;
+}
+
+TEST(PersistenceTest, CrfSaveLoadPredictsIdentically) {
+  crf::CrfOptions options;
+  options.max_iterations = 25;
+  crf::CrfTagger original(options);
+  ASSERT_TRUE(original.Train(TinyTrainingData()).ok());
+  const std::string path = TempPath("model.crf");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  crf::CrfTagger restored;
+  ASSERT_TRUE(restored.Load(path).ok());
+
+  text::LabeledSequence probe;
+  probe.tokens = {"重量", "は", "7", "kg", "です"};
+  probe.pos = {"NN", "PRT", "NUM", "UNIT", "VB"};
+  EXPECT_EQ(restored.Predict(probe), original.Predict(probe));
+  auto scored_a = original.PredictScored(probe);
+  auto scored_b = restored.PredictScored(probe);
+  ASSERT_EQ(scored_a.confidence.size(), scored_b.confidence.size());
+  for (size_t i = 0; i < scored_a.confidence.size(); ++i) {
+    EXPECT_NEAR(scored_a.confidence[i], scored_b.confidence[i], 1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, CrfSaveUntrainedFails) {
+  crf::CrfTagger untrained;
+  EXPECT_FALSE(untrained.Save(TempPath("untrained.crf")).ok());
+}
+
+TEST(PersistenceTest, BiLstmSaveLoadPredictsIdentically) {
+  lstm::BiLstmOptions options;
+  options.epochs = 4;
+  options.seed = 3;
+  lstm::BiLstmTagger original(options);
+  ASSERT_TRUE(original.Train(TinyTrainingData()).ok());
+  const std::string path = TempPath("model.lstm");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  lstm::BiLstmTagger restored;
+  ASSERT_TRUE(restored.Load(path).ok());
+
+  text::LabeledSequence probe;
+  probe.tokens = {"重量", "は", "3", "kg", "です"};
+  probe.pos = {"NN", "PRT", "NUM", "UNIT", "VB"};
+  EXPECT_EQ(restored.Predict(probe), original.Predict(probe));
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, Word2VecSaveLoadKeepsSimilarities) {
+  embed::Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 4;
+  options.min_count = 1;
+  embed::Word2Vec original(options);
+  std::vector<std::vector<std::string>> corpus;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    corpus.push_back({"a", "b", rng.Bernoulli(0.5) ? "c" : "d", "e"});
+  }
+  ASSERT_TRUE(original.Train(corpus).ok());
+  const std::string path = TempPath("model.w2v");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  embed::Word2Vec restored;
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.dim(), original.dim());
+  EXPECT_DOUBLE_EQ(restored.Similarity("a", "b"),
+                   original.Similarity("a", "b"));
+  EXPECT_TRUE(restored.Contains("c"));
+  EXPECT_FALSE(restored.Contains("zzz"));
+  std::remove(path.c_str());
+}
+
+// ---------------- corpus I/O ----------------
+
+TEST(CorpusIoTest, CorpusRoundTrip) {
+  datagen::GeneratorConfig config;
+  config.num_products = 40;
+  config.seed = 21;
+  datagen::GeneratedCategory generated = datagen::GenerateCategory(
+      datagen::CategoryId::kLadiesBags, config);
+
+  const std::string dir = TempPath("corpus_roundtrip");
+  fs::remove_all(dir);
+  ASSERT_TRUE(core::SaveCorpus(generated.corpus, dir).ok());
+  auto loaded = core::LoadCorpus(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().category, generated.corpus.category);
+  EXPECT_EQ(loaded.value().language, generated.corpus.language);
+  ASSERT_EQ(loaded.value().pages.size(), generated.corpus.pages.size());
+  // Pages come back sorted by id; compare as map.
+  std::map<std::string, std::string> original_pages, loaded_pages;
+  for (const auto& p : generated.corpus.pages) {
+    original_pages[p.product_id] = p.html;
+  }
+  for (const auto& p : loaded.value().pages) {
+    loaded_pages[p.product_id] = p.html;
+  }
+  EXPECT_EQ(original_pages, loaded_pages);
+  EXPECT_EQ(loaded.value().query_log.size(),
+            generated.corpus.query_log.size());
+  EXPECT_EQ(loaded.value().tokenizer_lexicon,
+            generated.corpus.tokenizer_lexicon);
+  EXPECT_EQ(loaded.value().pos_lexicon.word_tags.size(),
+            generated.corpus.pos_lexicon.word_tags.size());
+  fs::remove_all(dir);
+}
+
+TEST(CorpusIoTest, TruthRoundTripPreservesJudgements) {
+  datagen::GeneratorConfig config;
+  config.num_products = 60;
+  config.seed = 22;
+  datagen::GeneratedCategory generated =
+      datagen::GenerateCategory(datagen::CategoryId::kGarden, config);
+
+  const std::string dir = TempPath("truth_roundtrip");
+  fs::remove_all(dir);
+  ASSERT_TRUE(core::SaveTruth(generated.truth, dir).ok());
+  auto loaded = core::LoadTruth(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded.value().entries.size(), generated.truth.entries.size());
+  EXPECT_EQ(loaded.value().attribute_aliases,
+            generated.truth.attribute_aliases);
+  EXPECT_EQ(loaded.value().valid_pairs, generated.truth.valid_pairs);
+  fs::remove_all(dir);
+}
+
+TEST(CorpusIoTest, TriplesRoundTrip) {
+  const std::string path = TempPath("triples.tsv");
+  std::vector<core::Triple> triples = {
+      {"p1", "カラー", "赤"},
+      {"p2", "重量", "2.5kg"},
+  };
+  ASSERT_TRUE(core::SaveTriples(triples, path).ok());
+  auto loaded = core::LoadTriples(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0], triples[0]);
+  EXPECT_EQ(loaded.value()[1], triples[1]);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, LoadMissingDirectoryFails) {
+  auto result = core::LoadCorpus(TempPath("nope_nope"));
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace pae

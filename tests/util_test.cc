@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace pae {
+namespace {
+
+// ---------------- Status / Result ----------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesSetTheirCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailsThrough() {
+  PAE_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+// ---------------- strings ----------------
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitSkipEmpty) {
+  EXPECT_EQ(StrSplitSkipEmpty(",a,,b,", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+  EXPECT_EQ(StrJoin({"only"}, "-"), "only");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringsTest, AsciiToLowerLeavesUtf8Alone) {
+  EXPECT_EQ(AsciiToLower("AbC"), "abc");
+  EXPECT_EQ(AsciiToLower("重量X"), "重量x");
+}
+
+TEST(StringsTest, IsAsciiDigits) {
+  EXPECT_TRUE(IsAsciiDigits("0123"));
+  EXPECT_FALSE(IsAsciiDigits(""));
+  EXPECT_FALSE(IsAsciiDigits("12a"));
+  EXPECT_FALSE(IsAsciiDigits("1.2"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(StrReplaceAll("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(StrReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(StrReplaceAll("abc", "", "zz"), "abc");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+// ---------------- rng ----------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleIndexFollowsWeights) {
+  Rng rng(8);
+  std::vector<double> weights = {1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.SampleIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent(10);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  EXPECT_NE(c1.NextU64(), c2.NextU64());
+}
+
+// ---------------- table printer ----------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t("Demo");
+  t.SetHeader({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22 |"), std::string::npos);
+  EXPECT_NE(out.find("| a         | 1  |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTitleOmitted) {
+  TablePrinter t("");
+  t.SetHeader({"h"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str().find("=="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pae

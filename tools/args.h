@@ -1,0 +1,60 @@
+#ifndef PAE_TOOLS_ARGS_H_
+#define PAE_TOOLS_ARGS_H_
+
+// Tiny --flag value / --flag parser shared by the CLI tools.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pae::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      const std::string name = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[name] = argv[++i];
+      } else {
+        values_[name] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pae::tools
+
+#endif  // PAE_TOOLS_ARGS_H_
