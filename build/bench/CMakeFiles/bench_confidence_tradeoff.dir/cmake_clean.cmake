@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confidence_tradeoff.dir/bench_confidence_tradeoff.cc.o"
+  "CMakeFiles/bench_confidence_tradeoff.dir/bench_confidence_tradeoff.cc.o.d"
+  "bench_confidence_tradeoff"
+  "bench_confidence_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confidence_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

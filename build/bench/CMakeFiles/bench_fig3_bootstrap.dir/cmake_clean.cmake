@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bootstrap.dir/bench_fig3_bootstrap.cc.o"
+  "CMakeFiles/bench_fig3_bootstrap.dir/bench_fig3_bootstrap.cc.o.d"
+  "bench_fig3_bootstrap"
+  "bench_fig3_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

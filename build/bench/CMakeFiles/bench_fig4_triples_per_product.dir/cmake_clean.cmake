@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_triples_per_product.dir/bench_fig4_triples_per_product.cc.o"
+  "CMakeFiles/bench_fig4_triples_per_product.dir/bench_fig4_triples_per_product.cc.o.d"
+  "bench_fig4_triples_per_product"
+  "bench_fig4_triples_per_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_triples_per_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

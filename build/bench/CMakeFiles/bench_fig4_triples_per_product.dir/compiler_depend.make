@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_triples_per_product.
+# This may be replaced when dependencies are built.

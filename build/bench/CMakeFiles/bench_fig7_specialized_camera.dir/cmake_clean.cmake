@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_specialized_camera.dir/bench_fig7_specialized_camera.cc.o"
+  "CMakeFiles/bench_fig7_specialized_camera.dir/bench_fig7_specialized_camera.cc.o.d"
+  "bench_fig7_specialized_camera"
+  "bench_fig7_specialized_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_specialized_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_specialized_camera.
+# This may be replaced when dependencies are built.

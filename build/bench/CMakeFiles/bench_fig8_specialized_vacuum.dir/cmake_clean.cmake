@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_specialized_vacuum.dir/bench_fig8_specialized_vacuum.cc.o"
+  "CMakeFiles/bench_fig8_specialized_vacuum.dir/bench_fig8_specialized_vacuum.cc.o.d"
+  "bench_fig8_specialized_vacuum"
+  "bench_fig8_specialized_vacuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_specialized_vacuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

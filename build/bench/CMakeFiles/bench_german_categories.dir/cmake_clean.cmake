@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_german_categories.dir/bench_german_categories.cc.o"
+  "CMakeFiles/bench_german_categories.dir/bench_german_categories.cc.o.d"
+  "bench_german_categories"
+  "bench_german_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_german_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

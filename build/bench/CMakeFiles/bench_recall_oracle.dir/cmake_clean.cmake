@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recall_oracle.dir/bench_recall_oracle.cc.o"
+  "CMakeFiles/bench_recall_oracle.dir/bench_recall_oracle.cc.o.d"
+  "bench_recall_oracle"
+  "bench_recall_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recall_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

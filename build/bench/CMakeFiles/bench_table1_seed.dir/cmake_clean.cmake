@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_seed.dir/bench_table1_seed.cc.o"
+  "CMakeFiles/bench_table1_seed.dir/bench_table1_seed.cc.o.d"
+  "bench_table1_seed"
+  "bench_table1_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_experiment_lib.dir/experiment_lib.cc.o"
+  "CMakeFiles/pae_experiment_lib.dir/experiment_lib.cc.o.d"
+  "CMakeFiles/pae_experiment_lib.dir/table23_runner.cc.o"
+  "CMakeFiles/pae_experiment_lib.dir/table23_runner.cc.o.d"
+  "libpae_experiment_lib.a"
+  "libpae_experiment_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_experiment_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

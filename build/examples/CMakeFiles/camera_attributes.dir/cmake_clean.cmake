@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_attributes.dir/camera_attributes.cpp.o"
+  "CMakeFiles/camera_attributes.dir/camera_attributes.cpp.o.d"
+  "camera_attributes"
+  "camera_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

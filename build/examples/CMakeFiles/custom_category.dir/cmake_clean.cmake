@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_category.dir/custom_category.cpp.o"
+  "CMakeFiles/custom_category.dir/custom_category.cpp.o.d"
+  "custom_category"
+  "custom_category.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

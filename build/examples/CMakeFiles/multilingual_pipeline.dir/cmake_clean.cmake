@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilingual_pipeline.dir/multilingual_pipeline.cpp.o"
+  "CMakeFiles/multilingual_pipeline.dir/multilingual_pipeline.cpp.o.d"
+  "multilingual_pipeline"
+  "multilingual_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilingual_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

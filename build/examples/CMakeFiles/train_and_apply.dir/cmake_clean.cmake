@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_apply.dir/train_and_apply.cpp.o"
+  "CMakeFiles/train_and_apply.dir/train_and_apply.cpp.o.d"
+  "train_and_apply"
+  "train_and_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

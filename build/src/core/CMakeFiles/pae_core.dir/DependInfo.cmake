@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apply.cc" "src/core/CMakeFiles/pae_core.dir/apply.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/apply.cc.o.d"
+  "/root/repo/src/core/bootstrap.cc" "src/core/CMakeFiles/pae_core.dir/bootstrap.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/bootstrap.cc.o.d"
+  "/root/repo/src/core/cleaning.cc" "src/core/CMakeFiles/pae_core.dir/cleaning.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/cleaning.cc.o.d"
+  "/root/repo/src/core/corpus_io.cc" "src/core/CMakeFiles/pae_core.dir/corpus_io.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/corpus_io.cc.o.d"
+  "/root/repo/src/core/document.cc" "src/core/CMakeFiles/pae_core.dir/document.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/document.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/core/CMakeFiles/pae_core.dir/ensemble.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/ensemble.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/pae_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/core/CMakeFiles/pae_core.dir/normalize.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/normalize.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/pae_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/core/CMakeFiles/pae_core.dir/preprocess.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/preprocess.cc.o.d"
+  "/root/repo/src/core/tagging.cc" "src/core/CMakeFiles/pae_core.dir/tagging.cc.o" "gcc" "src/core/CMakeFiles/pae_core.dir/tagging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pae_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pae_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/pae_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/pae_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lstm/CMakeFiles/pae_lstm.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/pae_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/pae_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_core.dir/apply.cc.o"
+  "CMakeFiles/pae_core.dir/apply.cc.o.d"
+  "CMakeFiles/pae_core.dir/bootstrap.cc.o"
+  "CMakeFiles/pae_core.dir/bootstrap.cc.o.d"
+  "CMakeFiles/pae_core.dir/cleaning.cc.o"
+  "CMakeFiles/pae_core.dir/cleaning.cc.o.d"
+  "CMakeFiles/pae_core.dir/corpus_io.cc.o"
+  "CMakeFiles/pae_core.dir/corpus_io.cc.o.d"
+  "CMakeFiles/pae_core.dir/document.cc.o"
+  "CMakeFiles/pae_core.dir/document.cc.o.d"
+  "CMakeFiles/pae_core.dir/ensemble.cc.o"
+  "CMakeFiles/pae_core.dir/ensemble.cc.o.d"
+  "CMakeFiles/pae_core.dir/eval.cc.o"
+  "CMakeFiles/pae_core.dir/eval.cc.o.d"
+  "CMakeFiles/pae_core.dir/normalize.cc.o"
+  "CMakeFiles/pae_core.dir/normalize.cc.o.d"
+  "CMakeFiles/pae_core.dir/partition.cc.o"
+  "CMakeFiles/pae_core.dir/partition.cc.o.d"
+  "CMakeFiles/pae_core.dir/preprocess.cc.o"
+  "CMakeFiles/pae_core.dir/preprocess.cc.o.d"
+  "CMakeFiles/pae_core.dir/tagging.cc.o"
+  "CMakeFiles/pae_core.dir/tagging.cc.o.d"
+  "libpae_core.a"
+  "libpae_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/crf_model.cc" "src/crf/CMakeFiles/pae_crf.dir/crf_model.cc.o" "gcc" "src/crf/CMakeFiles/pae_crf.dir/crf_model.cc.o.d"
+  "/root/repo/src/crf/crf_tagger.cc" "src/crf/CMakeFiles/pae_crf.dir/crf_tagger.cc.o" "gcc" "src/crf/CMakeFiles/pae_crf.dir/crf_tagger.cc.o.d"
+  "/root/repo/src/crf/feature_extractor.cc" "src/crf/CMakeFiles/pae_crf.dir/feature_extractor.cc.o" "gcc" "src/crf/CMakeFiles/pae_crf.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/crf/owlqn.cc" "src/crf/CMakeFiles/pae_crf.dir/owlqn.cc.o" "gcc" "src/crf/CMakeFiles/pae_crf.dir/owlqn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pae_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/pae_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pae_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

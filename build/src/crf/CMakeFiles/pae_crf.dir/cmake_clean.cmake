@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_crf.dir/crf_model.cc.o"
+  "CMakeFiles/pae_crf.dir/crf_model.cc.o.d"
+  "CMakeFiles/pae_crf.dir/crf_tagger.cc.o"
+  "CMakeFiles/pae_crf.dir/crf_tagger.cc.o.d"
+  "CMakeFiles/pae_crf.dir/feature_extractor.cc.o"
+  "CMakeFiles/pae_crf.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/pae_crf.dir/owlqn.cc.o"
+  "CMakeFiles/pae_crf.dir/owlqn.cc.o.d"
+  "libpae_crf.a"
+  "libpae_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_datagen.dir/generator.cc.o"
+  "CMakeFiles/pae_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/pae_datagen.dir/schema.cc.o"
+  "CMakeFiles/pae_datagen.dir/schema.cc.o.d"
+  "CMakeFiles/pae_datagen.dir/word_factory.cc.o"
+  "CMakeFiles/pae_datagen.dir/word_factory.cc.o.d"
+  "libpae_datagen.a"
+  "libpae_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/word2vec.cc" "src/embed/CMakeFiles/pae_embed.dir/word2vec.cc.o" "gcc" "src/embed/CMakeFiles/pae_embed.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pae_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/pae_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pae_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

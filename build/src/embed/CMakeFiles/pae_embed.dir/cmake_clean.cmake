@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_embed.dir/word2vec.cc.o"
+  "CMakeFiles/pae_embed.dir/word2vec.cc.o.d"
+  "libpae_embed.a"
+  "libpae_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

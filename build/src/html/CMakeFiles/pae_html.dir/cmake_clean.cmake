@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_html.dir/parser.cc.o"
+  "CMakeFiles/pae_html.dir/parser.cc.o.d"
+  "CMakeFiles/pae_html.dir/table_extractor.cc.o"
+  "CMakeFiles/pae_html.dir/table_extractor.cc.o.d"
+  "libpae_html.a"
+  "libpae_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_lstm.dir/bilstm_tagger.cc.o"
+  "CMakeFiles/pae_lstm.dir/bilstm_tagger.cc.o.d"
+  "CMakeFiles/pae_lstm.dir/lstm_cell.cc.o"
+  "CMakeFiles/pae_lstm.dir/lstm_cell.cc.o.d"
+  "libpae_lstm.a"
+  "libpae_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_math.dir/matrix.cc.o"
+  "CMakeFiles/pae_math.dir/matrix.cc.o.d"
+  "libpae_math.a"
+  "libpae_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

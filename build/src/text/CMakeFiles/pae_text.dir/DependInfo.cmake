@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/labeled_sequence.cc" "src/text/CMakeFiles/pae_text.dir/labeled_sequence.cc.o" "gcc" "src/text/CMakeFiles/pae_text.dir/labeled_sequence.cc.o.d"
+  "/root/repo/src/text/negation.cc" "src/text/CMakeFiles/pae_text.dir/negation.cc.o" "gcc" "src/text/CMakeFiles/pae_text.dir/negation.cc.o.d"
+  "/root/repo/src/text/pos_tagger.cc" "src/text/CMakeFiles/pae_text.dir/pos_tagger.cc.o" "gcc" "src/text/CMakeFiles/pae_text.dir/pos_tagger.cc.o.d"
+  "/root/repo/src/text/sentence.cc" "src/text/CMakeFiles/pae_text.dir/sentence.cc.o" "gcc" "src/text/CMakeFiles/pae_text.dir/sentence.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/pae_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/pae_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/utf8.cc" "src/text/CMakeFiles/pae_text.dir/utf8.cc.o" "gcc" "src/text/CMakeFiles/pae_text.dir/utf8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_text.dir/labeled_sequence.cc.o"
+  "CMakeFiles/pae_text.dir/labeled_sequence.cc.o.d"
+  "CMakeFiles/pae_text.dir/negation.cc.o"
+  "CMakeFiles/pae_text.dir/negation.cc.o.d"
+  "CMakeFiles/pae_text.dir/pos_tagger.cc.o"
+  "CMakeFiles/pae_text.dir/pos_tagger.cc.o.d"
+  "CMakeFiles/pae_text.dir/sentence.cc.o"
+  "CMakeFiles/pae_text.dir/sentence.cc.o.d"
+  "CMakeFiles/pae_text.dir/tokenizer.cc.o"
+  "CMakeFiles/pae_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/pae_text.dir/utf8.cc.o"
+  "CMakeFiles/pae_text.dir/utf8.cc.o.d"
+  "libpae_text.a"
+  "libpae_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpae_text.a"
+)

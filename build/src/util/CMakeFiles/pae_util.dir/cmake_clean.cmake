@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae_util.dir/logging.cc.o"
+  "CMakeFiles/pae_util.dir/logging.cc.o.d"
+  "CMakeFiles/pae_util.dir/serial.cc.o"
+  "CMakeFiles/pae_util.dir/serial.cc.o.d"
+  "CMakeFiles/pae_util.dir/status.cc.o"
+  "CMakeFiles/pae_util.dir/status.cc.o.d"
+  "CMakeFiles/pae_util.dir/strings.cc.o"
+  "CMakeFiles/pae_util.dir/strings.cc.o.d"
+  "CMakeFiles/pae_util.dir/table_printer.cc.o"
+  "CMakeFiles/pae_util.dir/table_printer.cc.o.d"
+  "libpae_util.a"
+  "libpae_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/pae_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/pae_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/pae_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lstm/CMakeFiles/pae_lstm.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/pae_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/pae_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pae_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

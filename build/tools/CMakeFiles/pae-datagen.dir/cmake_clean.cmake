@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae-datagen.dir/pae_datagen.cc.o"
+  "CMakeFiles/pae-datagen.dir/pae_datagen.cc.o.d"
+  "pae-datagen"
+  "pae-datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae-datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pae-extract.dir/pae_extract.cc.o"
+  "CMakeFiles/pae-extract.dir/pae_extract.cc.o.d"
+  "pae-extract"
+  "pae-extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pae-extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
