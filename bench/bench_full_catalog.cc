@@ -11,6 +11,7 @@
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace pae::bench {
 namespace {
@@ -20,21 +21,24 @@ int Run() {
   PrintHeader("Catalog sweep — full pipeline over all 21+ categories",
               options);
 
+  const int threads = util::ThreadPool::ResolveThreads(options.threads);
   TablePrinter table("CRF + cleaning, 2 cycles");
-  table.SetHeader({"Category", "Lang", "Attrs", "Precision %",
+  table.SetHeader({"Category", "Lang", "Threads", "Attrs", "Precision %",
                    "Coverage %", "Triples"});
   double precision_sum = 0;
   int rows = 0;
   for (datagen::CategoryId id : datagen::AllCategories()) {
     const PreparedCategory& category = Prepare(id, options);
     std::cerr << "[catalog] " << datagen::CategoryName(id) << "\n";
-    core::PipelineResult result =
-        RunPipeline(category, CrfConfig(/*iterations=*/2, true));
+    core::PipelineConfig config = CrfConfig(/*iterations=*/2, true);
+    config.threads = options.threads;
+    core::PipelineResult result = RunPipeline(category, config);
     core::TripleMetrics metrics = Evaluate(category, result.final_triples());
     precision_sum += metrics.precision;
     ++rows;
     table.AddRow({datagen::CategoryName(id),
                   text::LanguageName(category.corpus.language),
+                  std::to_string(threads),
                   std::to_string(result.seed.attributes.size()),
                   FormatDouble(metrics.precision, 2),
                   FormatDouble(metrics.coverage, 2),

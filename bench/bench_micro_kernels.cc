@@ -13,6 +13,7 @@
 #include "lstm/lstm_cell.h"
 #include "text/tokenizer.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace pae {
 namespace {
@@ -163,11 +164,12 @@ void BM_CjkTokenize(benchmark::State& state) {
 }
 BENCHMARK(BM_CjkTokenize);
 
-void BM_CrfTrainSmall(benchmark::State& state) {
-  // End-to-end training cost on a small patterned dataset.
+// Shared builder for the CRF-training benchmarks: a small patterned
+// dataset whose gradient pass dominates the runtime.
+std::vector<text::LabeledSequence> MakeCrfTrainData(int sequences) {
   Rng rng(6);
   std::vector<text::LabeledSequence> data;
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < sequences; ++i) {
     text::LabeledSequence seq;
     const std::string v = std::to_string(rng.NextInt(1, 9));
     seq.tokens = {"重量", "は", v, "kg", "です"};
@@ -175,14 +177,71 @@ void BM_CrfTrainSmall(benchmark::State& state) {
     seq.labels = {"O", "O", "B-重量", "I-重量", "O"};
     data.push_back(std::move(seq));
   }
+  return data;
+}
+
+void BM_CrfTrainSmall(benchmark::State& state) {
+  // End-to-end training cost; Arg = thread count. The trained weights
+  // are bit-identical for every arg, so the times are comparable.
+  const std::vector<text::LabeledSequence> data = MakeCrfTrainData(200);
   crf::CrfOptions options;
   options.max_iterations = 15;
+  options.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     crf::CrfTagger tagger(options);
     benchmark::DoNotOptimize(tagger.Train(data).ok());
   }
 }
-BENCHMARK(BM_CrfTrainSmall);
+BENCHMARK(BM_CrfTrainSmall)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CrfBatchTag(benchmark::State& state) {
+  // Batch tagging (the apply/bootstrap Tagger-stage kernel): per-sentence
+  // PredictScored fanned out over a thread pool; Arg = thread count.
+  const std::vector<text::LabeledSequence> data = MakeCrfTrainData(64);
+  crf::CrfOptions options;
+  options.max_iterations = 15;
+  crf::CrfTagger tagger(options);
+  if (!tagger.Train(data).ok()) {
+    state.SkipWithError("CRF training failed");
+    return;
+  }
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<text::SequenceTagger::ScoredPrediction> predictions(data.size());
+  for (auto _ : state) {
+    pool.ParallelFor(0, data.size(), 8, [&](size_t i) {
+      predictions[i] = tagger.PredictScored(data[i]);
+    });
+    benchmark::DoNotOptimize(predictions.front().labels.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_CrfBatchTag)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Word2VecTrainSharded(benchmark::State& state) {
+  // Sharded word2vec epochs; Arg = thread count at a fixed shard count
+  // (the vectors depend on shards, never on threads).
+  Rng rng(7);
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::string> sentence;
+    for (int k = 0; k < 10; ++k) {
+      sentence.push_back("w" + std::to_string(rng.NextBounded(400)));
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  embed::Word2VecOptions options;
+  options.dim = 32;
+  options.epochs = 1;
+  options.min_count = 1;
+  options.shards = 8;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    embed::Word2Vec model(options);
+    benchmark::DoNotOptimize(model.Train(corpus).ok());
+  }
+}
+BENCHMARK(BM_Word2VecTrainSharded)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace pae

@@ -1,10 +1,12 @@
 #include "experiment_lib.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace pae::bench {
 
@@ -16,6 +18,9 @@ BenchOptions BenchOptions::FromEnv(int default_products) {
   }
   if (const char* env = std::getenv("PAE_SEED")) {
     options.seed = static_cast<uint64_t>(std::atoll(env));
+  }
+  if (const char* env = std::getenv("PAE_THREADS")) {
+    options.threads = std::max(0, std::atoi(env));
   }
   return options;
 }
@@ -54,7 +59,8 @@ const PreparedCategory& Prepare(datagen::CategoryId id,
     generator_config.seed = options.seed;
     auto prepared = std::make_unique<PreparedCategory>();
     prepared->generated = datagen::GenerateCategory(id, generator_config);
-    prepared->corpus = core::ProcessCorpus(prepared->generated.corpus);
+    prepared->corpus =
+        core::ProcessCorpus(prepared->generated.corpus, options.threads);
     it = cache->emplace(key, std::move(prepared)).first;
   }
   return *it->second;
@@ -88,7 +94,8 @@ void PrintHeader(const std::string& title, const BenchOptions& options) {
             << "# " << title << "\n"
             << "# corpus: " << options.num_products
             << " products/category (synthetic, seed=" << options.seed
-            << ")\n"
+            << ", threads="
+            << util::ThreadPool::ResolveThreads(options.threads) << ")\n"
             << "# Cells show: paper / measured. Absolute numbers come\n"
             << "# from a synthetic substitute corpus; the reproduction\n"
             << "# target is the SHAPE (orderings, gaps, crossovers).\n"

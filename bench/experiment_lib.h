@@ -12,12 +12,15 @@
 namespace pae::bench {
 
 /// Scale knobs shared by all experiment binaries. Overridable via
-/// environment: PAE_PRODUCTS (products per category), PAE_SEED.
+/// environment: PAE_PRODUCTS (products per category), PAE_SEED,
+/// PAE_THREADS (0 = all hardware threads; results are identical for
+/// every value, only wall-clock changes).
 /// Defaults are sized so each binary finishes in minutes on one core;
 /// the shapes are stable from a few hundred products up.
 struct BenchOptions {
   int num_products = 300;
   uint64_t seed = 42;
+  int threads = 0;
 
   static BenchOptions FromEnv(int default_products = 300);
 };

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repository check: build + full test suite twice — once plain, once
+# with ThreadSanitizer focused on the concurrency surface.
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --no-tsan  # plain pass only (e.g. TSan-less hosts)
+#
+# Pass 1 (default flags) configures build-check/ and runs every ctest
+# target. Pass 2 configures build-check-tsan/ with -DPAE_SANITIZE=thread
+# and runs the thread-pool + concurrency binaries directly: they are the
+# tests whose failure modes are data races, and running them under TSan
+# turns the determinism assertions into race detection.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_TSAN=1
+[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+
+echo "==> pass 1: default build + full ctest"
+cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-check -j "${JOBS}"
+ctest --test-dir build-check --output-on-failure -j "${JOBS}"
+
+if [[ "${RUN_TSAN}" == "1" ]]; then
+  echo "==> pass 2: ThreadSanitizer build + concurrency binaries"
+  cmake -B build-check-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DPAE_SANITIZE=thread > /dev/null
+  cmake --build build-check-tsan -j "${JOBS}" \
+        --target thread_pool_test concurrency_test
+  ./build-check-tsan/tests/thread_pool_test
+  ./build-check-tsan/tests/concurrency_test
+fi
+
+echo "==> all checks passed"

@@ -5,6 +5,7 @@
 
 #include "core/normalize.h"
 #include "text/negation.h"
+#include "util/thread_pool.h"
 
 namespace pae::core {
 
@@ -22,44 +23,65 @@ std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
   std::unordered_map<std::string, std::unordered_set<std::string>>
       candidate_products;
 
-  for (const ProcessedPage& page : corpus.pages) {
-    for (const text::LabeledSequence& sentence : page.sentences) {
-      if (options.negation_filtering &&
-          negation.IsNegated(sentence.tokens)) {
+  // Tag all sentences on the pool; merge the per-sentence spans in
+  // corpus order afterwards so every map fill and dedup decision matches
+  // the serial pass byte for byte.
+  struct SentRef {
+    size_t page;
+    size_t sent;
+  };
+  std::vector<SentRef> refs;
+  for (size_t p = 0; p < corpus.pages.size(); ++p) {
+    for (size_t s = 0; s < corpus.pages[p].sentences.size(); ++s) {
+      refs.push_back(SentRef{p, s});
+    }
+  }
+  std::vector<std::vector<text::ValueSpan>> sent_spans(refs.size());
+  util::ThreadPool pool(util::ThreadPool::ResolveThreads(options.threads));
+  pool.ParallelFor(0, refs.size(), 8, [&](size_t i) {
+    const ProcessedPage& page = corpus.pages[refs[i].page];
+    const text::LabeledSequence& sentence = page.sentences[refs[i].sent];
+    if (options.negation_filtering && negation.IsNegated(sentence.tokens)) {
+      return;
+    }
+    text::SequenceTagger::ScoredPrediction scored =
+        tagger.PredictScored(sentence);
+    for (const text::ValueSpan& span : text::DecodeBioSpans(scored.labels)) {
+      if (options.min_span_confidence > 0) {
+        double min_conf = 1.0;
+        for (size_t k = span.begin; k < span.end; ++k) {
+          min_conf = std::min(min_conf, scored.confidence[k]);
+        }
+        if (min_conf < options.min_span_confidence) continue;
+      }
+      sent_spans[i].push_back(span);
+    }
+  });
+
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const ProcessedPage& page = corpus.pages[refs[i].page];
+    const text::LabeledSequence& sentence = page.sentences[refs[i].sent];
+    for (const text::ValueSpan& span : sent_spans[i]) {
+      std::vector<std::string> value_tokens(
+          sentence.tokens.begin() + static_cast<long>(span.begin),
+          sentence.tokens.begin() + static_cast<long>(span.end));
+      const std::string display = corpus.Detokenize(value_tokens);
+      const std::string key =
+          PairKey(span.attribute, NormalizeValue(display));
+      if (!options.accepted_pairs.empty() &&
+          options.accepted_pairs.count(key) == 0) {
         continue;
       }
-      text::SequenceTagger::ScoredPrediction scored =
-          tagger.PredictScored(sentence);
-      for (const text::ValueSpan& span :
-           text::DecodeBioSpans(scored.labels)) {
-        if (options.min_span_confidence > 0) {
-          double min_conf = 1.0;
-          for (size_t k = span.begin; k < span.end; ++k) {
-            min_conf = std::min(min_conf, scored.confidence[k]);
-          }
-          if (min_conf < options.min_span_confidence) continue;
-        }
-        std::vector<std::string> value_tokens(
-            sentence.tokens.begin() + static_cast<long>(span.begin),
-            sentence.tokens.begin() + static_cast<long>(span.end));
-        const std::string display = corpus.Detokenize(value_tokens);
-        const std::string key =
-            PairKey(span.attribute, NormalizeValue(display));
-        if (!options.accepted_pairs.empty() &&
-            options.accepted_pairs.count(key) == 0) {
-          continue;
-        }
-        pending.push_back(
-            {Triple{page.product_id, span.attribute, display}, key});
-        auto [it, inserted] = candidate_map.emplace(key, TaggedCandidate{});
-        if (inserted) {
-          it->second.attribute = span.attribute;
-          it->second.value_display = display;
-          it->second.value_tokens = std::move(value_tokens);
-        }
-        if (candidate_products[key].insert(page.product_id).second) {
-          it->second.item_count += 1;
-        }
+      pending.push_back(
+          {Triple{page.product_id, span.attribute, display}, key});
+      auto [it, inserted] = candidate_map.emplace(key, TaggedCandidate{});
+      if (inserted) {
+        it->second.attribute = span.attribute;
+        it->second.value_display = display;
+        it->second.value_tokens = std::move(value_tokens);
+      }
+      if (candidate_products[key].insert(page.product_id).second) {
+        it->second.item_count += 1;
       }
     }
   }

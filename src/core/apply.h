@@ -29,6 +29,11 @@ struct ApplyOptions {
   /// are emitted (keys via PairKey(attribute, NormalizeValue(value))) —
   /// the "known catalog values" deployment mode.
   std::unordered_set<std::string> accepted_pairs;
+  /// Threads for per-sentence tagging (0 = all hardware threads,
+  /// negative clamps to 1). Output is byte-identical for every thread
+  /// count: predictions are collected per sentence slot and merged in
+  /// corpus order.
+  int threads = 0;
 };
 
 /// Tags every sentence of every page and returns the surviving triples.

@@ -10,6 +10,7 @@
 #include "text/negation.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace pae::core {
 
@@ -60,6 +61,16 @@ std::unique_ptr<text::SequenceTagger> Pipeline::MakeTagger(
 }
 
 Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
+  if (config_.threads < 0) {
+    return Status::InvalidArgument(
+        "PipelineConfig.threads must be >= 0 (0 = all hardware threads), "
+        "got " + std::to_string(config_.threads));
+  }
+  const int threads = util::ThreadPool::ResolveThreads(config_.threads);
+  util::ThreadPool pool(threads);
+  config_.crf.threads = threads;
+  config_.semantic.word2vec.threads = threads;
+
   PipelineResult result;
   result.seed = BuildSeed(corpus, config_.preprocess);
   if (result.seed.pairs.empty()) {
@@ -95,32 +106,53 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
     return config_.negation_filtering && negation.IsNegated(sentence.tokens);
   };
 
+  // Distant supervision: label every seed-page sentence against the
+  // seed in parallel (each sentence is independent), then fold the
+  // results sequentially in corpus order so triples and training
+  // sentences accumulate exactly as a serial pass would.
+  std::vector<SentRef> all_sents;
   for (size_t p = 0; p < corpus.pages.size(); ++p) {
-    const ProcessedPage& page = corpus.pages[p];
-    const bool is_seed_page = !page.tables.empty();
-    for (size_t s = 0; s < page.sentences.size(); ++s) {
-      if (is_seed_page) {
-        text::LabeledSequence seq = page.sentences[s];
-        seed_supervisor.Label(&seq);
-        if (drop_for_negation(seq)) {
-          // Keep the sentence as an all-O negative example but produce
-          // no triples from it (Definition 3.1).
-          seq.labels.assign(seq.tokens.size(), text::kOutsideLabel);
-          labeled.push_back(std::move(seq));
-          continue;
-        }
-        for (const text::ValueSpan& span : text::DecodeBioSpans(seq.labels)) {
-          std::vector<std::string> value_tokens(
-              seq.tokens.begin() + static_cast<long>(span.begin),
-              seq.tokens.begin() + static_cast<long>(span.end));
-          add_triple(page.product_id, span.attribute,
-                     corpus.Detokenize(value_tokens));
-        }
-        labeled.push_back(std::move(seq));
-      } else {
-        unlabeled.push_back(SentRef{p, s});
-      }
+    for (size_t s = 0; s < corpus.pages[p].sentences.size(); ++s) {
+      all_sents.push_back(SentRef{p, s});
     }
+  }
+  struct LabelOutcome {
+    text::LabeledSequence seq;  // labeled copy (seed pages only)
+    bool negated = false;
+  };
+  std::vector<LabelOutcome> label_outcomes(all_sents.size());
+  pool.ParallelFor(0, all_sents.size(), 16, [&](size_t i) {
+    const SentRef ref = all_sents[i];
+    const ProcessedPage& page = corpus.pages[ref.page];
+    if (page.tables.empty()) return;
+    text::LabeledSequence seq = page.sentences[ref.sent];
+    seed_supervisor.Label(&seq);
+    label_outcomes[i].negated = drop_for_negation(seq);
+    label_outcomes[i].seq = std::move(seq);
+  });
+  for (size_t i = 0; i < all_sents.size(); ++i) {
+    const SentRef ref = all_sents[i];
+    const ProcessedPage& page = corpus.pages[ref.page];
+    if (page.tables.empty()) {
+      unlabeled.push_back(ref);
+      continue;
+    }
+    text::LabeledSequence& seq = label_outcomes[i].seq;
+    if (label_outcomes[i].negated) {
+      // Keep the sentence as an all-O negative example but produce
+      // no triples from it (Definition 3.1).
+      seq.labels.assign(seq.tokens.size(), text::kOutsideLabel);
+      labeled.push_back(std::move(seq));
+      continue;
+    }
+    for (const text::ValueSpan& span : text::DecodeBioSpans(seq.labels)) {
+      std::vector<std::string> value_tokens(
+          seq.tokens.begin() + static_cast<long>(span.begin),
+          seq.tokens.begin() + static_cast<long>(span.end));
+      add_triple(page.product_id, span.attribute,
+                 corpus.Detokenize(value_tokens));
+    }
+    labeled.push_back(std::move(seq));
   }
   result.seed_triples.reserve(triples.size());
   for (const auto& [key, t] : triples) result.seed_triples.push_back(t);
@@ -205,15 +237,24 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
     std::unordered_map<std::string, std::unordered_set<std::string>>
         candidate_products;
 
-    for (size_t u = 0; u < unlabeled.size(); ++u) {
+    // Tag sentences on the pool (prediction is read-only on the model),
+    // then merge in index order so candidate discovery — and therefore
+    // every downstream map and tie-break — is independent of scheduling.
+    struct TagOutcome {
+      bool kept = false;
+      std::vector<std::string> labels;
+      std::vector<text::ValueSpan> spans;
+    };
+    std::vector<TagOutcome> tag_outcomes(unlabeled.size());
+    pool.ParallelFor(0, unlabeled.size(), 8, [&](size_t u) {
       const SentRef ref = unlabeled[u];
       const ProcessedPage& page = corpus.pages[ref.page];
       const text::LabeledSequence& sentence = page.sentences[ref.sent];
-      if (drop_for_negation(sentence)) continue;
+      if (drop_for_negation(sentence)) return;
       text::SequenceTagger::ScoredPrediction scored =
           tagger->PredictScored(sentence);
-      std::vector<std::string>& labels = scored.labels;
-      std::vector<text::ValueSpan> spans = text::DecodeBioSpans(labels);
+      std::vector<text::ValueSpan> spans =
+          text::DecodeBioSpans(scored.labels);
       if (config_.min_span_confidence > 0) {
         std::vector<text::ValueSpan> confident;
         for (const text::ValueSpan& span : spans) {
@@ -227,7 +268,19 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
         }
         spans = std::move(confident);
       }
-      if (spans.empty()) continue;
+      if (spans.empty()) return;
+      tag_outcomes[u].kept = true;
+      tag_outcomes[u].labels = std::move(scored.labels);
+      tag_outcomes[u].spans = std::move(spans);
+    });
+
+    for (size_t u = 0; u < unlabeled.size(); ++u) {
+      if (!tag_outcomes[u].kept) continue;
+      const SentRef ref = unlabeled[u];
+      const ProcessedPage& page = corpus.pages[ref.page];
+      const text::LabeledSequence& sentence = page.sentences[ref.sent];
+      std::vector<std::string>& labels = tag_outcomes[u].labels;
+      std::vector<text::ValueSpan>& spans = tag_outcomes[u].spans;
       for (const text::ValueSpan& span : spans) {
         std::vector<std::string> value_tokens(
             sentence.tokens.begin() + static_cast<long>(span.begin),

@@ -63,6 +63,14 @@ struct PipelineConfig {
   /// Training-set cap per iteration (uniform sample) to bound cost.
   size_t max_train_sentences = 4000;
   uint64_t seed = 99;
+
+  /// Worker threads for the hot paths (CRF gradient accumulation,
+  /// sentence tagging, distant-supervision labeling). 0 = all hardware
+  /// threads; negative values are rejected by Pipeline::Run with an
+  /// InvalidArgument Status. Results are bit-identical for every thread
+  /// count — parallel work is either index-sharded with an ordered merge
+  /// or embarrassingly parallel with order-preserving collection.
+  int threads = 0;
 };
 
 /// Telemetry of one Tagger–Cleaner cycle.

@@ -3,6 +3,7 @@
 #include "html/parser.h"
 #include "text/sentence.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace pae::core {
 
@@ -12,7 +13,7 @@ std::string ProcessedCorpus::Detokenize(
                                          : StrJoin(tokens, " ");
 }
 
-ProcessedCorpus ProcessCorpus(const Corpus& corpus) {
+ProcessedCorpus ProcessCorpus(const Corpus& corpus, int threads) {
   ProcessedCorpus out;
   out.category = corpus.category;
   out.language = corpus.language;
@@ -21,10 +22,15 @@ ProcessedCorpus ProcessCorpus(const Corpus& corpus) {
                                       corpus.tokenizer_lexicon);
   out.pos_tagger = std::make_unique<text::PosTagger>(corpus.language,
                                                      corpus.pos_lexicon);
-  out.pages.reserve(corpus.pages.size());
+  out.pages.resize(corpus.pages.size());
 
-  for (const ProductPage& page : corpus.pages) {
-    ProcessedPage processed;
+  // Pages are independent: each worker parses into its own slot. The
+  // tokenizer and PoS tagger are shared but stateless after
+  // construction, so concurrent reads are safe.
+  util::ThreadPool pool(util::ThreadPool::ResolveThreads(threads));
+  pool.ParallelFor(0, corpus.pages.size(), 1, [&](size_t p) {
+    const ProductPage& page = corpus.pages[p];
+    ProcessedPage& processed = out.pages[p];
     processed.product_id = page.product_id;
 
     std::unique_ptr<html::HtmlNode> dom = html::ParseHtml(page.html);
@@ -40,8 +46,7 @@ ProcessedCorpus ProcessCorpus(const Corpus& corpus) {
       seq.sentence_index = sentence_index++;
       processed.sentences.push_back(std::move(seq));
     }
-    out.pages.push_back(std::move(processed));
-  }
+  });
   return out;
 }
 

@@ -47,7 +47,10 @@ struct ProcessedCorpus {
 };
 
 /// Parses and linguistically preprocesses every page of `corpus`.
-ProcessedCorpus ProcessCorpus(const Corpus& corpus);
+/// `threads` workers parse pages concurrently (0 = all hardware
+/// threads, negative clamps to 1); each page fills its own slot, so the
+/// result is byte-identical for every thread count.
+ProcessedCorpus ProcessCorpus(const Corpus& corpus, int threads = 1);
 
 }  // namespace pae::core
 

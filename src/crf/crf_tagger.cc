@@ -5,8 +5,18 @@
 
 #include "util/logging.h"
 #include "util/serial.h"
+#include "util/thread_pool.h"
 
 namespace pae::crf {
+
+namespace {
+/// Gradient-reduction decomposition: shards of ~kGradGrain sequences,
+/// at most kMaxGradShards accumulator buffers. Both are constants of the
+/// build — never of the thread count — so the summation tree and the
+/// trained weights are identical however many threads run it.
+constexpr size_t kGradGrain = 4;
+constexpr size_t kMaxGradShards = 32;
+}  // namespace
 
 CrfTagger::CrfTagger(CrfOptions options) : options_(options) {}
 
@@ -73,13 +83,33 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
   const size_t dim = model_.WeightDim();
   weights_.assign(dim, 0.0);
 
+  util::ThreadPool pool(util::ThreadPool::ResolveThreads(options_.threads));
+  // Per-shard accumulators, allocated once and reused by every
+  // objective evaluation of the optimizer.
+  struct ShardAcc {
+    std::vector<double> grad;
+    double nll = 0;
+  };
+  std::vector<ShardAcc> shard_accs(
+      util::NumReductionShards(compiled.size(), kGradGrain, kMaxGradShards));
+
   SmoothObjective objective = [&](const std::vector<double>& w,
                                   std::vector<double>* grad) -> double {
     grad->assign(dim, 0.0);
     double nll = 0;
-    for (const auto& seq : compiled) {
-      nll += model_.SequenceNll(seq, w, grad);
-    }
+    util::OrderedReduce<ShardAcc*>(
+        pool, compiled.size(), kGradGrain, kMaxGradShards,
+        [&, next = size_t{0}]() mutable { return &shard_accs[next++]; },
+        [&](ShardAcc* acc, size_t i) {
+          if (acc->grad.size() != dim) acc->grad.assign(dim, 0.0);
+          acc->nll += model_.SequenceNll(compiled[i], w, &acc->grad);
+        },
+        [&](ShardAcc* acc, size_t /*shard*/) {
+          nll += acc->nll;
+          for (size_t i = 0; i < dim; ++i) (*grad)[i] += acc->grad[i];
+          acc->nll = 0;
+          acc->grad.assign(dim, 0.0);
+        });
     // L2 regularization (c2), CRFsuite convention: c2 * ||w||^2 with
     // gradient 2 * c2 * w.
     if (options_.c2 > 0) {

@@ -32,6 +32,11 @@ struct CrfOptions {
   double adagrad_learning_rate = 0.5;
   /// Features seen fewer times than this in training are dropped.
   int min_feature_count = 1;
+  /// Threads for the per-sequence NLL/gradient accumulation (0 = all
+  /// hardware threads, negative clamps to 1). The gradient reduction is
+  /// sharded by a fixed decomposition of the training set, so trained
+  /// weights are bit-identical for every thread count.
+  int threads = 1;
 };
 
 /// Linear-chain CRF sequence tagger (the paper's primary model family).

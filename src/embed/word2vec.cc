@@ -1,11 +1,13 @@
 #include "embed/word2vec.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
 #include "math/vec.h"
 #include "util/logging.h"
 #include "util/serial.h"
+#include "util/thread_pool.h"
 
 namespace pae::embed {
 
@@ -95,26 +97,27 @@ Status Word2Vec::Train(
     return Status::FailedPrecondition("word2vec: corpus reduced to nothing");
   }
 
-  std::vector<float> grad_in(d);
   const float lr0 = options_.learning_rate;
   const int total_epochs = std::max(1, options_.epochs);
 
-  for (int epoch = 0; epoch < total_epochs; ++epoch) {
-    const float lr = lr0 * (1.0f - static_cast<float>(epoch) /
-                                       static_cast<float>(total_epochs)) +
-                     lr0 * 1e-2f;
-    for (const auto& ids : encoded) {
+  // Skip-gram negative-sampling pass over encoded[lo, hi), updating
+  // `in`/`out` in place and drawing every sample from `pass_rng`.
+  auto train_range = [&](size_t lo, size_t hi, float lr, Rng& pass_rng,
+                         math::Matrix& in, math::Matrix& out) {
+    std::vector<float> grad_in(d);
+    for (size_t sent = lo; sent < hi; ++sent) {
+      const auto& ids = encoded[sent];
       const int n = static_cast<int>(ids.size());
       for (int pos = 0; pos < n; ++pos) {
         const int reduced =
-            1 + static_cast<int>(rng.NextBounded(
+            1 + static_cast<int>(pass_rng.NextBounded(
                     static_cast<uint64_t>(options_.window)));
         for (int off = -reduced; off <= reduced; ++off) {
           if (off == 0) continue;
           const int cpos = pos + off;
           if (cpos < 0 || cpos >= n) continue;
           const size_t center = static_cast<size_t>(ids[pos]);
-          float* vin = in_vectors_.Row(center);
+          float* vin = in.Row(center);
           std::fill(grad_in.begin(), grad_in.end(), 0.0f);
 
           for (int s = 0; s < options_.negative + 1; ++s) {
@@ -125,13 +128,15 @@ Status Word2Vec::Train(
               label = 1.0f;
             } else {
               target = static_cast<size_t>(
-                  unigram_table_[rng.NextBounded(unigram_table_.size())]);
-              if (target == static_cast<size_t>(ids[static_cast<size_t>(cpos)])) {
+                  unigram_table_[pass_rng.NextBounded(
+                      unigram_table_.size())]);
+              if (target ==
+                  static_cast<size_t>(ids[static_cast<size_t>(cpos)])) {
                 continue;
               }
               label = 0.0f;
             }
-            float* vout = out_vectors_.Row(target);
+            float* vout = out.Row(target);
             double dot = 0;
             for (size_t k = 0; k < d; ++k) {
               dot += static_cast<double>(vin[k]) * vout[k];
@@ -147,6 +152,53 @@ Status Word2Vec::Train(
         }
       }
     }
+  };
+
+  const size_t shards = std::min<size_t>(
+      static_cast<size_t>(std::max(1, options_.shards)), encoded.size());
+  util::ThreadPool pool(util::ThreadPool::ResolveThreads(options_.threads));
+
+  for (int epoch = 0; epoch < total_epochs; ++epoch) {
+    const float lr = lr0 * (1.0f - static_cast<float>(epoch) /
+                                       static_cast<float>(total_epochs)) +
+                     lr0 * 1e-2f;
+    if (shards <= 1) {
+      // Classic sequential SGD epoch, bit-identical to the historical
+      // single-threaded trainer (continues the construction-time RNG).
+      train_range(0, encoded.size(), lr, rng, in_vectors_, out_vectors_);
+      continue;
+    }
+    // Sharded epoch: fixed contiguous shards, each trained on a private
+    // copy of the matrices with its own seed-derived RNG stream, merged
+    // in shard order. The decomposition and the merge depend only on
+    // (corpus, seed, shards), never on the thread count.
+    const std::vector<float> base_in = in_vectors_.data();
+    const std::vector<float> base_out = out_vectors_.data();
+    std::vector<math::Matrix> shard_in(shards, in_vectors_);
+    std::vector<math::Matrix> shard_out(shards, out_vectors_);
+    pool.ParallelFor(0, shards, 1, [&](size_t s) {
+      const size_t lo = s * encoded.size() / shards;
+      const size_t hi = (s + 1) * encoded.size() / shards;
+      Rng shard_rng(options_.seed ^
+                    (0x9e3779b97f4a7c15ULL *
+                     (static_cast<uint64_t>(epoch) * shards + s + 1)));
+      train_range(lo, hi, lr, shard_rng, shard_in[s], shard_out[s]);
+    });
+    // Element-wise delta merge; every element is independent, so this
+    // also parallelizes without affecting the result.
+    auto merge = [&](const std::vector<math::Matrix>& parts,
+                     const std::vector<float>& base, math::Matrix* dst) {
+      std::vector<float>& target = dst->data();
+      pool.ParallelFor(0, target.size(), 4096, [&](size_t k) {
+        double delta = 0;
+        for (size_t s = 0; s < shards; ++s) {
+          delta += static_cast<double>(parts[s].data()[k]) - base[k];
+        }
+        target[k] = static_cast<float>(base[k] + delta);
+      });
+    };
+    merge(shard_in, base_in, &in_vectors_);
+    merge(shard_out, base_out, &out_vectors_);
   }
   // Centre the space: small skip-gram corpora develop a dominant common
   // direction that drives all cosines toward 1 (anisotropy); removing

@@ -25,6 +25,16 @@ struct Word2VecOptions {
   /// context window and all content words look alike. 0 disables.
   double subsample = 1e-3;
   uint64_t seed = 7;
+  /// Training shards per epoch. 1 (default) is the classic sequential
+  /// SGD pass. With shards > 1 each epoch splits the corpus into this
+  /// many fixed contiguous shards, trains each on a private copy of the
+  /// matrices with its own RNG stream derived from (seed, epoch, shard),
+  /// and merges the per-shard deltas in shard order — so the result
+  /// depends on `shards` but never on `threads`.
+  int shards = 1;
+  /// Threads executing the shards (0 = all hardware threads, negative
+  /// clamps to 1). Never affects the trained vectors, only wall-clock.
+  int threads = 1;
 };
 
 /// Skip-gram word2vec trained from scratch on the product-page corpus of

@@ -1,0 +1,112 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace pae::util {
+
+ThreadPool::ThreadPool(int threads) : num_threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+int ThreadPool::ResolveThreads(int configured) {
+  if (configured == 0) return DefaultThreads();
+  return std::max(1, configured);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = (n + grain - 1) / grain;
+  job->fn = &fn;
+
+  if (workers_.empty() || job->num_chunks == 1) {
+    // Inline path: same chunk decomposition, same (trivial) order.
+    RunChunks(job.get());
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = job;
+      ++epoch_;
+    }
+    wake_.notify_all();
+    RunChunks(job.get());  // the caller is a worker too
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [&] {
+        return job->chunks_done.load(std::memory_order_acquire) ==
+               job->num_chunks;
+      });
+      if (job_ == job) job_.reset();
+    }
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  while (true) {
+    const size_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) return;
+    const size_t lo = job->begin + c * job->grain;
+    const size_t hi = std::min(job->end, lo + job->grain);
+    try {
+      for (size_t i = lo; i < hi; ++i) (*job->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->error_mutex);
+      if (c < job->error_chunk) {
+        job->error_chunk = c;
+        job->error = std::current_exception();
+      }
+    }
+    const size_t done =
+        job->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == job->num_chunks) {
+      // Lock before notifying so the caller cannot check the predicate
+      // between our increment and our notify and then sleep forever.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      job = job_;
+      seen_epoch = epoch_;
+    }
+    RunChunks(job.get());
+  }
+}
+
+}  // namespace pae::util

@@ -200,6 +200,55 @@ TEST(HostileCorpusTest, HugeSingleSentenceIsHandled) {
   EXPECT_EQ(processed.pages[0].sentences[0].tokens.size(), 5000u);
 }
 
+// ---------------- thread-count knob ----------------
+
+core::ProcessedCorpus SmallThreadTestCorpus() {
+  datagen::GeneratorConfig config;
+  config.num_products = 40;
+  config.seed = 21;
+  datagen::GeneratedCategory category =
+      datagen::GenerateCategory(datagen::CategoryId::kGarden, config);
+  return core::ProcessCorpus(category.corpus);
+}
+
+TEST(ThreadKnobTest, NegativeThreadsRejectedWithStatus) {
+  const core::ProcessedCorpus corpus = SmallThreadTestCorpus();
+  core::PipelineConfig config;
+  config.iterations = 1;
+  config.crf.max_iterations = 5;
+  config.threads = -2;
+  core::Pipeline pipeline(config);
+  auto result = pipeline.Run(corpus);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("threads"), std::string::npos);
+}
+
+TEST(ThreadKnobTest, ZeroThreadsMeansAutoAndRunsCleanly) {
+  const core::ProcessedCorpus corpus = SmallThreadTestCorpus();
+  core::PipelineConfig config;
+  config.iterations = 1;
+  config.crf.max_iterations = 5;
+  config.threads = 0;  // auto: all hardware threads
+  core::Pipeline pipeline(config);
+  auto result = pipeline.Run(corpus);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().final_triples().empty());
+}
+
+TEST(ThreadKnobTest, NegativeThreadsClampWhereNoStatusChannelExists) {
+  // ProcessCorpus and ApplyOptions have no Status channel; negative
+  // values clamp to 1 instead of being UB.
+  datagen::GeneratorConfig config;
+  config.num_products = 5;
+  config.seed = 22;
+  datagen::GeneratedCategory category =
+      datagen::GenerateCategory(datagen::CategoryId::kGarden, config);
+  const core::ProcessedCorpus corpus =
+      core::ProcessCorpus(category.corpus, -7);
+  EXPECT_EQ(corpus.pages.size(), category.corpus.pages.size());
+}
+
 // ---------------- CRF compaction ----------------
 
 TEST(CompactTest, DropsZeroFeaturesWithoutChangingPredictions) {

@@ -36,6 +36,8 @@ int Usage() {
             << "                   [--no-syntactic] [--no-negation]\n"
             << "                   [--no-diversification]\n"
             << "                   [--min-confidence X] [--eval]\n"
+            << "                   [--threads N]  (0 = all hardware threads;\n"
+            << "                    output is identical for every N)\n"
             << "                   [--save-model m.crf]  (CRF only; also\n"
             << "                    writes m.crf.pairs)\n"
             << "       pae-extract --in <dir> --out <tsv> --apply-model\n"
@@ -52,13 +54,19 @@ int main(int argc, char** argv) {
   const std::string out_path = args.GetString("out", "");
   if (in_dir.empty() || out_path.empty()) return Usage();
 
+  const int threads = args.GetInt("threads", 0);
+  if (threads < 0) {
+    std::cerr << "--threads must be >= 0 (0 = all hardware threads)\n";
+    return 2;
+  }
+
   auto corpus_result = pae::core::LoadCorpus(in_dir);
   if (!corpus_result.ok()) {
     std::cerr << corpus_result.status().ToString() << "\n";
     return 1;
   }
   pae::core::ProcessedCorpus corpus =
-      pae::core::ProcessCorpus(corpus_result.value());
+      pae::core::ProcessCorpus(corpus_result.value(), threads);
   std::cerr << "loaded " << corpus.pages.size() << " pages ("
             << corpus.category << ", "
             << pae::text::LanguageName(corpus.language) << ")\n";
@@ -73,6 +81,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     pae::core::ApplyOptions apply;
+    apply.threads = threads;
     apply.min_span_confidence = args.GetDouble("min-confidence", 0.0);
     if (args.Has("no-negation")) apply.negation_filtering = false;
     std::ifstream pairs(model_path + ".pairs");
@@ -115,6 +124,7 @@ int main(int argc, char** argv) {
     std::cerr << "unknown model '" << model << "'\n";
     return 2;
   }
+  config.threads = threads;
   config.iterations = args.GetInt("iterations", 5);
   config.lstm.epochs = args.GetInt("epochs", config.lstm.epochs);
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 99));
