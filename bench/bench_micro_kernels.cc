@@ -4,8 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <unordered_map>
+
+#include "crf/compiled_corpus.h"
 #include "crf/crf_model.h"
 #include "crf/crf_tagger.h"
+#include "crf/feature_extractor.h"
 #include "datagen/generator.h"
 #include "embed/word2vec.h"
 #include "html/parser.h"
@@ -217,6 +222,280 @@ void BM_CrfBatchTag(benchmark::State& state) {
                           static_cast<int64_t>(data.size()));
 }
 BENCHMARK(BM_CrfBatchTag)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+// ---- CRF feature pipeline ----
+//
+// Three stages of the same work, from the pre-interner string pipeline
+// to the compiled-corpus cache, all threads-parameterized:
+//   FeatureExtractStrings / FeatureExtract   — template → features
+//   FeatureCompileStrings / FeatureCompile / — features → model ids
+//       FeatureCompileCached
+//   CrfObjective                             — ids → NLL + gradient
+// scripts/bench_feature_pipeline.sh runs these and writes
+// BENCH_feature_pipeline.json.
+
+std::vector<text::LabeledSequence> MakeFeatureCorpus(int sentences) {
+  const std::vector<std::string> words = {"重量", "は",  "kg", "サイズ",
+                                          "blue", "5",  "10", "です",
+                                          "色",   "cm", "横幅", "奥行"};
+  const std::vector<std::string> tags = {"NN", "PRT", "UNIT", "NUM", "ADJ"};
+  Rng rng(8);
+  std::vector<text::LabeledSequence> corpus;
+  for (int i = 0; i < sentences; ++i) {
+    text::LabeledSequence seq;
+    const int len = static_cast<int>(rng.NextInt(4, 14));
+    for (int t = 0; t < len; ++t) {
+      seq.tokens.push_back(words[rng.NextBounded(words.size())]);
+      seq.pos.push_back(tags[rng.NextBounded(tags.size())]);
+    }
+    seq.sentence_index = static_cast<int>(rng.NextInt(0, 9));
+    corpus.push_back(std::move(seq));
+  }
+  return corpus;
+}
+
+crf::CrfModel BuildFeatureModel(
+    const std::vector<text::LabeledSequence>& corpus,
+    const crf::FeatureConfig& config) {
+  crf::CrfModel model;
+  model.AddLabel("O");
+  crf::FeatureEncoder encoder(config);
+  for (const auto& seq : corpus) {
+    encoder.Encode(seq, [&](size_t, std::string_view feature) {
+      model.AddFeature(feature);
+    });
+  }
+  return model;
+}
+
+void BM_FeatureExtractStrings(benchmark::State& state) {
+  // Baseline extraction: every feature materialized as its own
+  // std::string (the reference implementation); Arg = thread count.
+  const auto corpus = MakeFeatureCorpus(256);
+  const crf::FeatureConfig config;
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<size_t> sink(corpus.size());
+  for (auto _ : state) {
+    pool.ParallelFor(0, corpus.size(), 8, [&](size_t i) {
+      std::vector<std::vector<std::string>> feats;
+      crf::ExtractFeatures(corpus[i], config, &feats);
+      size_t bytes = 0;
+      for (const auto& position : feats) {
+        for (const auto& f : position) bytes += f.size();
+      }
+      sink[i] = bytes;
+    });
+    benchmark::DoNotOptimize(sink.front());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_FeatureExtractStrings)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FeatureExtract(benchmark::State& state) {
+  // Allocation-free extraction: the encoder renders each feature into a
+  // reusable scratch buffer; Arg = thread count.
+  const auto corpus = MakeFeatureCorpus(256);
+  const crf::FeatureConfig config;
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<size_t> sink(corpus.size());
+  for (auto _ : state) {
+    pool.ParallelFor(0, corpus.size(), 8, [&](size_t i) {
+      thread_local crf::FeatureEncoder encoder;
+      encoder.Reset(config);
+      size_t bytes = 0;
+      encoder.Encode(corpus[i], [&](size_t, std::string_view feature) {
+        bytes += feature.size();
+      });
+      sink[i] = bytes;
+    });
+    benchmark::DoNotOptimize(sink.front());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_FeatureExtract)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FeatureCompileStrings(benchmark::State& state) {
+  // The pre-interner compile path: string extraction plus an
+  // unordered_map<string,int> dictionary probe per feature.
+  const auto corpus = MakeFeatureCorpus(256);
+  const crf::FeatureConfig config;
+  const crf::CrfModel model = BuildFeatureModel(corpus, config);
+  std::unordered_map<std::string, int> dictionary;
+  for (size_t f = 0; f < model.num_features(); ++f) {
+    dictionary.emplace(std::string(model.FeatureName(static_cast<int>(f))),
+                       static_cast<int>(f));
+  }
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<crf::CompiledSequence> compiled(corpus.size());
+  for (auto _ : state) {
+    pool.ParallelFor(0, corpus.size(), 8, [&](size_t i) {
+      std::vector<std::vector<std::string>> feats;
+      crf::ExtractFeatures(corpus[i], config, &feats);
+      compiled[i].features.assign(feats.size(), {});
+      for (size_t t = 0; t < feats.size(); ++t) {
+        for (const std::string& f : feats[t]) {
+          auto it = dictionary.find(f);
+          if (it != dictionary.end()) {
+            compiled[i].features[t].push_back(it->second);
+          }
+        }
+      }
+    });
+    benchmark::DoNotOptimize(compiled.front().features.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_FeatureCompileStrings)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FeatureCompile(benchmark::State& state) {
+  // The interned compile path: encoder scratch buffer + heterogeneous
+  // string_view probe of the model's flat interner.
+  const auto corpus = MakeFeatureCorpus(256);
+  const crf::FeatureConfig config;
+  const crf::CrfModel model = BuildFeatureModel(corpus, config);
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<crf::CompiledSequence> compiled(corpus.size());
+  for (auto _ : state) {
+    pool.ParallelFor(0, corpus.size(), 8, [&](size_t i) {
+      thread_local crf::FeatureEncoder encoder;
+      encoder.Reset(config);
+      compiled[i].features.assign(corpus[i].tokens.size(), {});
+      for (auto& feats : compiled[i].features) {
+        feats.reserve(static_cast<size_t>(4 * config.window + 4));
+      }
+      encoder.Encode(corpus[i], [&](size_t t, std::string_view feature) {
+        const int id = model.LookupFeature(feature);
+        if (id >= 0) compiled[i].features[t].push_back(id);
+      });
+    });
+    benchmark::DoNotOptimize(compiled.front().features.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_FeatureCompile)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FeatureCompileCached(benchmark::State& state) {
+  // The bootstrap steady state: extraction already cached, compilation
+  // is a remap gather per sentence.
+  const auto corpus = MakeFeatureCorpus(256);
+  const crf::FeatureConfig config;
+  const crf::CrfModel model = BuildFeatureModel(corpus, config);
+  crf::CompiledCorpus cache;
+  std::vector<const text::LabeledSequence*> refs;
+  for (const auto& seq : corpus) refs.push_back(&seq);
+  cache.Build(refs, config);
+  cache.Bind(model, 1);
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<crf::CompiledSequence> compiled(corpus.size());
+  for (auto _ : state) {
+    pool.ParallelFor(0, corpus.size(), 8, [&](size_t i) {
+      cache.Materialize(i, &compiled[i]);
+    });
+    benchmark::DoNotOptimize(compiled.front().features.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_FeatureCompileCached)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CrfObjective(benchmark::State& state) {
+  // One NLL+gradient evaluation over a compiled training set, with the
+  // sparse per-shard accumulators Train uses; Arg = thread count.
+  const std::vector<text::LabeledSequence> data = MakeCrfTrainData(200);
+  crf::CrfOptions options;
+  options.max_iterations = 1;
+  options.trainer = crf::CrfTrainer::kAdagrad;
+  crf::CrfTagger tagger(options);
+  if (!tagger.Train(data).ok()) {
+    state.SkipWithError("CRF training failed");
+    return;
+  }
+  const crf::CrfModel& model = tagger.model();
+  const std::vector<double>& w = tagger.weights();
+  std::vector<crf::CompiledSequence> compiled;
+  std::vector<std::vector<int>> unique_feats;
+  {
+    crf::FeatureEncoder encoder(options.features);
+    for (const auto& seq : data) {
+      crf::CompiledSequence cs;
+      cs.features.resize(seq.tokens.size());
+      encoder.Encode(seq, [&](size_t t, std::string_view feature) {
+        const int id = model.LookupFeature(feature);
+        if (id >= 0) cs.features[t].push_back(id);
+      });
+      for (const std::string& label : seq.labels) {
+        cs.labels.push_back(model.LookupLabel(label));
+      }
+      std::vector<int> u;
+      for (const auto& feats : cs.features) {
+        u.insert(u.end(), feats.begin(), feats.end());
+      }
+      std::sort(u.begin(), u.end());
+      u.erase(std::unique(u.begin(), u.end()), u.end());
+      unique_feats.push_back(std::move(u));
+      compiled.push_back(std::move(cs));
+    }
+  }
+  const size_t L = model.num_labels();
+  const size_t dim = model.WeightDim();
+  const size_t trans_base = model.num_features() * L;
+  struct ShardAcc {
+    std::vector<double> grad;
+    std::vector<int> touched;
+    std::vector<uint8_t> mark;
+    double nll = 0;
+  };
+  std::vector<ShardAcc> shard_accs(
+      util::NumReductionShards(compiled.size(), 4, 32));
+  for (ShardAcc& acc : shard_accs) {
+    acc.grad.assign(dim, 0.0);
+    acc.mark.assign(model.num_features(), 0);
+  }
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<double> grad(dim, 0.0);
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double nll = 0;
+    util::OrderedReduce<ShardAcc*>(
+        pool, compiled.size(), 4, 32,
+        [&, next = size_t{0}]() mutable { return &shard_accs[next++]; },
+        [&](ShardAcc* acc, size_t i) {
+          acc->nll += model.SequenceNll(compiled[i], w, &acc->grad);
+          for (int f : unique_feats[i]) {
+            if (!acc->mark[static_cast<size_t>(f)]) {
+              acc->mark[static_cast<size_t>(f)] = 1;
+              acc->touched.push_back(f);
+            }
+          }
+        },
+        [&](ShardAcc* acc, size_t) {
+          nll += acc->nll;
+          acc->nll = 0;
+          for (int f : acc->touched) {
+            const size_t base = static_cast<size_t>(f) * L;
+            for (size_t y = 0; y < L; ++y) {
+              grad[base + y] += acc->grad[base + y];
+              acc->grad[base + y] = 0.0;
+            }
+            acc->mark[static_cast<size_t>(f)] = 0;
+          }
+          acc->touched.clear();
+          for (size_t i = trans_base; i < dim; ++i) {
+            grad[i] += acc->grad[i];
+            acc->grad[i] = 0.0;
+          }
+        });
+    benchmark::DoNotOptimize(nll);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(compiled.size()));
+}
+BENCHMARK(BM_CrfObjective)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
 void BM_Word2VecTrainSharded(benchmark::State& state) {
   // Sharded word2vec epochs; Arg = thread count at a fixed shard count

@@ -1,22 +1,33 @@
 #!/usr/bin/env bash
-# Repository check: build + full test suite twice — once plain, once
-# with ThreadSanitizer focused on the concurrency surface.
+# Repository check: build + full test suite three times — once plain,
+# once with ThreadSanitizer focused on the concurrency surface, once
+# with AddressSanitizer focused on the interner/feature-pipeline
+# surface.
 #
-#   scripts/check.sh            # both passes
-#   scripts/check.sh --no-tsan  # plain pass only (e.g. TSan-less hosts)
+#   scripts/check.sh            # all passes
+#   scripts/check.sh --no-tsan  # skip the TSan pass
+#   scripts/check.sh --no-asan  # skip the ASan pass
 #
 # Pass 1 (default flags) configures build-check/ and runs every ctest
 # target. Pass 2 configures build-check-tsan/ with -DPAE_SANITIZE=thread
-# and runs the thread-pool + concurrency binaries directly: they are the
-# tests whose failure modes are data races, and running them under TSan
-# turns the determinism assertions into race detection.
+# and runs the thread-pool + concurrency + feature-pipeline binaries
+# directly: they are the tests whose failure modes are data races, and
+# running them under TSan turns the determinism assertions into race
+# detection. Pass 3 configures build-check-asan/ with
+# -DPAE_SANITIZE=address and runs the interner + feature-pipeline
+# binaries: the interner hands out raw string_views into a hand-managed
+# arena, exactly the kind of code ASan exists for.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TSAN=1
-[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+RUN_ASAN=1
+for arg in "$@"; do
+  [[ "${arg}" == "--no-tsan" ]] && RUN_TSAN=0
+  [[ "${arg}" == "--no-asan" ]] && RUN_ASAN=0
+done
 
 echo "==> pass 1: default build + full ctest"
 cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
@@ -28,9 +39,21 @@ if [[ "${RUN_TSAN}" == "1" ]]; then
   cmake -B build-check-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DPAE_SANITIZE=thread > /dev/null
   cmake --build build-check-tsan -j "${JOBS}" \
-        --target thread_pool_test concurrency_test
+        --target thread_pool_test concurrency_test feature_pipeline_test
   ./build-check-tsan/tests/thread_pool_test
   ./build-check-tsan/tests/concurrency_test
+  ./build-check-tsan/tests/feature_pipeline_test
+fi
+
+if [[ "${RUN_ASAN}" == "1" ]]; then
+  echo "==> pass 3: AddressSanitizer build + interner/pipeline binaries"
+  cmake -B build-check-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DPAE_SANITIZE=address > /dev/null
+  cmake --build build-check-asan -j "${JOBS}" \
+        --target interner_test feature_pipeline_test crf_test
+  ./build-check-asan/tests/interner_test
+  ./build-check-asan/tests/feature_pipeline_test
+  ./build-check-asan/tests/crf_test
 fi
 
 echo "==> all checks passed"

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "core/normalize.h"
+#include "crf/compiled_corpus.h"
+#include "crf/crf_tagger.h"
 #include "text/negation.h"
 #include "util/thread_pool.h"
 
@@ -36,6 +38,21 @@ std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
       refs.push_back(SentRef{p, s});
     }
   }
+  // CRF fast path: extract every sentence's features once into a
+  // compiled cache; the parallel sweep then only remaps ids and runs
+  // inference. Other tagger types fall back to per-sentence compilation.
+  const auto* crf_tagger = dynamic_cast<const crf::CrfTagger*>(&tagger);
+  crf::CompiledCorpus crf_cache;
+  if (crf_tagger != nullptr && !refs.empty()) {
+    std::vector<const text::LabeledSequence*> cache_sents;
+    cache_sents.reserve(refs.size());
+    for (const SentRef& ref : refs) {
+      cache_sents.push_back(&corpus.pages[ref.page].sentences[ref.sent]);
+    }
+    crf_cache.Build(std::move(cache_sents), crf_tagger->options().features);
+    crf_cache.Bind(crf_tagger->model(), crf_tagger->Generation());
+  }
+
   std::vector<std::vector<text::ValueSpan>> sent_spans(refs.size());
   util::ThreadPool pool(util::ThreadPool::ResolveThreads(options.threads));
   pool.ParallelFor(0, refs.size(), 8, [&](size_t i) {
@@ -44,8 +61,14 @@ std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
     if (options.negation_filtering && negation.IsNegated(sentence.tokens)) {
       return;
     }
-    text::SequenceTagger::ScoredPrediction scored =
-        tagger.PredictScored(sentence);
+    text::SequenceTagger::ScoredPrediction scored;
+    if (crf_tagger != nullptr) {
+      thread_local crf::CompiledSequence compiled;
+      crf_cache.Materialize(i, &compiled);
+      scored = crf_tagger->PredictScored(compiled);
+    } else {
+      scored = tagger.PredictScored(sentence);
+    }
     for (const text::ValueSpan& span : text::DecodeBioSpans(scored.labels)) {
       if (options.min_span_confidence > 0) {
         double min_conf = 1.0;

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "core/normalize.h"
+#include "crf/compiled_corpus.h"
 #include "text/negation.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -201,6 +202,20 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
 
   Rng rng(config_.seed);
 
+  // CRF fast path: the unlabeled sentence set is fixed across all
+  // Tagger–Cleaner cycles, so feature extraction happens exactly once
+  // here; each retrained tagger only rebinds feature ids (keyed on its
+  // generation counter) before the parallel tagging sweep.
+  crf::CompiledCorpus crf_cache;
+  if (config_.model == ModelType::kCrf && !unlabeled.empty()) {
+    std::vector<const text::LabeledSequence*> cache_sents;
+    cache_sents.reserve(unlabeled.size());
+    for (const SentRef& ref : unlabeled) {
+      cache_sents.push_back(&corpus.pages[ref.page].sentences[ref.sent]);
+    }
+    crf_cache.Build(std::move(cache_sents), config_.crf.features);
+  }
+
   // Sentences labeled by the previous cycle's cleaned tags. Following
   // Fig. 1 line 20 (dataset = clean_ds) this portion is *replaced*
   // every cycle, so a value wrongly accepted once does not poison all
@@ -225,6 +240,13 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
     std::unique_ptr<text::SequenceTagger> tagger = MakeTagger(iteration);
     Status train_status = tagger->Train(train);
     if (!train_status.ok()) return train_status;
+
+    const crf::CrfTagger* crf_tagger = nullptr;
+    if (crf_cache.built()) {
+      auto* ct = static_cast<crf::CrfTagger*>(tagger.get());
+      crf_cache.Bind(ct->model(), ct->Generation());
+      crf_tagger = ct;
+    }
 
     // Tag every still-unlabeled sentence.
     struct TaggedSentence {
@@ -251,8 +273,14 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
       const ProcessedPage& page = corpus.pages[ref.page];
       const text::LabeledSequence& sentence = page.sentences[ref.sent];
       if (drop_for_negation(sentence)) return;
-      text::SequenceTagger::ScoredPrediction scored =
-          tagger->PredictScored(sentence);
+      text::SequenceTagger::ScoredPrediction scored;
+      if (crf_tagger != nullptr) {
+        thread_local crf::CompiledSequence compiled;
+        crf_cache.Materialize(u, &compiled);
+        scored = crf_tagger->PredictScored(compiled);
+      } else {
+        scored = tagger->PredictScored(sentence);
+      }
       std::vector<text::ValueSpan> spans =
           text::DecodeBioSpans(scored.labels);
       if (config_.min_span_confidence > 0) {

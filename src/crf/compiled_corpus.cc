@@ -1,0 +1,75 @@
+#include "crf/compiled_corpus.h"
+
+#include "util/logging.h"
+
+namespace pae::crf {
+
+void CompiledCorpus::Build(
+    std::vector<const text::LabeledSequence*> sentences,
+    const FeatureConfig& config) {
+  config_ = config;
+  encoder_.Reset(config);
+  features_ = util::FlatStringInterner();
+  sentence_begin_.clear();
+  token_begin_.clear();
+  ids_.clear();
+  remap_.clear();
+  bound_ = false;
+  bound_generation_ = UINT64_MAX;
+
+  // The template emits a fixed feature count per position: w[0] (1),
+  // window words (2K), window PoS tags (2K + 1), pwin (1), sent (1).
+  const uint32_t feats_per_token =
+      static_cast<uint32_t>(4 * config_.window + 4);
+
+  sentence_begin_.reserve(sentences.size() + 1);
+  sentence_begin_.push_back(0);
+  token_begin_.push_back(0);
+  for (const text::LabeledSequence* seq : sentences) {
+    PAE_CHECK(seq != nullptr);
+    encoder_.Encode(*seq, [&](size_t /*t*/, std::string_view feature) {
+      ids_.push_back(features_.Intern(feature));
+    });
+    uint32_t cursor = token_begin_.back();
+    for (size_t t = 0; t < seq->tokens.size(); ++t) {
+      cursor += feats_per_token;
+      token_begin_.push_back(cursor);
+    }
+    PAE_CHECK_EQ(static_cast<size_t>(cursor), ids_.size());
+    sentence_begin_.push_back(
+        static_cast<uint32_t>(token_begin_.size() - 1));
+  }
+}
+
+void CompiledCorpus::Bind(const CrfModel& model, uint64_t generation) {
+  PAE_CHECK(built());
+  if (bound_ && generation == bound_generation_) return;
+  remap_.resize(features_.size());
+  for (size_t id = 0; id < features_.size(); ++id) {
+    remap_[id] = model.LookupFeature(features_.key(static_cast<int>(id)));
+  }
+  bound_generation_ = generation;
+  bound_ = true;
+}
+
+void CompiledCorpus::Materialize(size_t i, CompiledSequence* out) const {
+  PAE_CHECK(bound_);
+  PAE_CHECK_LT(i, size());
+  const size_t tok_lo = sentence_begin_[i];
+  const size_t tok_hi = sentence_begin_[i + 1];
+  const size_t n = tok_hi - tok_lo;
+  out->labels.clear();
+  out->features.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<int>& feats = out->features[t];
+    feats.clear();
+    const size_t lo = token_begin_[tok_lo + t];
+    const size_t hi = token_begin_[tok_lo + t + 1];
+    for (size_t j = lo; j < hi; ++j) {
+      const int32_t mapped = remap_[static_cast<size_t>(ids_[j])];
+      if (mapped >= 0) feats.push_back(mapped);
+    }
+  }
+}
+
+}  // namespace pae::crf

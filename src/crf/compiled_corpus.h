@@ -1,0 +1,78 @@
+#ifndef PAE_CRF_COMPILED_CORPUS_H_
+#define PAE_CRF_COMPILED_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crf/crf_model.h"
+#include "crf/feature_extractor.h"
+#include "text/labeled_sequence.h"
+#include "util/interner.h"
+
+namespace pae::crf {
+
+/// Feature-compilation cache for repeated tagging of a fixed sentence
+/// set — the bootstrap loop's dominant pattern: every Tagger–Cleaner
+/// cycle retrains the CRF and re-tags the *same* unlabeled sentences.
+///
+/// Feature *extraction* (the string template) depends only on the
+/// FeatureConfig, never on the trained model, so it is done exactly
+/// once per corpus: `Build` encodes every sentence through the
+/// allocation-free `FeatureEncoder` and interns each feature into a
+/// corpus-level dictionary, leaving one flat array of corpus-space
+/// feature ids.
+///
+/// Feature *ids* depend on the model's dictionary, which changes every
+/// time the tagger retrains. `Bind` recomputes the corpus-id →
+/// model-id remap once per tagger generation (keyed by
+/// `CrfTagger::Generation()`); `Materialize` then compiles any sentence
+/// with a remap gather — no hashing, no string formatting, no
+/// allocation beyond the output vectors.
+///
+/// Thread contract: `Build` and `Bind` mutate and must run outside any
+/// parallel region; `Materialize` is const and safe to call from many
+/// threads once bound.
+class CompiledCorpus {
+ public:
+  /// Extracts and interns the features of every sentence. Pointers must
+  /// stay valid while the cache is used. Deterministic: the corpus
+  /// dictionary depends only on the sentence order and the config.
+  void Build(std::vector<const text::LabeledSequence*> sentences,
+             const FeatureConfig& config);
+
+  size_t size() const { return sentence_begin_.empty()
+                            ? 0
+                            : sentence_begin_.size() - 1; }
+  bool built() const { return !sentence_begin_.empty(); }
+  /// Distinct features across the corpus (the dictionary size).
+  size_t num_corpus_features() const { return features_.size(); }
+
+  /// Recomputes the corpus→model feature remap unless `generation`
+  /// matches the one already bound.
+  void Bind(const CrfModel& model, uint64_t generation);
+
+  /// Compiles sentence `i` into `out` (reused — buffers keep their
+  /// capacity across calls). Features the bound model does not know are
+  /// skipped, exactly like string-based compilation. Labels are not
+  /// filled (tagging-side cache).
+  void Materialize(size_t i, CompiledSequence* out) const;
+
+ private:
+  FeatureConfig config_;
+  FeatureEncoder encoder_;
+  util::FlatStringInterner features_;
+  /// Sentence i's tokens are [sentence_begin_[i], sentence_begin_[i+1])
+  /// in token space; token j's features are [token_begin_[j],
+  /// token_begin_[j+1]) in ids_.
+  std::vector<uint32_t> sentence_begin_;
+  std::vector<uint32_t> token_begin_;
+  std::vector<int32_t> ids_;  // corpus-space feature ids, flattened
+  /// Corpus feature id → bound model's feature id (-1 = unknown).
+  std::vector<int32_t> remap_;
+  uint64_t bound_generation_ = UINT64_MAX;
+  bool bound_ = false;
+};
+
+}  // namespace pae::crf
+
+#endif  // PAE_CRF_COMPILED_CORPUS_H_

@@ -7,16 +7,16 @@
 
 namespace pae::crf {
 
-int CrfModel::AddLabel(const std::string& label) {
-  auto [it, inserted] =
-      label_ids_.emplace(label, static_cast<int>(labels_.size()));
-  if (inserted) labels_.push_back(label);
-  return it->second;
+int CrfModel::AddLabel(std::string_view label) {
+  const int id = label_ids_.Intern(label);
+  if (static_cast<size_t>(id) == labels_.size()) {
+    labels_.emplace_back(label);
+  }
+  return id;
 }
 
-int CrfModel::LookupLabel(const std::string& label) const {
-  auto it = label_ids_.find(label);
-  return it == label_ids_.end() ? -1 : it->second;
+int CrfModel::LookupLabel(std::string_view label) const {
+  return label_ids_.Find(label);
 }
 
 const std::string& CrfModel::LabelName(int id) const {
@@ -25,16 +25,12 @@ const std::string& CrfModel::LabelName(int id) const {
   return labels_[static_cast<size_t>(id)];
 }
 
-int CrfModel::AddFeature(const std::string& feature) {
-  auto [it, inserted] =
-      feature_ids_.emplace(feature, static_cast<int>(feature_names_.size()));
-  if (inserted) feature_names_.push_back(feature);
-  return it->second;
+int CrfModel::AddFeature(std::string_view feature) {
+  return features_.Intern(feature);
 }
 
-int CrfModel::LookupFeature(const std::string& feature) const {
-  auto it = feature_ids_.find(feature);
-  return it == feature_ids_.end() ? -1 : it->second;
+int CrfModel::LookupFeature(std::string_view feature) const {
+  return features_.Find(feature);
 }
 
 size_t CrfModel::WeightDim() const {

@@ -2,9 +2,10 @@
 #define PAE_CRF_CRF_MODEL_H_
 
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "util/interner.h"
 #include "util/status.h"
 
 namespace pae::crf {
@@ -30,22 +31,24 @@ struct CompiledSequence {
 class CrfModel {
  public:
   /// Adds (or finds) a label; returns its id.
-  int AddLabel(const std::string& label);
+  int AddLabel(std::string_view label);
   /// Returns the label id or -1.
-  int LookupLabel(const std::string& label) const;
+  int LookupLabel(std::string_view label) const;
   const std::string& LabelName(int id) const;
   size_t num_labels() const { return labels_.size(); }
   const std::vector<std::string>& labels() const { return labels_; }
 
-  /// Adds (or finds) a feature; returns its id.
-  int AddFeature(const std::string& feature);
+  /// Adds (or finds) a feature; returns its id. Ids are dense and
+  /// assigned in first-insertion order.
+  int AddFeature(std::string_view feature);
   /// Returns the feature id or -1 (unknown features are skipped at
-  /// prediction time).
-  int LookupFeature(const std::string& feature) const;
-  size_t num_features() const { return feature_names_.size(); }
-  const std::vector<std::string>& feature_names() const {
-    return feature_names_;
-  }
+  /// prediction time). Heterogeneous string_view lookup: scratch-buffer
+  /// callers never materialize a std::string.
+  int LookupFeature(std::string_view feature) const;
+  size_t num_features() const { return features_.size(); }
+  /// The feature string for `id`; the view stays valid for the model's
+  /// lifetime (interner arena storage never moves).
+  std::string_view FeatureName(int id) const { return features_.key(id); }
 
   /// Total weight dimension for the current dictionaries.
   size_t WeightDim() const;
@@ -86,9 +89,8 @@ class CrfModel {
   size_t EndBase() const { return StartBase() + num_labels(); }
 
   std::vector<std::string> labels_;
-  std::unordered_map<std::string, int> label_ids_;
-  std::vector<std::string> feature_names_;
-  std::unordered_map<std::string, int> feature_ids_;
+  util::FlatStringInterner label_ids_;
+  util::FlatStringInterner features_;
 };
 
 }  // namespace pae::crf

@@ -1,8 +1,9 @@
 #include "crf/crf_tagger.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
+#include "util/interner.h"
 #include "util/logging.h"
 #include "util/serial.h"
 #include "util/thread_pool.h"
@@ -16,6 +17,17 @@ namespace {
 /// trained weights are identical however many threads run it.
 constexpr size_t kGradGrain = 4;
 constexpr size_t kMaxGradShards = 32;
+
+/// Per-thread feature encoder: prediction-time compilation runs
+/// concurrently on shared taggers (bootstrap/apply fan sentences out on
+/// a pool), so the scratch buffers must be thread-private. Reset is a
+/// no-op when the config matches, so interleaved taggers only pay for a
+/// prefix rebuild when their window sizes actually differ.
+FeatureEncoder& ThreadEncoder(const FeatureConfig& config) {
+  static thread_local FeatureEncoder encoder;
+  encoder.Reset(config);
+  return encoder;
+}
 }  // namespace
 
 CrfTagger::CrfTagger(CrfOptions options) : options_(options) {}
@@ -23,15 +35,16 @@ CrfTagger::CrfTagger(CrfOptions options) : options_(options) {}
 CompiledSequence CrfTagger::Compile(const text::LabeledSequence& seq,
                                     bool with_labels) const {
   CompiledSequence out;
-  std::vector<std::vector<std::string>> feats;
-  ExtractFeatures(seq, options_.features, &feats);
-  out.features.resize(feats.size());
-  for (size_t t = 0; t < feats.size(); ++t) {
-    for (const std::string& f : feats[t]) {
-      int id = model_.LookupFeature(f);
-      if (id >= 0) out.features[t].push_back(id);
-    }
-  }
+  out.features.resize(seq.tokens.size());
+  // The template emits exactly 4*window + 4 features per position.
+  const size_t feats_per_token =
+      static_cast<size_t>(4 * options_.features.window + 4);
+  for (auto& feats : out.features) feats.reserve(feats_per_token);
+  FeatureEncoder& encoder = ThreadEncoder(options_.features);
+  encoder.Encode(seq, [&](size_t t, std::string_view feature) {
+    const int id = model_.LookupFeature(feature);
+    if (id >= 0) out.features[t].push_back(id);
+  });
   if (with_labels) {
     out.labels.reserve(seq.labels.size());
     for (const std::string& label : seq.labels) {
@@ -51,47 +64,103 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
   model_ = CrfModel();
   model_.AddLabel(text::kOutsideLabel);  // id 0
 
-  // Pass 1: label inventory and feature counts.
-  std::unordered_map<std::string, int> feature_counts;
+  // Single extraction pass: every feature string is encoded once,
+  // interned into a training-set universe, and the per-position
+  // universe ids kept — the count pass and the compile pass read the
+  // same buffer instead of re-extracting (the old pipeline ran the
+  // string template twice per sequence).
+  util::FlatStringInterner universe;
+  std::vector<int64_t> counts;
+  std::vector<CompiledSequence> compiled;  // universe ids until remapped
+  compiled.reserve(data.size());
+  FeatureEncoder encoder(options_.features);
   for (const auto& seq : data) {
     if (seq.tokens.empty()) continue;
     if (!seq.HasLabels()) {
       return Status::InvalidArgument("CRF training sequence without labels");
     }
     for (const std::string& label : seq.labels) model_.AddLabel(label);
-    std::vector<std::vector<std::string>> feats;
-    ExtractFeatures(seq, options_.features, &feats);
-    for (const auto& position : feats) {
-      for (const std::string& f : position) ++feature_counts[f];
+    CompiledSequence cs;
+    cs.features.resize(seq.tokens.size());
+    for (auto& feats : cs.features) {
+      feats.reserve(static_cast<size_t>(4 * options_.features.window + 4));
     }
+    encoder.Encode(seq, [&](size_t t, std::string_view feature) {
+      const int id = universe.Intern(feature);
+      if (static_cast<size_t>(id) == counts.size()) counts.push_back(0);
+      ++counts[static_cast<size_t>(id)];
+      cs.features[t].push_back(id);
+    });
+    cs.labels.reserve(seq.labels.size());
+    for (const std::string& label : seq.labels) {
+      cs.labels.push_back(model_.AddLabel(label));
+    }
+    compiled.push_back(std::move(cs));
   }
-  for (const auto& [f, count] : feature_counts) {
-    if (count >= options_.min_feature_count) model_.AddFeature(f);
+
+  // Frequency cut, then remap universe ids to final model ids. Model
+  // feature ids follow first-occurrence order in the training set — a
+  // pure function of the data, unlike the unordered_map iteration order
+  // the string pipeline used.
+  std::vector<int32_t> remap(universe.size(), -1);
+  for (size_t id = 0; id < universe.size(); ++id) {
+    if (counts[id] >= options_.min_feature_count) {
+      remap[id] =
+          model_.AddFeature(universe.key(static_cast<int>(id)));
+    }
   }
   if (model_.num_features() == 0) {
     return Status::FailedPrecondition("CRF: no features survived the cut");
   }
-
-  // Pass 2: compile.
-  std::vector<CompiledSequence> compiled;
-  compiled.reserve(data.size());
-  for (const auto& seq : data) {
-    if (seq.tokens.empty()) continue;
-    compiled.push_back(Compile(seq, /*with_labels=*/true));
+  for (CompiledSequence& cs : compiled) {
+    for (std::vector<int>& feats : cs.features) {
+      size_t kept = 0;
+      for (int id : feats) {
+        const int32_t mapped = remap[static_cast<size_t>(id)];
+        if (mapped >= 0) feats[kept++] = mapped;
+      }
+      feats.resize(kept);
+    }
   }
 
+  // Per-sequence sorted unique feature lists: the sparse gradient merge
+  // below only walks the weight blocks a shard actually touched.
+  std::vector<std::vector<int>> unique_feats(compiled.size());
+  for (size_t i = 0; i < compiled.size(); ++i) {
+    std::vector<int>& u = unique_feats[i];
+    for (const std::vector<int>& feats : compiled[i].features) {
+      u.insert(u.end(), feats.begin(), feats.end());
+    }
+    std::sort(u.begin(), u.end());
+    u.erase(std::unique(u.begin(), u.end()), u.end());
+  }
+
+  const size_t L = model_.num_labels();
+  const size_t F = model_.num_features();
   const size_t dim = model_.WeightDim();
+  const size_t trans_base = F * L;  // transition/start/end tail block
   weights_.assign(dim, 0.0);
 
   util::ThreadPool pool(util::ThreadPool::ResolveThreads(options_.threads));
-  // Per-shard accumulators, allocated once and reused by every
-  // objective evaluation of the optimizer.
+  // Per-shard accumulators, allocated once and reused by every objective
+  // evaluation. `grad` is dense for O(1) scatter inside SequenceNll, but
+  // zeroing and merging are sparse: `touched` lists the unigram feature
+  // blocks this shard wrote, so each evaluation merges and re-zeroes
+  // only those blocks plus the (always-hit) transition tail — the old
+  // dense merge cost O(WeightDim × shards) per evaluation regardless of
+  // how sparse the shard's sequences were.
   struct ShardAcc {
     std::vector<double> grad;
+    std::vector<int> touched;
+    std::vector<uint8_t> mark;  // feature id → touched this evaluation
     double nll = 0;
   };
   std::vector<ShardAcc> shard_accs(
       util::NumReductionShards(compiled.size(), kGradGrain, kMaxGradShards));
+  for (ShardAcc& acc : shard_accs) {
+    acc.grad.assign(dim, 0.0);
+    acc.mark.assign(F, 0);
+  }
 
   SmoothObjective objective = [&](const std::vector<double>& w,
                                   std::vector<double>* grad) -> double {
@@ -101,14 +170,30 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
         pool, compiled.size(), kGradGrain, kMaxGradShards,
         [&, next = size_t{0}]() mutable { return &shard_accs[next++]; },
         [&](ShardAcc* acc, size_t i) {
-          if (acc->grad.size() != dim) acc->grad.assign(dim, 0.0);
           acc->nll += model_.SequenceNll(compiled[i], w, &acc->grad);
+          for (int f : unique_feats[i]) {
+            if (!acc->mark[static_cast<size_t>(f)]) {
+              acc->mark[static_cast<size_t>(f)] = 1;
+              acc->touched.push_back(f);
+            }
+          }
         },
         [&](ShardAcc* acc, size_t /*shard*/) {
           nll += acc->nll;
-          for (size_t i = 0; i < dim; ++i) (*grad)[i] += acc->grad[i];
           acc->nll = 0;
-          acc->grad.assign(dim, 0.0);
+          for (int f : acc->touched) {
+            const size_t base = static_cast<size_t>(f) * L;
+            for (size_t y = 0; y < L; ++y) {
+              (*grad)[base + y] += acc->grad[base + y];
+              acc->grad[base + y] = 0.0;
+            }
+            acc->mark[static_cast<size_t>(f)] = 0;
+          }
+          acc->touched.clear();
+          for (size_t i = trans_base; i < dim; ++i) {
+            (*grad)[i] += acc->grad[i];
+            acc->grad[i] = 0.0;
+          }
         });
     // L2 regularization (c2), CRFsuite convention: c2 * ||w||^2 with
     // gradient 2 * c2 * w.
@@ -155,6 +240,7 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
     }
   }
   trained_ = true;
+  ++generation_;
   return Status::Ok();
 }
 
@@ -172,15 +258,9 @@ std::vector<std::string> CrfTagger::Predict(
   return labels;
 }
 
-text::SequenceTagger::ScoredPrediction CrfTagger::PredictScored(
-    const text::LabeledSequence& seq) const {
+text::SequenceTagger::ScoredPrediction CrfTagger::ScoreCompiled(
+    const CompiledSequence& compiled) const {
   ScoredPrediction out;
-  if (!trained_ || seq.tokens.empty()) {
-    out.labels.assign(seq.tokens.size(), text::kOutsideLabel);
-    out.confidence.assign(seq.tokens.size(), 1.0);
-    return out;
-  }
-  CompiledSequence compiled = Compile(seq, /*with_labels=*/false);
   std::vector<int> path = model_.Viterbi(compiled, weights_);
   std::vector<double> marginals;
   model_.Marginals(compiled, weights_, &marginals);
@@ -193,6 +273,28 @@ text::SequenceTagger::ScoredPrediction CrfTagger::PredictScored(
         marginals[t * num_labels + static_cast<size_t>(path[t])]);
   }
   return out;
+}
+
+text::SequenceTagger::ScoredPrediction CrfTagger::PredictScored(
+    const text::LabeledSequence& seq) const {
+  if (!trained_ || seq.tokens.empty()) {
+    ScoredPrediction out;
+    out.labels.assign(seq.tokens.size(), text::kOutsideLabel);
+    out.confidence.assign(seq.tokens.size(), 1.0);
+    return out;
+  }
+  return ScoreCompiled(Compile(seq, /*with_labels=*/false));
+}
+
+text::SequenceTagger::ScoredPrediction CrfTagger::PredictScored(
+    const CompiledSequence& compiled) const {
+  if (!trained_ || compiled.length() == 0) {
+    ScoredPrediction out;
+    out.labels.assign(compiled.length(), text::kOutsideLabel);
+    out.confidence.assign(compiled.length(), 1.0);
+    return out;
+  }
+  return ScoreCompiled(compiled);
 }
 
 }  // namespace pae::crf
@@ -230,7 +332,7 @@ size_t CrfTagger::Compact() {
   new_weights.reserve(kept * L + L * L + 2 * L);
   for (size_t f = 0; f < F; ++f) {
     if (!keep[f]) continue;
-    compacted.AddFeature(model_.feature_names()[f]);
+    compacted.AddFeature(model_.FeatureName(static_cast<int>(f)));
     for (size_t y = 0; y < L; ++y) {
       new_weights.push_back(weights_[f * L + y]);
     }
@@ -243,6 +345,7 @@ size_t CrfTagger::Compact() {
   model_ = std::move(compacted);
   weights_ = std::move(new_weights);
   PAE_CHECK_EQ(weights_.size(), model_.WeightDim());
+  ++generation_;
   return removed;
 }
 
@@ -256,7 +359,12 @@ Status CrfTagger::Save(const std::string& path) const {
   writer.WriteDouble(options_.c1);
   writer.WriteDouble(options_.c2);
   writer.WriteStringVec(model_.labels());
-  writer.WriteStringVec(model_.feature_names());
+  std::vector<std::string> feature_names;
+  feature_names.reserve(model_.num_features());
+  for (size_t f = 0; f < model_.num_features(); ++f) {
+    feature_names.emplace_back(model_.FeatureName(static_cast<int>(f)));
+  }
+  writer.WriteStringVec(feature_names);
   writer.WriteDoubleVec(weights_);
   return writer.Finish();
 }
@@ -288,6 +396,7 @@ Status CrfTagger::Load(const std::string& path) {
   }
   weights_ = std::move(weights);
   trained_ = true;
+  ++generation_;
   return Status::Ok();
 }
 

@@ -1,6 +1,7 @@
 #ifndef PAE_CRF_CRF_TAGGER_H_
 #define PAE_CRF_CRF_TAGGER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,7 +51,17 @@ class CrfTagger : public text::SequenceTagger {
   /// Viterbi labels with forward-backward marginal confidences.
   ScoredPrediction PredictScored(
       const text::LabeledSequence& seq) const override;
+  /// Same, over an already-compiled sequence — the `CompiledCorpus`
+  /// fast path: extraction and feature-id lookup were done by the cache,
+  /// so this runs inference only. Produces byte-identical output to the
+  /// string overload for an identically compiled sequence.
+  ScoredPrediction PredictScored(const CompiledSequence& compiled) const;
   std::string Name() const override { return "crf"; }
+
+  /// Monotonic counter bumped whenever the model or weights change
+  /// (successful Train, Load, and a Compact that removed features).
+  /// Compiled-sequence caches key their feature-id remaps on this.
+  uint64_t Generation() const { return generation_; }
 
   /// Persists the trained model (labels, feature dictionary, weights,
   /// feature-template configuration) to `path`.
@@ -65,6 +76,7 @@ class CrfTagger : public text::SequenceTagger {
   size_t Compact();
 
   /// Introspection for tests and diagnostics.
+  const CrfOptions& options() const { return options_; }
   const CrfModel& model() const { return model_; }
   const std::vector<double>& weights() const { return weights_; }
   const OwlqnReport& training_report() const { return report_; }
@@ -73,12 +85,16 @@ class CrfTagger : public text::SequenceTagger {
  private:
   CompiledSequence Compile(const text::LabeledSequence& seq,
                            bool with_labels) const;
+  /// Shared Viterbi + marginals path behind both PredictScored
+  /// overloads.
+  ScoredPrediction ScoreCompiled(const CompiledSequence& compiled) const;
 
   CrfOptions options_;
   CrfModel model_;
   std::vector<double> weights_;
   OwlqnReport report_;
   bool trained_ = false;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace pae::crf

@@ -7,15 +7,8 @@
 namespace pae::crf {
 
 namespace {
-constexpr const char* kBos = "<s>";
-constexpr const char* kEos = "</s>";
-
-const std::string& TokenAt(const std::vector<std::string>& v, int i,
-                           const std::string& bos, const std::string& eos) {
-  if (i < 0) return bos;
-  if (i >= static_cast<int>(v.size())) return eos;
-  return v[static_cast<size_t>(i)];
-}
+const std::string kBos = "<s>";
+const std::string kEos = "</s>";
 }  // namespace
 
 void ExtractFeatures(const text::LabeledSequence& seq,
@@ -24,8 +17,13 @@ void ExtractFeatures(const text::LabeledSequence& seq,
   PAE_CHECK_EQ(seq.tokens.size(), seq.pos.size());
   const int n = static_cast<int>(seq.tokens.size());
   const int k = config.window;
-  static const std::string bos = kBos;
-  static const std::string eos = kEos;
+
+  const auto token_at = [](const std::vector<std::string>& v,
+                           int i) -> const std::string& {
+    if (i < 0) return kBos;
+    if (i >= static_cast<int>(v.size())) return kEos;
+    return v[static_cast<size_t>(i)];
+  };
 
   out->assign(static_cast<size_t>(n), {});
   const int sent_bucket =
@@ -40,8 +38,8 @@ void ExtractFeatures(const text::LabeledSequence& seq,
     // Window words and their PoS tags.
     std::string pos_concat;
     for (int d = -k; d <= k; ++d) {
-      const std::string& w = TokenAt(seq.tokens, t + d, bos, eos);
-      const std::string& p = TokenAt(seq.pos, t + d, bos, eos);
+      const std::string& w = token_at(seq.tokens, t + d);
+      const std::string& p = token_at(seq.pos, t + d);
       if (d != 0) {
         feats.push_back("w[" + std::to_string(d) + "]=" + w);
       }
@@ -52,6 +50,44 @@ void ExtractFeatures(const text::LabeledSequence& seq,
     feats.push_back("pwin=" + pos_concat);
     feats.push_back(sent_feature);
   }
+}
+
+const std::string& FeatureEncoder::TokenAt(const std::vector<std::string>& v,
+                                           int i) {
+  if (i < 0) return kBos;
+  if (i >= static_cast<int>(v.size())) return kEos;
+  return v[static_cast<size_t>(i)];
+}
+
+void FeatureEncoder::Reset(const FeatureConfig& config) {
+  const bool same_window = initialized_ && config.window == config_.window;
+  const bool same_bucket =
+      initialized_ && config.max_sentence_bucket == config_.max_sentence_bucket;
+  config_ = config;
+  initialized_ = true;
+  if (!same_bucket) sent_bucket_ = -1;  // force a sent= re-render
+  if (same_window) return;
+  const int k = config_.window;
+  word_scratch_.clear();
+  pos_scratch_.clear();
+  for (int d = -k; d <= k; ++d) {
+    Scratch w;
+    w.buf = "w[" + std::to_string(d) + "]=";
+    w.prefix = w.buf.size();
+    word_scratch_.push_back(std::move(w));
+    Scratch p;
+    p.buf = "p[" + std::to_string(d) + "]=";
+    p.prefix = p.buf.size();
+    pos_scratch_.push_back(std::move(p));
+  }
+  pwin_buf_.assign("pwin=");
+}
+
+void FeatureEncoder::PrepareSentenceFeature(int sentence_index) {
+  const int bucket = std::min(sentence_index, config_.max_sentence_bucket);
+  if (bucket == sent_bucket_) return;
+  sent_bucket_ = bucket;
+  sent_feature_ = "sent=" + std::to_string(bucket);
 }
 
 }  // namespace pae::crf

@@ -2,9 +2,11 @@
 #define PAE_CRF_FEATURE_EXTRACTOR_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "text/labeled_sequence.h"
+#include "util/logging.h"
 
 namespace pae::crf {
 
@@ -22,9 +24,106 @@ struct FeatureConfig {
 
 /// Generates the string features for every position of `seq`.
 /// `out->at(t)` holds the feature strings active at position t.
+///
+/// This is the straightforward string-materializing implementation. The
+/// hot paths use `FeatureEncoder` below instead; this function is kept
+/// as the reference implementation the golden byte-equality tests
+/// compare the allocation-free pipeline against
+/// (tests/feature_pipeline_test.cc).
 void ExtractFeatures(const text::LabeledSequence& seq,
                      const FeatureConfig& config,
                      std::vector<std::vector<std::string>>* out);
+
+/// Allocation-free encoder for the same feature template.
+///
+/// Instead of materializing every feature as its own `std::string`,
+/// `Encode` formats each feature into one reusable scratch buffer and
+/// hands it to the caller as a `std::string_view` — the caller interns
+/// or looks it up before the next feature overwrites the buffer. After
+/// the first few sentences warm the buffers up, a sentence encodes with
+/// zero heap allocations.
+///
+/// Feature order per position is byte-identical to `ExtractFeatures`:
+/// w[0], then for d = -K..K the window word (d ≠ 0) and PoS tag, then
+/// the PoS-window concatenation, then the sentence bucket.
+///
+/// An encoder is cheap but stateful scratch — use one per thread
+/// (`thread_local` in the tagger hot paths), never share one across
+/// threads.
+class FeatureEncoder {
+ public:
+  FeatureEncoder() = default;
+  explicit FeatureEncoder(const FeatureConfig& config) { Reset(config); }
+
+  /// Adopts `config`, rebuilding the per-offset prefix strings only if
+  /// the window size actually changed (cheap to call per sentence).
+  void Reset(const FeatureConfig& config);
+
+  /// Calls `emit(t, feature)` for every feature of every position t of
+  /// `seq`, in the reference order. The `std::string_view` argument is
+  /// only valid for the duration of that call.
+  template <typename Emit>
+  void Encode(const text::LabeledSequence& seq, Emit&& emit) {
+    PAE_CHECK_EQ(seq.tokens.size(), seq.pos.size());
+    const int n = static_cast<int>(seq.tokens.size());
+    const int k = config_.window;
+    PrepareSentenceFeature(seq.sentence_index);
+    for (int t = 0; t < n; ++t) {
+      // w[t] itself. Each scratch buffer keeps its "w[d]=" / "p[d]="
+      // prefix permanently: resizing down to the prefix preserves those
+      // bytes (and the capacity), so only the token bytes are copied.
+      Scratch& w0 = word_scratch_[static_cast<size_t>(k)];
+      w0.buf.resize(w0.prefix);
+      w0.buf.append(seq.tokens[static_cast<size_t>(t)]);
+      emit(static_cast<size_t>(t), std::string_view(w0.buf));
+      // Window words and their PoS tags; the PoS-window concatenation
+      // accumulates directly behind pwin_buf_'s "pwin=" prefix.
+      pwin_buf_.resize(kPwinPrefix);
+      for (int d = -k; d <= k; ++d) {
+        const std::string& w = TokenAt(seq.tokens, t + d);
+        const std::string& p = TokenAt(seq.pos, t + d);
+        if (d != 0) {
+          Scratch& sw = word_scratch_[static_cast<size_t>(d + k)];
+          sw.buf.resize(sw.prefix);
+          sw.buf.append(w);
+          emit(static_cast<size_t>(t), std::string_view(sw.buf));
+        }
+        Scratch& sp = pos_scratch_[static_cast<size_t>(d + k)];
+        sp.buf.resize(sp.prefix);
+        sp.buf.append(p);
+        emit(static_cast<size_t>(t), std::string_view(sp.buf));
+        if (pwin_buf_.size() > kPwinPrefix) pwin_buf_.push_back('|');
+        pwin_buf_.append(p);
+      }
+      emit(static_cast<size_t>(t), std::string_view(pwin_buf_));
+      emit(static_cast<size_t>(t), std::string_view(sent_feature_));
+    }
+  }
+
+  const FeatureConfig& config() const { return config_; }
+
+ private:
+  /// A reusable feature buffer whose first `prefix` bytes are the
+  /// constant feature prefix.
+  struct Scratch {
+    std::string buf;
+    size_t prefix = 0;
+  };
+  static constexpr size_t kPwinPrefix = 5;  // strlen("pwin=")
+
+  static const std::string& TokenAt(const std::vector<std::string>& v, int i);
+  /// Re-renders the "sent=<bucket>" feature when the bucket changes.
+  void PrepareSentenceFeature(int sentence_index);
+
+  FeatureConfig config_;
+  bool initialized_ = false;
+  /// Index d + window → scratch pre-filled with "w[d]=" / "p[d]=".
+  std::vector<Scratch> word_scratch_;
+  std::vector<Scratch> pos_scratch_;
+  std::string pwin_buf_;  // "pwin=" + PoS-window concatenation
+  std::string sent_feature_;
+  int sent_bucket_ = -1;
+};
 
 }  // namespace pae::crf
 

@@ -267,7 +267,7 @@ Status Word2Vec::Save(const std::string& path) const {
   std::vector<std::string> words;
   words.reserve(vocab_.size());
   for (size_t i = 0; i < vocab_.size(); ++i) {
-    words.push_back(vocab_.Word(static_cast<int32_t>(i)));
+    words.emplace_back(vocab_.Word(static_cast<int32_t>(i)));
   }
   writer.WriteStringVec(words);
   writer.WriteFloatVec(in_vectors_.data());

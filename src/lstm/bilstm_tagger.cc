@@ -446,7 +446,7 @@ void WriteVocab(BinaryWriter* writer, const text::Vocab& vocab) {
   std::vector<std::string> words;
   words.reserve(vocab.size());
   for (size_t i = 0; i < vocab.size(); ++i) {
-    words.push_back(vocab.Word(static_cast<int32_t>(i)));
+    words.emplace_back(vocab.Word(static_cast<int32_t>(i)));
   }
   writer->WriteStringVec(words);
 }

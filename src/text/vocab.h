@@ -2,16 +2,21 @@
 #define PAE_TEXT_VOCAB_H_
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
-#include <vector>
+#include <string_view>
 
+#include "util/interner.h"
 #include "util/logging.h"
 
 namespace pae::text {
 
 /// Bidirectional string ↔ dense-id map shared by the ML modules.
 /// Id 0 is reserved for the unknown token "<unk>".
+///
+/// Backed by `util::FlatStringInterner`: every accessor takes a
+/// `std::string_view`, so call sites that hold a token slice or a
+/// scratch buffer look words up without constructing a `std::string`
+/// temporary, and `Word()` returns a view into the interner's arena
+/// (stable for the Vocab's lifetime).
 class Vocab {
  public:
   Vocab() { GetOrAdd("<unk>"); }
@@ -19,34 +24,31 @@ class Vocab {
   static constexpr int32_t kUnkId = 0;
 
   /// Returns the id for `word`, inserting it if absent.
-  int32_t GetOrAdd(const std::string& word) {
-    auto [it, inserted] =
-        ids_.emplace(word, static_cast<int32_t>(words_.size()));
-    if (inserted) words_.push_back(word);
-    return it->second;
+  int32_t GetOrAdd(std::string_view word) {
+    return static_cast<int32_t>(words_.Intern(word));
   }
 
   /// Returns the id for `word` or kUnkId if absent.
-  int32_t Lookup(const std::string& word) const {
-    auto it = ids_.find(word);
-    return it == ids_.end() ? kUnkId : it->second;
+  int32_t Lookup(std::string_view word) const {
+    const int id = words_.Find(word);
+    return id < 0 ? kUnkId : static_cast<int32_t>(id);
   }
 
   /// True if `word` is present.
-  bool Contains(const std::string& word) const { return ids_.count(word) > 0; }
+  bool Contains(std::string_view word) const { return words_.Find(word) >= 0; }
 
-  /// The word for `id`.
-  const std::string& Word(int32_t id) const {
+  /// The word for `id`. The view stays valid as long as this Vocab does
+  /// (insertions never move stored keys).
+  std::string_view Word(int32_t id) const {
     PAE_CHECK_GE(id, 0);
     PAE_CHECK_LT(static_cast<size_t>(id), words_.size());
-    return words_[id];
+    return words_.key(id);
   }
 
   size_t size() const { return words_.size(); }
 
  private:
-  std::unordered_map<std::string, int32_t> ids_;
-  std::vector<std::string> words_;
+  util::FlatStringInterner words_;
 };
 
 }  // namespace pae::text

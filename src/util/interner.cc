@@ -1,0 +1,110 @@
+#include "util/interner.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace pae::util {
+
+namespace {
+/// Max load factor: resize once size > capacity * 7/8. Linear probing
+/// stays short at this density because the finalizer below spreads
+/// clustered inputs.
+constexpr size_t kLoadNum = 7;
+constexpr size_t kLoadDen = 8;
+}  // namespace
+
+FlatStringInterner::FlatStringInterner() {
+  slots_.assign(kMinCapacity, Slot{});
+  mask_ = kMinCapacity - 1;
+}
+
+FlatStringInterner::FlatStringInterner(const FlatStringInterner& other)
+    : FlatStringInterner() {
+  Reserve(other.size());
+  for (size_t id = 0; id < other.size(); ++id) {
+    Intern(other.key(static_cast<int>(id)));
+  }
+}
+
+FlatStringInterner& FlatStringInterner::operator=(
+    const FlatStringInterner& other) {
+  if (this == &other) return *this;
+  FlatStringInterner copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+const char* FlatStringInterner::StoreKey(std::string_view key) {
+  if (key.size() > kBlockBytes) {
+    // Oversized key: dedicated block, inserted *behind* the current
+    // block so the current block keeps filling.
+    auto block = std::make_unique<char[]>(key.size());
+    char* data = block.get();
+    std::memcpy(data, key.data(), key.size());
+    const size_t at = blocks_.empty() ? 0 : blocks_.size() - 1;
+    blocks_.insert(blocks_.begin() + static_cast<long>(at),
+                   std::move(block));
+    return data;
+  }
+  if (blocks_.empty() || block_used_ + key.size() > block_cap_) {
+    blocks_.push_back(std::make_unique<char[]>(kBlockBytes));
+    block_used_ = 0;
+    block_cap_ = kBlockBytes;
+  }
+  char* data = blocks_.back().get() + block_used_;
+  if (!key.empty()) std::memcpy(data, key.data(), key.size());
+  block_used_ += key.size();
+  return data;
+}
+
+void FlatStringInterner::Rehash(size_t capacity) {
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+  for (size_t id = 0; id < keys_.size(); ++id) {
+    const std::string_view k(keys_[id].first, keys_[id].second);
+    size_t slot = Hash(k) & mask_;
+    while (slots_[slot].id != kEmpty) slot = (slot + 1) & mask_;
+    slots_[slot].hash = Hash(k);
+    slots_[slot].id = static_cast<int32_t>(id);
+  }
+}
+
+void FlatStringInterner::Reserve(size_t expected_keys) {
+  size_t capacity = kMinCapacity;
+  while (capacity * kLoadNum / kLoadDen <= expected_keys) capacity <<= 1;
+  if (capacity > slots_.size()) Rehash(capacity);
+}
+
+int FlatStringInterner::Intern(std::string_view key) {
+  const uint64_t hash = Hash(key);
+  size_t slot = hash & mask_;
+  while (slots_[slot].id != kEmpty) {
+    if (slots_[slot].hash == hash) {
+      const auto& [ptr, len] = keys_[static_cast<size_t>(slots_[slot].id)];
+      if (len == key.size() &&
+          (len == 0 || std::memcmp(ptr, key.data(), len) == 0)) {
+        return slots_[slot].id;
+      }
+    }
+    slot = (slot + 1) & mask_;
+  }
+  const int32_t id = static_cast<int32_t>(keys_.size());
+  const char* stored = StoreKey(key);
+  keys_.emplace_back(stored, static_cast<uint32_t>(key.size()));
+  slots_[slot].hash = hash;
+  slots_[slot].id = id;
+  if (keys_.size() * kLoadDen > slots_.size() * kLoadNum) {
+    Rehash(slots_.size() << 1);
+  }
+  return id;
+}
+
+std::string_view FlatStringInterner::key(int id) const {
+  PAE_CHECK_GE(id, 0);
+  PAE_CHECK_LT(static_cast<size_t>(id), keys_.size());
+  const auto& [ptr, len] = keys_[static_cast<size_t>(id)];
+  return std::string_view(ptr, len);
+}
+
+}  // namespace pae::util

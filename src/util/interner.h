@@ -1,0 +1,149 @@
+#ifndef PAE_UTIL_INTERNER_H_
+#define PAE_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace pae::util {
+
+/// Open-addressing string → dense-id dictionary built for hot feature
+/// and vocabulary lookups.
+///
+/// Compared to `std::unordered_map<std::string, int>`:
+///  * heterogeneous lookup — `Intern`/`Find` take a `std::string_view`,
+///    so callers hash a scratch buffer or a token slice without ever
+///    materializing a `std::string` temporary;
+///  * one flat slot array (64-bit hash + id per slot, linear probing)
+///    instead of a node allocation per key, so probes hit one or two
+///    cache lines;
+///  * key bytes live in a chunked arena owned by the interner. Arena
+///    blocks are never reallocated, so the `std::string_view`s returned
+///    by `key()` stay valid for the interner's whole lifetime — across
+///    any number of later insertions and table rehashes.
+///
+/// Ids are dense and assigned in first-insertion order: the i-th
+/// distinct key interned gets id i. This makes the id assignment a pure
+/// function of the insertion sequence (unlike unordered_map iteration
+/// order, which is implementation defined).
+///
+/// Not thread-safe for writes; concurrent `Find`/`key` calls are safe
+/// once no thread is interning.
+class FlatStringInterner {
+ public:
+  FlatStringInterner();
+  ~FlatStringInterner() = default;
+
+  /// Copying re-interns every key into a fresh arena (rarely needed —
+  /// models are typically moved).
+  FlatStringInterner(const FlatStringInterner& other);
+  FlatStringInterner& operator=(const FlatStringInterner& other);
+  FlatStringInterner(FlatStringInterner&&) noexcept = default;
+  FlatStringInterner& operator=(FlatStringInterner&&) noexcept = default;
+
+  /// Returns the id for `key`, inserting a copy of its bytes into the
+  /// arena if it is new.
+  int Intern(std::string_view key);
+
+  /// Returns the id for `key` or -1 if absent. Never allocates.
+  /// Defined inline below — it is the per-feature probe on the compile
+  /// hot path.
+  int Find(std::string_view key) const;
+
+  /// True if `key` has been interned.
+  bool Contains(std::string_view key) const { return Find(key) >= 0; }
+
+  /// The key for `id` (valid for the interner's lifetime).
+  std::string_view key(int id) const;
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// Pre-sizes the slot table for `expected_keys` insertions.
+  void Reserve(size_t expected_keys);
+
+  /// 64-bit wyhash-style chunked multiply-mix with an avalanche
+  /// finalizer (splitmix64-style), so short keys with shared prefixes
+  /// still spread over the table. Defined inline below.
+  static uint64_t Hash(std::string_view key);
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    int32_t id = kEmpty;  // kEmpty marks a free slot
+  };
+  static constexpr int32_t kEmpty = -1;
+  static constexpr size_t kMinCapacity = 16;
+  /// Arena block size; keys longer than this get a dedicated block.
+  static constexpr size_t kBlockBytes = 64 * 1024;
+
+  /// Grows the slot table to `capacity` (a power of two) and re-seats
+  /// every existing id. Key bytes never move.
+  void Rehash(size_t capacity);
+  /// Copies `key`'s bytes into the arena; returns the stable pointer.
+  const char* StoreKey(std::string_view key);
+
+  std::vector<Slot> slots_;  // size is a power of two
+  size_t mask_ = 0;          // slots_.size() - 1
+  /// id → stable (pointer, length) into the arena, insertion order.
+  std::vector<std::pair<const char*, uint32_t>> keys_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t block_used_ = 0;
+  size_t block_cap_ = 0;
+};
+
+inline uint64_t FlatStringInterner::Hash(std::string_view key) {
+  // wyhash-style chunked multiply-mix: 8 bytes per round instead of
+  // FNV's byte-at-a-time multiply chain — feature keys are 8–25 bytes,
+  // so this is 1–3 rounds. Only internal consistency matters (ids come
+  // from insertion order, never from hash values), so the byte-order
+  // dependence of the memcpy loads is fine.
+  const char* p = key.data();
+  size_t n = key.size();
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ (key.size() * 0xff51afd7ed558ccdull);
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk *= 0x9ddfea08eb382d69ull;
+    chunk ^= chunk >> 32;
+    h = (h ^ chunk) * 0xc2b2ae3d27d4eb4full;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = (h ^ tail) * 0x87c37b91114253d5ull;
+  }
+  // splitmix64-style finalizer so short, similar keys (w[-2]=…,
+  // w[-1]=…) don't leave correlated low bits — the table indexes with
+  // the low bits.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 32;
+  return h;
+}
+
+inline int FlatStringInterner::Find(std::string_view key) const {
+  const uint64_t hash = Hash(key);
+  size_t slot = hash & mask_;
+  while (slots_[slot].id != kEmpty) {
+    if (slots_[slot].hash == hash) {
+      const auto& [ptr, len] = keys_[static_cast<size_t>(slots_[slot].id)];
+      if (len == key.size() &&
+          (len == 0 || std::memcmp(ptr, key.data(), len) == 0)) {
+        return slots_[slot].id;
+      }
+    }
+    slot = (slot + 1) & mask_;
+  }
+  return -1;
+}
+
+}  // namespace pae::util
+
+#endif  // PAE_UTIL_INTERNER_H_

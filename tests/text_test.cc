@@ -269,6 +269,28 @@ TEST(VocabTest, GetOrAddStable) {
   EXPECT_EQ(v.size(), 2u);
 }
 
+TEST(VocabTest, HeterogeneousStringViewLookup) {
+  Vocab v;
+  const int32_t id = v.GetOrAdd(std::string_view("重量"));
+  // A view sliced out of unrelated storage resolves without ever
+  // materializing a std::string.
+  const char buffer[] = "xx重量yy";
+  const std::string_view slice(buffer + 2, 6);  // the 2 UTF-8 code points
+  EXPECT_EQ(v.Lookup(slice), id);
+  EXPECT_TRUE(v.Contains(slice));
+  EXPECT_FALSE(v.Contains(std::string_view(buffer + 2, 3)));
+  EXPECT_EQ(v.Lookup("absent"), Vocab::kUnkId);
+  EXPECT_EQ(v.Word(id), "重量");
+}
+
+TEST(VocabTest, WordViewsStableAcrossGrowth) {
+  Vocab v;
+  const std::string_view early = v.Word(v.GetOrAdd("anchor"));
+  for (int i = 0; i < 5000; ++i) v.GetOrAdd("w" + std::to_string(i));
+  EXPECT_EQ(early, "anchor");  // interner arena never reallocates keys
+  EXPECT_EQ(v.Lookup(early), 1);
+}
+
 // ---------------- BIO machinery ----------------
 
 TEST(BioTest, ParseLabels) {
