@@ -1,36 +1,58 @@
 #!/usr/bin/env bash
-# Repository check: build + full test suite three times — once plain,
-# once with ThreadSanitizer focused on the concurrency surface, once
-# with AddressSanitizer focused on the interner/feature-pipeline
-# surface.
+# Repository check: build + test suite four times — once plain, once
+# with ThreadSanitizer focused on the concurrency surface, once with
+# AddressSanitizer focused on the interner/feature-pipeline surface,
+# and once with UBSan over the FULL ctest suite.
 #
-#   scripts/check.sh            # all passes
-#   scripts/check.sh --no-tsan  # skip the TSan pass
-#   scripts/check.sh --no-asan  # skip the ASan pass
+#   scripts/check.sh             # all passes
+#   scripts/check.sh --no-tsan   # skip the TSan pass
+#   scripts/check.sh --no-asan   # skip the ASan pass
+#   scripts/check.sh --no-ubsan  # skip the UBSan pass
+#   scripts/check.sh --tidy      # additionally run scripts/tidy.sh
+#   PAE_CHECK_JOBS=4 scripts/check.sh   # override build/test parallelism
 #
 # Pass 1 (default flags) configures build-check/ and runs every ctest
-# target. Pass 2 configures build-check-tsan/ with -DPAE_SANITIZE=thread
-# and runs the thread-pool + concurrency + feature-pipeline binaries
-# directly: they are the tests whose failure modes are data races, and
-# running them under TSan turns the determinism assertions into race
-# detection. Pass 3 configures build-check-asan/ with
-# -DPAE_SANITIZE=address and runs the interner + feature-pipeline
-# binaries: the interner hands out raw string_views into a hand-managed
-# arena, exactly the kind of code ASan exists for.
+# target (including pae_lint). Pass 2 configures build-check-tsan/ with
+# -DPAE_SANITIZE=thread and runs the thread-pool + concurrency +
+# feature-pipeline binaries directly: they are the tests whose failure
+# modes are data races, and running them under TSan turns the
+# determinism assertions into race detection. Pass 3 configures
+# build-check-asan/ with -DPAE_SANITIZE=address and runs the interner +
+# feature-pipeline binaries: the interner hands out raw string_views
+# into a hand-managed arena, exactly the kind of code ASan exists for.
+# Pass 4 configures build-check-ubsan/ with -DPAE_SANITIZE=undefined
+# (which also enables float-divide-by-zero and -fno-sanitize-recover)
+# and runs the WHOLE ctest suite: UBSan's costs are cheap enough to
+# afford full coverage, and the ubsan_regression_test corpus of
+# malformed UTF-8 / boundary offsets only earns its keep under it.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="$(nproc 2>/dev/null || echo 2)"
+JOBS="${PAE_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 RUN_TSAN=1
 RUN_ASAN=1
+RUN_UBSAN=1
+RUN_TIDY=0
 for arg in "$@"; do
   [[ "${arg}" == "--no-tsan" ]] && RUN_TSAN=0
   [[ "${arg}" == "--no-asan" ]] && RUN_ASAN=0
+  [[ "${arg}" == "--no-ubsan" ]] && RUN_UBSAN=0
+  [[ "${arg}" == "--tidy" ]] && RUN_TIDY=1
 done
 
+if [[ "${RUN_TIDY}" == "1" ]]; then
+  # Fail fast before spending minutes on sanitizer builds: tidy.sh
+  # exits 3 with an install hint when clang-tidy is not on PATH.
+  if ! scripts/tidy.sh --probe; then
+    echo "check.sh: --tidy requested but clang-tidy is unavailable" >&2
+    exit 3
+  fi
+fi
+
 echo "==> pass 1: default build + full ctest"
-cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 cmake --build build-check -j "${JOBS}"
 ctest --test-dir build-check --output-on-failure -j "${JOBS}"
 
@@ -54,6 +76,19 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
   ./build-check-asan/tests/interner_test
   ./build-check-asan/tests/feature_pipeline_test
   ./build-check-asan/tests/crf_test
+fi
+
+if [[ "${RUN_UBSAN}" == "1" ]]; then
+  echo "==> pass 4: UndefinedBehaviorSanitizer build + full ctest"
+  cmake -B build-check-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DPAE_SANITIZE=undefined > /dev/null
+  cmake --build build-check-ubsan -j "${JOBS}"
+  ctest --test-dir build-check-ubsan --output-on-failure -j "${JOBS}"
+fi
+
+if [[ "${RUN_TIDY}" == "1" ]]; then
+  echo "==> extra pass: clang-tidy"
+  scripts/tidy.sh
 fi
 
 echo "==> all checks passed"

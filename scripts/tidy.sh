@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# clang-tidy over the whole tree, driven by the compile_commands.json
+# that scripts/check.sh pass 1 exports into build-check/.
+#
+#   scripts/tidy.sh             # report warnings, exit 0 unless errors
+#   scripts/tidy.sh --werror    # CI mode: any warning fails the run
+#   scripts/tidy.sh --probe     # exit 0/3 for clang-tidy availability
+#   PAE_CHECK_JOBS=4 scripts/tidy.sh
+#
+# The check selection lives in .clang-tidy at the repo root; this script
+# only locates the binary, ensures a compilation database exists, and
+# fans the .cc files out across jobs.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Locate clang-tidy, accepting the versioned names Debian/Ubuntu ship.
+find_clang_tidy() {
+  local cand
+  for cand in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
+    if command -v "${cand}" > /dev/null 2>&1; then
+      echo "${cand}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+CLANG_TIDY="$(find_clang_tidy || true)"
+if [[ -z "${CLANG_TIDY}" ]]; then
+  cat >&2 <<'EOF'
+tidy.sh: clang-tidy not found on PATH (tried clang-tidy and
+clang-tidy-14..20).
+
+Install it, e.g.:
+  apt-get install clang-tidy      # Debian/Ubuntu
+  dnf install clang-tools-extra   # Fedora
+
+The sanitizer passes in scripts/check.sh do not need clang-tidy; only
+this static-analysis pass does.
+EOF
+  exit 3
+fi
+
+MODE="report"
+for arg in "$@"; do
+  case "${arg}" in
+    --werror) MODE="werror" ;;
+    --probe) exit 0 ;;  # reachable only if clang-tidy was found
+    *)
+      echo "tidy.sh: unknown argument '${arg}'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+BUILD_DIR="build-check"
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "==> exporting compile_commands.json into ${BUILD_DIR}/"
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+JOBS="${PAE_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+EXTRA_ARGS=()
+if [[ "${MODE}" == "werror" ]]; then
+  EXTRA_ARGS+=("--warnings-as-errors=*")
+fi
+
+echo "==> ${CLANG_TIDY} over src/ and tools/ (${JOBS} jobs, mode: ${MODE})"
+find src tools -name '*.cc' -print0 |
+  xargs -0 -n 1 -P "${JOBS}" \
+    "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${EXTRA_ARGS[@]}"
+
+echo "==> clang-tidy clean"

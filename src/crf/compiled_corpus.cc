@@ -35,7 +35,7 @@ void CompiledCorpus::Build(
       cursor += feats_per_token;
       token_begin_.push_back(cursor);
     }
-    PAE_CHECK_EQ(static_cast<size_t>(cursor), ids_.size());
+    PAE_DCHECK_EQ(static_cast<size_t>(cursor), ids_.size());
     sentence_begin_.push_back(
         static_cast<uint32_t>(token_begin_.size() - 1));
   }
@@ -47,16 +47,24 @@ void CompiledCorpus::Bind(const CrfModel& model, uint64_t generation) {
   remap_.resize(features_.size());
   for (size_t id = 0; id < features_.size(); ++id) {
     remap_[id] = model.LookupFeature(features_.key(static_cast<int>(id)));
+    // LookupFeature returns -1 (unknown) or a dense id inside the bound
+    // model's dictionary; anything else would scatter out of bounds in
+    // UnigramScores.
+    PAE_DCHECK_GE(remap_[id], -1);
+    PAE_DCHECK_LT(remap_[id], static_cast<int32_t>(model.num_features()));
   }
   bound_generation_ = generation;
   bound_ = true;
 }
 
 void CompiledCorpus::Materialize(size_t i, CompiledSequence* out) const {
-  PAE_CHECK(bound_);
-  PAE_CHECK_LT(i, size());
+  PAE_DCHECK(bound_);
+  PAE_DCHECK_LT(i, size());
+  PAE_DCHECK_EQ(remap_.size(), features_.size());
   const size_t tok_lo = sentence_begin_[i];
   const size_t tok_hi = sentence_begin_[i + 1];
+  PAE_DCHECK_LE(tok_lo, tok_hi);
+  PAE_DCHECK_LT(tok_hi, token_begin_.size());
   const size_t n = tok_hi - tok_lo;
   out->labels.clear();
   out->features.resize(n);

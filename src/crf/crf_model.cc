@@ -47,6 +47,10 @@ void CrfModel::UnigramScores(const CompiledSequence& seq,
   for (size_t t = 0; t < T; ++t) {
     double* row = scores->data() + t * L;
     for (int f : seq.features[t]) {
+      // Ids must come from this model's dictionary (a stale
+      // CompiledCorpus bound to another generation would stray here).
+      PAE_DCHECK_GE(f, 0);
+      PAE_DCHECK_LT(static_cast<size_t>(f), num_features());
       const double* wf = w.data() + static_cast<size_t>(f) * L;
       for (size_t y = 0; y < L; ++y) row[y] += wf[y];
     }
@@ -60,7 +64,7 @@ double CrfModel::ForwardBackward(const CompiledSequence& seq,
                                  std::vector<double>* beta) const {
   const size_t L = num_labels();
   const size_t T = seq.length();
-  PAE_CHECK_GT(T, 0u);
+  PAE_DCHECK_GT(T, 0u);
   const double* trans = w.data() + TransBase();
   const double* start = w.data() + StartBase();
   const double* end = w.data() + EndBase();
@@ -106,13 +110,17 @@ double CrfModel::SequenceNll(const CompiledSequence& seq,
                              std::vector<double>* grad) const {
   const size_t L = num_labels();
   const size_t T = seq.length();
-  PAE_CHECK_EQ(seq.labels.size(), T);
-  PAE_CHECK_EQ(w.size(), WeightDim());
-  PAE_CHECK_EQ(grad->size(), WeightDim());
+  PAE_DCHECK_EQ(seq.labels.size(), T);
+  PAE_DCHECK_EQ(w.size(), WeightDim());
+  PAE_DCHECK_EQ(grad->size(), WeightDim());
 
   std::vector<double> scores, alpha, beta;
   UnigramScores(seq, w, &scores);
   const double log_z = ForwardBackward(seq, scores, w, &alpha, &beta);
+  // A non-finite partition function here means the weights (or a
+  // feature score) already went NaN/inf upstream — fail at the source
+  // instead of poisoning the whole gradient.
+  PAE_DCHECK_FINITE(log_z);
 
   const double* trans = w.data() + TransBase();
   const double* start = w.data() + StartBase();
@@ -167,6 +175,7 @@ double CrfModel::SequenceNll(const CompiledSequence& seq,
       }
     }
   }
+  PAE_DCHECK_FINITE(gold);
   return log_z - gold;
 }
 

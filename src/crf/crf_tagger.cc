@@ -239,6 +239,10 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
       previous = current;
     }
   }
+  // The weights feed every later bootstrap cycle through Viterbi and
+  // Marginals; a NaN here would silently zero all confidences.
+  PAE_DCHECK_FINITE_VEC(weights_)
+      << "CRF training produced non-finite weights";
   trained_ = true;
   ++generation_;
   return Status::Ok();

@@ -69,6 +69,7 @@ Status MinimizeOwlqn(const SmoothObjective& objective,
   if (!std::isfinite(f)) {
     return Status::Internal("OWL-QN: objective not finite at start");
   }
+  PAE_DCHECK_FINITE_VEC(grad) << "OWL-QN: gradient not finite at start";
   double obj = f + (use_l1 ? c * L1Norm(*x) : 0.0);
 
   report->iterations = 0;
@@ -170,6 +171,10 @@ Status MinimizeOwlqn(const SmoothObjective& objective,
     }
 
     double improvement = obj - obj_new;
+    PAE_DCHECK_FINITE_VEC(x_new)
+        << "OWL-QN: accepted iterate contains non-finite weights";
+    PAE_DCHECK_FINITE_VEC(grad_new)
+        << "OWL-QN: accepted gradient contains non-finite entries";
     *x = x_new;
     grad = grad_new;
     obj = obj_new;

@@ -199,6 +199,13 @@ Status Word2Vec::Train(
     };
     merge(shard_in, base_in, &in_vectors_);
     merge(shard_out, base_out, &out_vectors_);
+    // Shard merges sum float deltas in double; an exploding learning
+    // rate shows up here first, one epoch before it would reach the
+    // semantic-cleaning cosines.
+    PAE_DCHECK_FINITE_VEC(in_vectors_.data())
+        << "word2vec: non-finite input embedding after epoch " << epoch;
+    PAE_DCHECK_FINITE_VEC(out_vectors_.data())
+        << "word2vec: non-finite output embedding after epoch " << epoch;
   }
   // Centre the space: small skip-gram corpora develop a dominant common
   // direction that drives all cosines toward 1 (anisotropy); removing
@@ -216,6 +223,10 @@ Status Word2Vec::Train(
     }
   }
 
+  // Train runs once per bootstrap cycle: guarantee the cycle hands the
+  // cleaning stage a finite embedding space.
+  PAE_DCHECK_FINITE_VEC(in_vectors_.data())
+      << "word2vec: non-finite embedding at end of training";
   trained_ = true;
   return Status::Ok();
 }

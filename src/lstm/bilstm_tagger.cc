@@ -79,11 +79,19 @@ void BiLstmTagger::Forward(
     std::vector<float> repr;
     CharRepr(char_ids[t], &tt[t].char_fwd, &tt[t].char_bwd, &repr);
     if (training) {
-      PAE_CHECK_EQ(dropout_masks[t].size(), repr.size());
+      PAE_DCHECK_EQ(dropout_masks[t].size(), repr.size());
       for (size_t k = 0; k < repr.size(); ++k) repr[k] *= dropout_masks[t][k];
     }
     (*word_inputs)[t] = std::move(repr);
   }
+
+  // Gate-dimension contract: the char-BiLSTM representation feeding the
+  // word LSTMs must match their input width (2*char_hidden), and the
+  // output layer must span [h_fwd; h_bwd; word_emb].
+  PAE_DCHECK_EQ(word_fwd_.input_dim, 2 * hc);
+  PAE_DCHECK_EQ(word_bwd_.input_dim, 2 * hc);
+  PAE_DCHECK_EQ(out_w_.cols(), 2 * hw + dw);
+  PAE_DCHECK_EQ(out_w_.rows(), L);
 
   // Word-level BiLSTM.
   word_fwd_trace->resize(1);
@@ -328,6 +336,9 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
         for (float v : g) sq += static_cast<double>(v) * v;
       }
       double norm = std::sqrt(sq);
+      // A non-finite gradient norm means clipping silently rescales to
+      // NaN and the next SGD step destroys the model.
+      PAE_DCHECK_FINITE(norm) << "BiLSTM: non-finite gradient norm";
       float scale = 1.0f;
       if (norm > options_.clip_norm && norm > 0) {
         scale = static_cast<float>(options_.clip_norm / norm);
@@ -351,6 +362,7 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
     }
     final_epoch_loss_ =
         epoch_tokens > 0 ? epoch_loss / static_cast<double>(epoch_tokens) : 0;
+    PAE_DCHECK_FINITE(final_epoch_loss_);
   }
   trained_ = true;
   return Status::Ok();

@@ -41,6 +41,12 @@ void LstmForward(const LstmParams& params,
                  LstmTrace* trace) {
   const size_t H = params.hidden_dim;
   const size_t T = inputs.size();
+  // Gate-dimension contract: the stacked [i; f; o; g] parameter rows
+  // must all be 4H wide or the pre-activation split below misaligns.
+  PAE_DCHECK_EQ(params.wx.rows(), 4 * H);
+  PAE_DCHECK_EQ(params.wh.rows(), 4 * H);
+  PAE_DCHECK_EQ(params.wh.cols(), H);
+  PAE_DCHECK_EQ(params.b.size(), 4 * H);
   trace->x = inputs;
   trace->i.assign(T, std::vector<float>(H));
   trace->f.assign(T, std::vector<float>(H));
@@ -53,7 +59,7 @@ void LstmForward(const LstmParams& params,
   std::vector<float> h_prev(H, 0.0f), c_prev(H, 0.0f);
 
   for (size_t t = 0; t < T; ++t) {
-    PAE_CHECK_EQ(inputs[t].size(), params.input_dim);
+    PAE_DCHECK_EQ(inputs[t].size(), params.input_dim);
     // pre = Wx * x_t + Wh * h_{t-1} + b
     params.wx.MatVec(inputs[t], &pre);
     for (size_t r = 0; r < 4 * H; ++r) {
@@ -86,7 +92,9 @@ void LstmBackward(const LstmParams& params, const LstmTrace& trace,
                   std::vector<std::vector<float>>* dx) {
   const size_t H = params.hidden_dim;
   const size_t T = trace.x.size();
-  PAE_CHECK_EQ(dh.size(), T);
+  PAE_DCHECK_EQ(dh.size(), T);
+  PAE_DCHECK_EQ(grad->wx.rows(), 4 * H);
+  PAE_DCHECK_EQ(grad->b.size(), 4 * H);
   if (dx != nullptr) {
     dx->assign(T, std::vector<float>(params.input_dim, 0.0f));
   }

@@ -17,7 +17,7 @@ void Matrix::UniformInit(Rng* rng, float range) {
 
 void Matrix::MatVec(const std::vector<float>& x,
                     std::vector<float>* out) const {
-  PAE_CHECK_EQ(x.size(), cols_);
+  PAE_DCHECK_EQ(x.size(), cols_);
   out->assign(rows_, 0.0f);
   for (size_t r = 0; r < rows_; ++r) {
     const float* row = Row(r);
@@ -29,7 +29,7 @@ void Matrix::MatVec(const std::vector<float>& x,
 
 void Matrix::MatTVec(const std::vector<float>& x,
                      std::vector<float>* out) const {
-  PAE_CHECK_EQ(x.size(), rows_);
+  PAE_DCHECK_EQ(x.size(), rows_);
   out->assign(cols_, 0.0f);
   for (size_t r = 0; r < rows_; ++r) {
     const float* row = Row(r);
@@ -41,8 +41,8 @@ void Matrix::MatTVec(const std::vector<float>& x,
 
 void Matrix::AddOuter(float alpha, const std::vector<float>& a,
                       const std::vector<float>& b) {
-  PAE_CHECK_EQ(a.size(), rows_);
-  PAE_CHECK_EQ(b.size(), cols_);
+  PAE_DCHECK_EQ(a.size(), rows_);
+  PAE_DCHECK_EQ(b.size(), cols_);
   for (size_t r = 0; r < rows_; ++r) {
     const float av = alpha * a[r];
     if (av == 0.0f) continue;
@@ -52,8 +52,8 @@ void Matrix::AddOuter(float alpha, const std::vector<float>& a,
 }
 
 void Matrix::AddScaled(float alpha, const Matrix& other) {
-  PAE_CHECK_EQ(rows_, other.rows());
-  PAE_CHECK_EQ(cols_, other.cols());
+  PAE_DCHECK_EQ(rows_, other.rows());
+  PAE_DCHECK_EQ(cols_, other.cols());
   for (size_t i = 0; i < data_.size(); ++i) {
     data_[i] += alpha * other.data()[i];
   }

@@ -22,19 +22,26 @@ class Matrix {
   size_t cols() const { return cols_; }
 
   float& at(size_t r, size_t c) {
-    PAE_CHECK_LT(r, rows_);
-    PAE_CHECK_LT(c, cols_);
+    PAE_DCHECK_LT(r, rows_);
+    PAE_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
   float at(size_t r, size_t c) const {
-    PAE_CHECK_LT(r, rows_);
-    PAE_CHECK_LT(c, cols_);
+    PAE_DCHECK_LT(r, rows_);
+    PAE_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
 
-  /// Unchecked row pointer (hot paths).
-  float* Row(size_t r) { return data_.data() + r * cols_; }
-  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+  /// Row pointer (hot paths). Bounds-checked in Debug/sanitizer builds
+  /// only; compiles to bare pointer arithmetic in Release.
+  float* Row(size_t r) {
+    PAE_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    PAE_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
 
   std::vector<float>& data() { return data_; }
   const std::vector<float>& data() const { return data_; }

@@ -11,7 +11,7 @@ namespace pae::math {
 
 /// Dot product of equally sized vectors.
 inline float Dot(const std::vector<float>& a, const std::vector<float>& b) {
-  PAE_CHECK_EQ(a.size(), b.size());
+  PAE_DCHECK_EQ(a.size(), b.size());
   double s = 0;
   for (size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
   return static_cast<float>(s);
@@ -20,7 +20,7 @@ inline float Dot(const std::vector<float>& a, const std::vector<float>& b) {
 /// y += alpha * x.
 inline void Axpy(float alpha, const std::vector<float>& x,
                  std::vector<float>* y) {
-  PAE_CHECK_EQ(x.size(), y->size());
+  PAE_DCHECK_EQ(x.size(), y->size());
   for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
 }
 
@@ -46,7 +46,7 @@ inline double CosineSimilarity(const std::vector<float>& a,
 
 /// Numerically stable log(sum(exp(x))) over doubles.
 inline double LogSumExp(const std::vector<double>& x) {
-  PAE_CHECK(!x.empty());
+  PAE_DCHECK(!x.empty());
   double m = x[0];
   for (double v : x) m = std::max(m, v);
   if (!std::isfinite(m)) return m;  // all -inf
@@ -57,7 +57,7 @@ inline double LogSumExp(const std::vector<double>& x) {
 
 /// In-place softmax over floats (stable).
 inline void SoftmaxInPlace(std::vector<float>* x) {
-  PAE_CHECK(!x->empty());
+  PAE_DCHECK(!x->empty());
   float m = (*x)[0];
   for (float v : *x) m = std::max(m, v);
   double s = 0;

@@ -55,10 +55,13 @@ const char* FlatStringInterner::StoreKey(std::string_view key) {
   char* data = blocks_.back().get() + block_used_;
   if (!key.empty()) std::memcpy(data, key.data(), key.size());
   block_used_ += key.size();
+  PAE_DCHECK_LE(block_used_, block_cap_);
   return data;
 }
 
 void FlatStringInterner::Rehash(size_t capacity) {
+  PAE_DCHECK_GT(capacity, keys_.size());
+  PAE_DCHECK_EQ(capacity & (capacity - 1), 0u);  // power of two
   slots_.assign(capacity, Slot{});
   mask_ = capacity - 1;
   for (size_t id = 0; id < keys_.size(); ++id) {
@@ -77,6 +80,8 @@ void FlatStringInterner::Reserve(size_t expected_keys) {
 }
 
 int FlatStringInterner::Intern(std::string_view key) {
+  PAE_DCHECK_LT(keys_.size(), slots_.size());
+  PAE_DCHECK_EQ(mask_, slots_.size() - 1);
   const uint64_t hash = Hash(key);
   size_t slot = hash & mask_;
   while (slots_[slot].id != kEmpty) {
@@ -101,8 +106,8 @@ int FlatStringInterner::Intern(std::string_view key) {
 }
 
 std::string_view FlatStringInterner::key(int id) const {
-  PAE_CHECK_GE(id, 0);
-  PAE_CHECK_LT(static_cast<size_t>(id), keys_.size());
+  PAE_DCHECK_GE(id, 0);
+  PAE_DCHECK_LT(static_cast<size_t>(id), keys_.size());
   const auto& [ptr, len] = keys_[static_cast<size_t>(id)];
   return std::string_view(ptr, len);
 }

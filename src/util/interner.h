@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace pae::util {
 
 /// Open-addressing string → dense-id dictionary built for hot feature
@@ -129,6 +131,10 @@ inline uint64_t FlatStringInterner::Hash(std::string_view key) {
 }
 
 inline int FlatStringInterner::Find(std::string_view key) const {
+  // Probe-termination invariant: the table always keeps free slots
+  // (load factor <= 7/8), so the linear probe below cannot spin.
+  PAE_DCHECK_LT(keys_.size(), slots_.size());
+  PAE_DCHECK_EQ(mask_, slots_.size() - 1);
   const uint64_t hash = Hash(key);
   size_t slot = hash & mask_;
   while (slots_[slot].id != kEmpty) {

@@ -1,10 +1,12 @@
 #ifndef PAE_UTIL_LOGGING_H_
 #define PAE_UTIL_LOGGING_H_
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace pae {
 namespace internal_logging {
@@ -41,6 +43,18 @@ class LogMessage {
 /// Sets the global minimum log severity (0=INFO .. 3=FATAL).
 void SetMinLogLevel(int level);
 
+/// True when every element of `v` is finite (no NaN, no ±inf). Works for
+/// any container of floats/doubles with begin()/end(). The numeric-guard
+/// companion of PAE_DCHECK_FINITE: gradient, weight and embedding vectors
+/// are validated wholesale at hot-path boundaries.
+template <typename Container>
+bool IsFiniteVec(const Container& v) {
+  for (const auto& x : v) {
+    if (!std::isfinite(static_cast<double>(x))) return false;
+  }
+  return true;
+}
+
 }  // namespace pae
 
 #define PAE_LOG_INFO                                                \
@@ -71,5 +85,43 @@ void SetMinLogLevel(int level);
 #define PAE_CHECK_LE(a, b) PAE_CHECK((a) <= (b))
 #define PAE_CHECK_GT(a, b) PAE_CHECK((a) > (b))
 #define PAE_CHECK_GE(a, b) PAE_CHECK((a) >= (b))
+
+/// DCHECK is the debug-only contract tier: identical to PAE_CHECK in
+/// Debug builds and in sanitizer builds (CMake defines
+/// PAE_DCHECK_ALWAYS_ON whenever PAE_SANITIZE is set), compiled out to
+/// nothing in plain Release builds. Use it on hot paths — per-token
+/// bounds checks, per-iteration finiteness guards — where PAE_CHECK's
+/// always-on branch is too expensive. Invariants that must hold even in
+/// production (serialization framing, public API misuse) stay PAE_CHECK.
+#if !defined(NDEBUG) || defined(PAE_DCHECK_ALWAYS_ON)
+#define PAE_DCHECK_IS_ON 1
+#else
+#define PAE_DCHECK_IS_ON 0
+#endif
+
+#if PAE_DCHECK_IS_ON
+#define PAE_DCHECK(cond) PAE_CHECK(cond)
+#else
+/// The `while (false)` arm keeps the condition (and any streamed
+/// message) syntactically alive — operands stay "used" and type-checked
+/// — but dead-code elimination removes every trace from the binary.
+#define PAE_DCHECK(cond) \
+  while (false) PAE_CHECK(cond)
+#endif
+
+#define PAE_DCHECK_EQ(a, b) PAE_DCHECK((a) == (b))
+#define PAE_DCHECK_NE(a, b) PAE_DCHECK((a) != (b))
+#define PAE_DCHECK_LT(a, b) PAE_DCHECK((a) < (b))
+#define PAE_DCHECK_LE(a, b) PAE_DCHECK((a) <= (b))
+#define PAE_DCHECK_GT(a, b) PAE_DCHECK((a) > (b))
+#define PAE_DCHECK_GE(a, b) PAE_DCHECK((a) >= (b))
+
+/// Numeric guards: a scalar must be finite / a container must contain
+/// only finite values. The bootstrap loop's failure mode is a NaN that
+/// leaks out of one optimizer step and silently poisons every later
+/// cleaning cycle; these make it die at the source in checked builds.
+#define PAE_DCHECK_FINITE(x) \
+  PAE_DCHECK(std::isfinite(static_cast<double>(x))) << " value=" << (x)
+#define PAE_DCHECK_FINITE_VEC(v) PAE_DCHECK(::pae::IsFiniteVec(v))
 
 #endif  // PAE_UTIL_LOGGING_H_

@@ -1,10 +1,11 @@
 #ifndef PAE_UTIL_STATUS_H_
 #define PAE_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace pae {
 
@@ -68,7 +69,8 @@ class Status {
 };
 
 /// Holds either a value of type `T` or an error `Status`. Accessing the
-/// value of an error result aborts in debug builds (assert).
+/// value of an error result aborts in checked builds (PAE_DCHECK, which
+/// logs the violated contract with file:line through util/logging).
 template <typename T>
 class Result {
  public:
@@ -79,22 +81,23 @@ class Result {
   /// Implicit from an error status: allows `return Status::...;`.
   Result(Status status)  // NOLINT(runtime/explicit)
       : status_(std::move(status)) {
-    assert(!status_.ok() && "Result constructed from OK status needs a value");
+    PAE_DCHECK(!status_.ok())
+        << "Result constructed from OK status needs a value";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    PAE_DCHECK(ok()) << "Result::value() on error: " << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    PAE_DCHECK(ok()) << "Result::value() on error: " << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    PAE_DCHECK(ok()) << "Result::value() on error: " << status_.ToString();
     return std::move(*value_);
   }
 

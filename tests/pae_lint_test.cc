@@ -1,0 +1,299 @@
+// Tests for the pae_lint rule engine: every rule must fire on a fixture
+// snippet that violates it and stay quiet on clean code, so the ctest
+// `pae_lint` target is demonstrably enforcing something.
+
+#include "pae_lint_lib.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pae::lint {
+namespace {
+
+bool HasRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+TEST(StripCommentsAndStrings, RemovesCommentsKeepsNewlines) {
+  const std::string in =
+      "int a; // trailing unordered_map<std::string, int>\n"
+      "/* block\n"
+      "   spanning */ int b;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("unordered_map"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripCommentsAndStrings, RemovesStringAndCharLiterals) {
+  const std::string in =
+      "auto s = \"std::cout << rand()\";\n"
+      "char c = 'x';\n"
+      "auto r = R\"(assert(true))\";\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("cout"), std::string::npos);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("assert"), std::string::npos);
+  EXPECT_EQ(out.find('x'), std::string::npos);
+}
+
+TEST(StripCommentsAndStrings, EscapedQuoteStaysInString) {
+  const std::string out =
+      StripCommentsAndStrings("auto s = \"a\\\"b\"; int cout_like;\n");
+  EXPECT_NE(out.find("cout_like"), std::string::npos);
+  EXPECT_EQ(out.find("a\\\"b"), std::string::npos);
+}
+
+TEST(StripCommentsAndStrings, DigitSeparatorIsNotCharLiteral) {
+  const std::string out =
+      StripCommentsAndStrings("int n = 1'000'000; std::cerr << n;\n");
+  // If 1'000'000 opened a char literal the std::cerr would be eaten.
+  EXPECT_NE(out.find("std::cerr"), std::string::npos);
+}
+
+TEST(ExpectedIncludeGuard, CanonicalForm) {
+  EXPECT_EQ(ExpectedIncludeGuard("src/crf/crf_model.h"),
+            "PAE_CRF_CRF_MODEL_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("src/util/logging.h"),
+            "PAE_UTIL_LOGGING_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("src/embed/word2vec.h"),
+            "PAE_EMBED_WORD2VEC_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tools/pae_lint_lib.h"),
+            "PAE_TOOLS_PAE_LINT_LIB_H_");
+}
+
+// ---------------------------------------------------------------------
+// Rule: hot-path-string-map
+
+TEST(LintFile, FlagsStringMapInCrf) {
+  const std::string snippet =
+      "#include <unordered_map>\n"
+      "std::unordered_map<std::string, int> counts;\n";
+  EXPECT_TRUE(HasRule(LintFile("src/crf/foo.cc", snippet),
+                      "hot-path-string-map"));
+  EXPECT_TRUE(HasRule(LintFile("src/text/foo.cc", snippet),
+                      "hot-path-string-map"));
+}
+
+TEST(LintFile, StringMapAllowedOutsideHotPaths) {
+  const std::string snippet =
+      "std::unordered_map<std::string, int> counts;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/util/foo.cc", snippet),
+                       "hot-path-string-map"));
+}
+
+TEST(LintFile, IntKeyedMapIsFine) {
+  const std::string snippet = "std::unordered_map<int, double> m;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/crf/foo.cc", snippet),
+                       "hot-path-string-map"));
+}
+
+TEST(LintFile, StringViewKeyedMapIsFine) {
+  const std::string snippet =
+      "std::unordered_map<std::string_view, int> m;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/crf/foo.cc", snippet),
+                       "hot-path-string-map"));
+}
+
+TEST(LintFile, StringMapInCommentIsFine) {
+  const std::string snippet =
+      "// faster than std::unordered_map<std::string, int> here\n"
+      "int x;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/crf/foo.cc", snippet),
+                       "hot-path-string-map"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: raw-random
+
+TEST(LintFile, FlagsRand) {
+  EXPECT_TRUE(HasRule(LintFile("src/crf/foo.cc", "int r = rand();\n"),
+                      "raw-random"));
+  EXPECT_TRUE(
+      HasRule(LintFile("src/crf/foo.cc", "int r = std::rand();\n"),
+              "raw-random"));
+  EXPECT_TRUE(HasRule(LintFile("src/crf/foo.cc", "srand(42);\n"),
+                      "raw-random"));
+}
+
+TEST(LintFile, FlagsRandomDevice) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/embed/foo.cc", "std::random_device rd;\n"),
+      "raw-random"));
+}
+
+TEST(LintFile, RngHeaderIsExempt) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/util/rng.h",
+               "#ifndef PAE_UTIL_RNG_H_\n#define PAE_UTIL_RNG_H_\n"
+               "std::random_device rd;\n#endif\n"),
+      "raw-random"));
+}
+
+TEST(LintFile, RandSubstringIsFine) {
+  // "operand" and "randomize_order" contain 'rand' but are not calls.
+  const std::string snippet =
+      "int operand(int x);\nbool randomize_order = false;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/crf/foo.cc", snippet), "raw-random"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: raw-stdio
+
+TEST(LintFile, FlagsCoutCerr) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/crf/foo.cc", "std::cout << \"hi\\n\";\n"),
+      "raw-stdio"));
+  EXPECT_TRUE(HasRule(LintFile("src/crf/foo.cc", "std::cerr << x;\n"),
+                      "raw-stdio"));
+}
+
+TEST(LintFile, LoggingCcIsExempt) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/util/logging.cc", "std::cerr << msg;\n"),
+      "raw-stdio"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: naked-assert
+
+TEST(LintFile, FlagsNakedAssert) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/crf/foo.cc", "#include <cassert>\nassert(x > 0);\n"),
+      "naked-assert"));
+}
+
+TEST(LintFile, StaticAssertIsFine) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/crf/foo.cc", "static_assert(sizeof(int) == 4);\n"),
+      "naked-assert"));
+}
+
+TEST(LintFile, DcheckIsFine) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/crf/foo.cc", "PAE_DCHECK(x > 0);\n"), "naked-assert"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: include-guard
+
+TEST(LintFile, FlagsWrongIncludeGuard) {
+  const std::string snippet =
+      "#ifndef FOO_H\n#define FOO_H\n#endif  // FOO_H\n";
+  const std::vector<Violation> vs = LintFile("src/crf/foo.h", snippet);
+  ASSERT_TRUE(HasRule(vs, "include-guard"));
+  bool mentions_expected = false;
+  for (const Violation& v : vs) {
+    if (v.message.find("PAE_CRF_FOO_H_") != std::string::npos) {
+      mentions_expected = true;
+    }
+  }
+  EXPECT_TRUE(mentions_expected);
+}
+
+TEST(LintFile, FlagsMissingIncludeGuard) {
+  EXPECT_TRUE(
+      HasRule(LintFile("src/crf/foo.h", "int x;\n"), "include-guard"));
+}
+
+TEST(LintFile, CorrectGuardIsFine) {
+  const std::string snippet =
+      "#ifndef PAE_CRF_FOO_H_\n#define PAE_CRF_FOO_H_\n"
+      "#endif  // PAE_CRF_FOO_H_\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/crf/foo.h", snippet), "include-guard"));
+}
+
+TEST(LintFile, GuardRuleIgnoresCcFiles) {
+  EXPECT_FALSE(
+      HasRule(LintFile("src/crf/foo.cc", "int x;\n"), "include-guard"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: float-accumulator
+
+TEST(LintFile, FlagsFloatAccumulator) {
+  const std::string snippet =
+      "float sum = 0.0f;\n"
+      "for (float v : xs) {\n"
+      "  sum += v;\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRule(LintFile("src/crf/foo.cc", snippet), "float-accumulator"));
+}
+
+TEST(LintFile, DoubleAccumulatorIsFine) {
+  const std::string snippet =
+      "double sum = 0.0;\n"
+      "for (float v : xs) sum += v;\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/crf/foo.cc", snippet), "float-accumulator"));
+}
+
+TEST(LintFile, FloatWithoutAccumulationIsFine) {
+  const std::string snippet =
+      "float lr = 0.0f;\n"
+      "lr = ComputeRate();\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/crf/foo.cc", snippet), "float-accumulator"));
+}
+
+TEST(LintFile, FarAwayAccumulationIsOutsideWindow) {
+  std::string snippet = "float sum = 0.0f;\n";
+  for (int i = 0; i < 30; ++i) snippet += "Unrelated();\n";
+  snippet += "sum += 1.0f;\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/crf/foo.cc", snippet), "float-accumulator"));
+}
+
+// ---------------------------------------------------------------------
+// Violation metadata / allowlist
+
+TEST(LintFile, ReportsFileAndLine) {
+  const std::vector<Violation> vs =
+      LintFile("src/crf/foo.cc", "int a;\nint r = rand();\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].file, "src/crf/foo.cc");
+  EXPECT_EQ(vs[0].line, 2);
+  EXPECT_EQ(vs[0].rule, "raw-random");
+  EXPECT_NE(vs[0].ToString().find("src/crf/foo.cc:2: [raw-random]"),
+            std::string::npos);
+}
+
+TEST(Allowlist, ParsesAndFilters) {
+  const std::vector<AllowlistEntry> entries = ParseAllowlist(
+      "# comment\n"
+      "\n"
+      "raw-random src/crf/foo.cc\n"
+      "naked-assert src/text/bar.cc  # trailing note\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].rule, "raw-random");
+  EXPECT_EQ(entries[0].file, "src/crf/foo.cc");
+  EXPECT_EQ(entries[1].rule, "naked-assert");
+  EXPECT_EQ(entries[1].file, "src/text/bar.cc");
+
+  std::vector<Violation> vs = {
+      {"src/crf/foo.cc", 3, "raw-random", "m"},
+      {"src/crf/foo.cc", 4, "naked-assert", "m"},
+      {"src/crf/other.cc", 5, "raw-random", "m"},
+  };
+  vs = ApplyAllowlist(std::move(vs), entries);
+  ASSERT_EQ(vs.size(), 2u);
+  // The (rule, file) pair must match exactly; same rule in another file
+  // and another rule in the same file both survive.
+  EXPECT_EQ(vs[0].rule, "naked-assert");
+  EXPECT_EQ(vs[1].file, "src/crf/other.cc");
+}
+
+TEST(Allowlist, EmptyAllowlistKeepsEverything) {
+  std::vector<Violation> vs = {{"src/crf/foo.cc", 1, "raw-random", "m"}};
+  EXPECT_EQ(ApplyAllowlist(vs, {}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pae::lint

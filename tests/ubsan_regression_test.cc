@@ -1,0 +1,214 @@
+// UBSan regression corpus: feeds the byte-level decoders and the
+// feature encoder the malformed / boundary inputs most likely to trip
+// undefined behaviour (shift overflows, signed-char promotion, buffer
+// walks past the end). The assertions pin the defined fallback
+// behaviour — invalid sequences decode to U+FFFD — and the real payoff
+// is running this suite under `-fsanitize=undefined` (scripts/check.sh
+// pass 4), where any UB aborts the test.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crf/feature_extractor.h"
+#include "gtest/gtest.h"
+#include "text/labeled_sequence.h"
+#include "text/utf8.h"
+
+namespace pae {
+namespace {
+
+using text::DecodeUtf8;
+using text::EncodeUtf8;
+using text::kReplacementChar;
+using text::NextCodepoint;
+using text::Utf8Length;
+
+// Every decoded code point must be a scalar value or the replacement
+// character — never garbage assembled from invalid continuation bytes.
+void ExpectAllScalarOrReplacement(std::string_view input) {
+  for (char32_t cp : DecodeUtf8(input)) {
+    const bool scalar =
+        cp <= 0x10FFFF && !(cp >= 0xD800 && cp <= 0xDFFF);
+    EXPECT_TRUE(scalar) << "cp=" << static_cast<uint32_t>(cp)
+                        << " from input of size " << input.size();
+  }
+}
+
+TEST(Utf8UbsanRegression, TruncatedSequences) {
+  // Lead bytes promising 2/3/4 bytes, cut off at end of input.
+  for (const char* s : {"\xC3", "\xE2", "\xE2\x82", "\xF0", "\xF0\x9F",
+                        "\xF0\x9F\x92"}) {
+    const std::string_view input(s);
+    ExpectAllScalarOrReplacement(input);
+    EXPECT_EQ(DecodeUtf8(input).front(), kReplacementChar) << input.size();
+    EXPECT_EQ(Utf8Length(input), DecodeUtf8(input).size());
+  }
+  // Same lead bytes truncated mid-string rather than at the end.
+  const std::string mid = std::string("ab\xE2\x82") + "cd";
+  const std::vector<char32_t> cps = DecodeUtf8(mid);
+  ASSERT_GE(cps.size(), 3u);
+  EXPECT_EQ(cps[0], U'a');
+  EXPECT_EQ(cps[2], kReplacementChar);
+  EXPECT_EQ(cps.back(), U'd');
+}
+
+TEST(Utf8UbsanRegression, OverlongEncodings) {
+  // Overlong '/' (0x2F): must NOT decode to '/', the classic path-check
+  // bypass.
+  for (const char* s : {"\xC0\xAF", "\xE0\x80\xAF", "\xF0\x80\x80\xAF"}) {
+    const std::string_view input(s);
+    ExpectAllScalarOrReplacement(input);
+    for (char32_t cp : DecodeUtf8(input)) EXPECT_NE(cp, U'/');
+  }
+  // Overlong NUL.
+  for (char32_t cp : DecodeUtf8(std::string_view("\xC0\x80", 2))) {
+    EXPECT_NE(cp, U'\0');
+  }
+}
+
+TEST(Utf8UbsanRegression, SurrogatesAndOutOfRange) {
+  // CESU-8 style surrogate halves and code points above U+10FFFF.
+  for (const char* s :
+       {"\xED\xA0\x80", "\xED\xBF\xBF", "\xF4\x90\x80\x80",
+        "\xF7\xBF\xBF\xBF"}) {
+    ExpectAllScalarOrReplacement(s);
+  }
+}
+
+TEST(Utf8UbsanRegression, StrayAndInvalidBytes) {
+  // Bare continuation bytes, 0xFE/0xFF (never valid in UTF-8), and a
+  // lead byte followed by a non-continuation byte.
+  for (const char* s : {"\x80", "\xBF", "\xFE", "\xFF", "\xC3(",
+                        "\xE2\x82(", "\x80\x80\x80"}) {
+    const std::string_view input(s);
+    ExpectAllScalarOrReplacement(input);
+    EXPECT_EQ(DecodeUtf8(input).front(), kReplacementChar);
+  }
+  // High-bit bytes exercise the signed-char → char32_t promotion path.
+  std::string all_bytes;
+  for (int b = 0x80; b <= 0xFF; ++b) {
+    all_bytes.push_back(static_cast<char>(b));
+  }
+  ExpectAllScalarOrReplacement(all_bytes);
+}
+
+TEST(Utf8UbsanRegression, NextCodepointAlwaysAdvances) {
+  // Every malformed input must still make progress (no infinite loop,
+  // no read past the end).
+  for (const char* s : {"\xC3", "\xE2\x82", "\xF0\x9F\x92", "\xFF",
+                        "\x80\x80", "\xED\xA0\x80"}) {
+    const std::string_view input(s);
+    size_t pos = 0;
+    size_t steps = 0;
+    while (pos < input.size()) {
+      const size_t before = pos;
+      (void)NextCodepoint(input, &pos);
+      ASSERT_GT(pos, before);
+      ASSERT_LE(pos, input.size());
+      ASSERT_LT(++steps, 16u);
+    }
+  }
+}
+
+TEST(Utf8UbsanRegression, RoundTripValidScalars) {
+  // Boundary scalars on both sides of every encoding-length switch.
+  for (char32_t cp : {U'\x01', U'\x7F', char32_t{0x80}, char32_t{0x7FF},
+                      char32_t{0x800}, char32_t{0xD7FF}, char32_t{0xE000},
+                      char32_t{0xFFFD}, char32_t{0x10000},
+                      char32_t{0x10FFFF}}) {
+    const std::string enc = EncodeUtf8(cp);
+    const std::vector<char32_t> dec = DecodeUtf8(enc);
+    ASSERT_EQ(dec.size(), 1u) << static_cast<uint32_t>(cp);
+    EXPECT_EQ(dec[0], cp);
+  }
+}
+
+// ---------------------------------------------------------------------
+// FeatureEncoder boundary offsets: windows hanging over both sentence
+// edges index TokenAt with negative and past-the-end positions; under
+// UBSan any bad pointer arithmetic in the scratch-buffer reuse aborts.
+
+text::LabeledSequence MakeSeq(std::vector<std::string> tokens) {
+  text::LabeledSequence seq;
+  seq.pos.assign(tokens.size(), "NN");
+  seq.labels.assign(tokens.size(), text::kOutsideLabel);
+  seq.tokens = std::move(tokens);
+  seq.sentence_index = 0;
+  return seq;
+}
+
+size_t CountEncoded(crf::FeatureEncoder& enc,
+                    const text::LabeledSequence& seq,
+                    std::vector<std::vector<std::string>>* collected) {
+  collected->assign(seq.tokens.size(), {});
+  size_t n = 0;
+  enc.Encode(seq, [&](size_t t, std::string_view f) {
+    (*collected)[t].emplace_back(f);
+    ++n;
+  });
+  return n;
+}
+
+TEST(FeatureEncoderUbsanRegression, EmptySequence) {
+  crf::FeatureConfig config;
+  crf::FeatureEncoder enc(config);
+  std::vector<std::vector<std::string>> got;
+  EXPECT_EQ(CountEncoded(enc, MakeSeq({}), &got), 0u);
+}
+
+TEST(FeatureEncoderUbsanRegression, ShortSentencesMatchReference) {
+  // Sentences shorter than the window force every out-of-range offset:
+  // with K = 2 a length-1 sentence needs TokenAt(-2..2).
+  crf::FeatureConfig config;
+  config.window = 2;
+  crf::FeatureEncoder enc(config);
+  for (const auto& tokens :
+       {std::vector<std::string>{"solo"},
+        std::vector<std::string>{"two", "tokens"},
+        std::vector<std::string>{"a", "b", "c"}}) {
+    const text::LabeledSequence seq = MakeSeq(tokens);
+    std::vector<std::vector<std::string>> got;
+    const size_t n = CountEncoded(enc, seq, &got);
+    // Template emits 4K + 4 features per token: w[t], 2K window words,
+    // 2K+1 PoS tags, pwin, sent.
+    const size_t per_token = 4 * 2 + 4;
+    EXPECT_EQ(n, per_token * tokens.size());
+
+    std::vector<std::vector<std::string>> want;
+    crf::ExtractFeatures(seq, config, &want);
+    EXPECT_EQ(got, want) << "length " << tokens.size();
+  }
+}
+
+TEST(FeatureEncoderUbsanRegression, MalformedUtf8Tokens) {
+  // Tokens carrying raw invalid bytes flow through the scratch buffers
+  // unchanged; the encoder must treat them as opaque bytes.
+  crf::FeatureConfig config;
+  config.window = 2;
+  crf::FeatureEncoder enc(config);
+  const text::LabeledSequence seq =
+      MakeSeq({"\xC3", "ok", "\xF0\x9F\x92", "\xFF\xFE"});
+  std::vector<std::vector<std::string>> got;
+  const size_t n = CountEncoded(enc, seq, &got);
+  EXPECT_EQ(n, (4 * 2 + 4) * seq.tokens.size());
+  std::vector<std::vector<std::string>> want;
+  crf::ExtractFeatures(seq, config, &want);
+  EXPECT_EQ(got, want);
+}
+
+TEST(FeatureEncoderUbsanRegression, WindowLargerThanSentence) {
+  crf::FeatureConfig config;
+  config.window = 5;
+  crf::FeatureEncoder enc(config);
+  const text::LabeledSequence seq = MakeSeq({"tiny", "seq"});
+  std::vector<std::vector<std::string>> got;
+  const size_t n = CountEncoded(enc, seq, &got);
+  EXPECT_EQ(n, (4 * 5 + 4) * seq.tokens.size());
+  std::vector<std::vector<std::string>> want;
+  crf::ExtractFeatures(seq, config, &want);
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace pae

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <vector>
 
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -65,6 +68,79 @@ Status FailsThrough() {
 
 TEST(StatusTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+// ---------------- contract macros ----------------
+
+using ContractDeathTest = testing::Test;
+
+TEST(ContractDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH(PAE_CHECK(1 + 1 == 3) << "math broke", "Check failed");
+  EXPECT_DEATH(PAE_CHECK_EQ(2, 3), "Check failed");
+  EXPECT_DEATH(PAE_CHECK_LT(5, 5), "Check failed");
+}
+
+TEST(ContractDeathTest, CheckPassesSilently) {
+  PAE_CHECK(true) << "never printed";
+  PAE_CHECK_EQ(2, 2);
+  PAE_CHECK_GE(3, 2);
+}
+
+TEST(ContractDeathTest, DcheckMatchesBuildTier) {
+#if PAE_DCHECK_IS_ON
+  EXPECT_DEATH(PAE_DCHECK(false) << "contract violated", "Check failed");
+  EXPECT_DEATH(PAE_DCHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(PAE_DCHECK_FINITE(std::nan("")), "Check failed");
+  std::vector<double> poisoned = {1.0, std::nan(""), 3.0};
+  EXPECT_DEATH(PAE_DCHECK_FINITE_VEC(poisoned), "Check failed");
+#else
+  // Release tier: the whole statement must compile to nothing, even
+  // with a false condition and a streamed message.
+  PAE_DCHECK(false) << "compiled out";
+  PAE_DCHECK_EQ(1, 2);
+  PAE_DCHECK_FINITE(std::nan(""));
+  std::vector<double> poisoned = {std::nan("")};
+  PAE_DCHECK_FINITE_VEC(poisoned);
+#endif
+}
+
+TEST(ContractDeathTest, DcheckOperandsStayEvaluatedExactlyZeroTimes) {
+  // The compiled-out form must not evaluate operands; the on form
+  // evaluates them once. Either way a passing condition side-effects at
+  // most once.
+  int calls = 0;
+  auto count = [&]() {
+    ++calls;
+    return true;
+  };
+  PAE_DCHECK(count());
+  EXPECT_EQ(calls, PAE_DCHECK_IS_ON ? 1 : 0);
+}
+
+TEST(ContractDeathTest, FiniteGuardsAcceptFiniteValues) {
+  PAE_DCHECK_FINITE(0.0);
+  PAE_DCHECK_FINITE(-1e300);
+  const std::vector<float> ok = {1.0f, -2.5f, 0.0f};
+  PAE_DCHECK_FINITE_VEC(ok);
+  EXPECT_TRUE(IsFiniteVec(ok));
+  const std::vector<double> bad = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(IsFiniteVec(bad));
+}
+
+TEST(ContractDeathTest, ResultMisuseDies) {
+#if PAE_DCHECK_IS_ON
+  // value() on an error Result and constructing a Result from an OK
+  // status are both contract violations, not recoverable errors.
+  EXPECT_DEATH(
+      {
+        Result<int> r(Status::NotFound("gone"));
+        (void)r.value();
+      },
+      "Result::value\\(\\) on error");
+  EXPECT_DEATH({ Result<int> r(Status::Ok()); }, "OK status needs a value");
+#else
+  GTEST_SKIP() << "Result contracts compiled out (PAE_DCHECK off)";
+#endif
 }
 
 // ---------------- strings ----------------

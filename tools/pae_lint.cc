@@ -1,0 +1,87 @@
+// pae_lint: project-rule linter for the PAE tree.
+//
+// Usage: pae_lint [--allowlist FILE] [ROOT_DIR...]
+//
+// Scans every .h/.cc under each ROOT_DIR (default: src) for violations
+// of the project rules documented in pae_lint_lib.h, prints each one as
+// file:line: [rule] message, and exits non-zero if any remain after
+// applying the allowlist. Registered as a ctest target so `ctest`
+// catches regressions alongside the unit tests.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pae_lint_lib.h"
+
+int main(int argc, char** argv) {
+  std::string allowlist_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg.rfind("--allowlist=", 0) == 0) {
+      allowlist_path = arg.substr(12);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: pae_lint [--allowlist FILE] [ROOT_DIR...]\n");
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots.push_back("src");
+
+  std::vector<pae::lint::AllowlistEntry> allowlist;
+  if (!allowlist_path.empty()) {
+    std::ifstream in(allowlist_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "pae_lint: cannot read allowlist %s\n",
+                   allowlist_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    allowlist = pae::lint::ParseAllowlist(buf.str());
+  }
+
+  std::vector<pae::lint::Violation> violations;
+  for (const std::string& root : roots) {
+    std::vector<pae::lint::Violation> v = pae::lint::LintTree(root);
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+  // Flag allowlist entries that no longer match anything so stale
+  // grandfather clauses get cleaned up (warning only, not an error).
+  for (const pae::lint::AllowlistEntry& e : allowlist) {
+    bool used = false;
+    for (const pae::lint::Violation& v : violations) {
+      if (v.rule == e.rule && v.file == e.file) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) {
+      std::fprintf(stderr,
+                   "pae_lint: warning: allowlist entry '%s %s' matched "
+                   "nothing; consider removing it\n",
+                   e.rule.c_str(), e.file.c_str());
+    }
+  }
+
+  const size_t before = violations.size();
+  violations = pae::lint::ApplyAllowlist(violations, allowlist);
+
+  for (const pae::lint::Violation& v : violations) {
+    std::printf("%s\n", v.ToString().c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "pae_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  std::fprintf(stderr, "pae_lint: clean (%zu suppressed by allowlist)\n",
+               before - violations.size());
+  return 0;
+}

@@ -1,0 +1,402 @@
+#include "pae_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace pae::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view s) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t nl = s.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// True when `text[at]` begins token `tok` (identifier boundaries on
+/// both sides).
+bool TokenAt(std::string_view text, size_t at, std::string_view tok) {
+  if (at + tok.size() > text.size()) return false;
+  if (text.substr(at, tok.size()) != tok) return false;
+  if (at > 0 && IsIdentChar(text[at - 1])) return false;
+  const size_t end = at + tok.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+/// Calls `fn(line_number)` for every token occurrence of `tok`.
+template <typename Fn>
+void ForEachToken(std::string_view text, std::string_view tok, Fn&& fn) {
+  int line = 1;
+  for (size_t i = 0; i + tok.size() <= text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (TokenAt(text, i, tok)) fn(line, i);
+  }
+}
+
+size_t SkipSpaces(std::string_view s, size_t i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+std::string Violation::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+std::string StripCommentsAndStrings(std::string_view content) {
+  std::string out(content);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // ")delim" terminator of the raw string
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = (i + 1 < content.size()) ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
+          // R"delim( ... )delim"
+          state = State::kRawString;
+          raw_delim = ")";
+          for (size_t j = i + 1; j < content.size() && content[j] != '(';
+               ++j) {
+            raw_delim.push_back(content[j]);
+          }
+          raw_delim.push_back('"');
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'' && !(i > 0 && IsIdentChar(content[i - 1]))) {
+          // Identifier boundary guard keeps digit separators (1'000'000)
+          // from opening a bogus char literal.
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && i + 1 < content.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && i + 1 < content.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = 0; j < raw_delim.size(); ++j) out[i + j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ExpectedIncludeGuard(std::string_view path) {
+  std::string_view rel = path;
+  if (StartsWith(rel, "src/")) rel.remove_prefix(4);
+  if (EndsWith(rel, ".h")) rel.remove_suffix(2);
+  std::string guard = "PAE_";
+  for (char c : rel) {
+    guard.push_back(
+        std::isalnum(static_cast<unsigned char>(c))
+            ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+            : '_');
+  }
+  guard += "_H_";
+  return guard;
+}
+
+std::vector<Violation> LintFile(std::string_view path,
+                                std::string_view content) {
+  std::vector<Violation> out;
+  const std::string stripped = StripCommentsAndStrings(content);
+  auto add = [&](int line, const char* rule, std::string message) {
+    out.push_back(Violation{std::string(path), line, rule,
+                            std::move(message)});
+  };
+
+  // --- hot-path-string-map: string-keyed hash maps in tagging hot
+  // paths; FlatStringInterner gives dense ids + string_view lookup.
+  if (StartsWith(path, "src/crf/") || StartsWith(path, "src/text/")) {
+    constexpr std::string_view kMapTok = "unordered_map";
+    ForEachToken(stripped, kMapTok, [&](int line, size_t i) {
+      size_t j = SkipSpaces(stripped, i + kMapTok.size());
+      if (j >= stripped.size() || stripped[j] != '<') return;
+      j = SkipSpaces(stripped, j + 1);
+      size_t key_end = j;
+      if (TokenAt(stripped, j, "std")) {
+        if (stripped.compare(j, 5, "std::") == 0) j += 5;
+      }
+      if (!TokenAt(stripped, j, "string")) return;
+      key_end = j + 6;
+      if (SkipSpaces(stripped, key_end) < stripped.size() &&
+          stripped[SkipSpaces(stripped, key_end)] != ',') {
+        return;  // e.g. unordered_map<std::string_view never parses here
+      }
+      add(line, "hot-path-string-map",
+          "std::unordered_map<std::string, ...> on a tagging hot path; "
+          "use util::FlatStringInterner (dense ids, string_view lookup)");
+    });
+  }
+
+  // --- raw-random: all randomness must flow through the seeded
+  // pae::Rng so every experiment reproduces bit-for-bit.
+  if (path != "src/util/rng.h") {
+    for (const char* tok : {"rand", "srand"}) {
+      ForEachToken(stripped, tok, [&](int line, size_t i) {
+        const size_t j = SkipSpaces(stripped, i + std::string_view(tok).size());
+        if (j < stripped.size() && stripped[j] == '(') {
+          add(line, "raw-random",
+              std::string(tok) +
+                  "() bypasses the seeded pae::Rng; experiments must "
+                  "reproduce bit-for-bit (util/rng.h)");
+        }
+      });
+    }
+    ForEachToken(stripped, "random_device", [&](int line, size_t) {
+      add(line, "raw-random",
+          "std::random_device is non-deterministic; derive streams from "
+          "the seeded pae::Rng (util/rng.h)");
+    });
+  }
+
+  // --- raw-stdio: library code logs through PAE_LOG so severity
+  // filtering and benchmark quieting keep working.
+  if (path != "src/util/logging.cc") {
+    for (const char* tok : {"cout", "cerr"}) {
+      ForEachToken(stripped, tok, [&](int line, size_t i) {
+        if (i < 2 || stripped.compare(i - 2, 2, "::") != 0) return;
+        add(line, "raw-stdio",
+            std::string("std::") + tok +
+                " outside util/logging.cc; use PAE_LOG(...) so severity "
+                "filtering applies");
+      });
+    }
+  }
+
+  // --- naked-assert: assert() vanishes under NDEBUG without a trace;
+  // PAE_DCHECK logs file:line and stays on in sanitizer builds.
+  ForEachToken(stripped, "assert", [&](int line, size_t i) {
+    const size_t j = SkipSpaces(stripped, i + 6);
+    if (j < stripped.size() && stripped[j] == '(') {
+      add(line, "naked-assert",
+          "naked assert(); use PAE_DCHECK (logs file:line via "
+          "util/logging, on in Debug and sanitizer builds)");
+    }
+  });
+
+  // --- include-guard: canonical PAE_<PATH>_H_ guards.
+  if (EndsWith(path, ".h")) {
+    const std::string expected = ExpectedIncludeGuard(path);
+    bool found_ifndef = false;
+    int line_no = 0;
+    for (std::string_view line : SplitLines(stripped)) {
+      ++line_no;
+      size_t i = SkipSpaces(line, 0);
+      if (i >= line.size() || line[i] != '#') continue;
+      i = SkipSpaces(line, i + 1);
+      if (line.compare(i, 6, "ifndef") != 0) continue;
+      found_ifndef = true;
+      i = SkipSpaces(line, i + 6);
+      size_t end = i;
+      while (end < line.size() && IsIdentChar(line[end])) ++end;
+      const std::string_view guard = line.substr(i, end - i);
+      if (guard != expected) {
+        add(line_no, "include-guard",
+            "include guard '" + std::string(guard) + "' should be '" +
+                expected + "'");
+      }
+      break;  // only the first #ifndef is the guard
+    }
+    if (!found_ifndef) {
+      add(1, "include-guard",
+          "header has no #ifndef include guard (expected '" + expected +
+              "')");
+    }
+  }
+
+  // --- float-accumulator: scalar float reductions drift; math/vec.h
+  // accumulates in double and narrows once.
+  {
+    static const std::regex decl_re(
+        R"(\bfloat\s+([A-Za-z_]\w*)\s*=\s*0(\.\d*)?f?\s*;)");
+    static constexpr int kWindow = 15;
+    const std::vector<std::string_view> lines = SplitLines(stripped);
+    for (size_t ln = 0; ln < lines.size(); ++ln) {
+      std::cmatch m;
+      const std::string_view line = lines[ln];
+      if (!std::regex_search(line.data(), line.data() + line.size(), m,
+                             decl_re)) {
+        continue;
+      }
+      const std::string ident = m[1].str();
+      const std::regex accum_re("\\b" + ident + R"(\s*\+=)");
+      const size_t hi = std::min(lines.size(), ln + 1 + kWindow);
+      for (size_t k = ln + 1; k < hi; ++k) {
+        if (std::regex_search(lines[k].data(),
+                              lines[k].data() + lines[k].size(),
+                              accum_re)) {
+          add(static_cast<int>(ln + 1), "float-accumulator",
+              "scalar float accumulator '" + ident +
+                  "'; accumulate in double and narrow once "
+                  "(see math/vec.h)");
+          break;
+        }
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Violation& a,
+                                       const Violation& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<AllowlistEntry> ParseAllowlist(std::string_view content) {
+  std::vector<AllowlistEntry> entries;
+  for (std::string_view line : SplitLines(content)) {
+    size_t i = SkipSpaces(line, 0);
+    if (i >= line.size() || line[i] == '#') continue;
+    size_t sp = line.find_first_of(" \t", i);
+    if (sp == std::string_view::npos) continue;
+    AllowlistEntry e;
+    e.rule = std::string(line.substr(i, sp - i));
+    size_t j = SkipSpaces(line, sp);
+    size_t end = line.find_first_of(" \t#", j);
+    if (end == std::string_view::npos) end = line.size();
+    e.file = std::string(line.substr(j, end - j));
+    if (!e.file.empty()) entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::vector<Violation> ApplyAllowlist(
+    std::vector<Violation> violations,
+    const std::vector<AllowlistEntry>& allowlist) {
+  violations.erase(
+      std::remove_if(violations.begin(), violations.end(),
+                     [&](const Violation& v) {
+                       return std::any_of(
+                           allowlist.begin(), allowlist.end(),
+                           [&](const AllowlistEntry& e) {
+                             return e.rule == v.rule && e.file == v.file;
+                           });
+                     }),
+      violations.end());
+  return violations;
+}
+
+std::vector<Violation> LintTree(const std::string& root_dir) {
+  namespace fs = std::filesystem;
+  const fs::path root(root_dir);
+  const std::string prefix = root.filename().string();
+  std::vector<std::pair<std::string, fs::path>> files;  // label -> path
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    const std::string label =
+        prefix + "/" + fs::relative(entry.path(), root).generic_string();
+    files.emplace_back(label, entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> out;
+  for (const auto& [label, file_path] : files) {
+    std::ifstream in(file_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<Violation> file_violations = LintFile(label, buf.str());
+    out.insert(out.end(), file_violations.begin(), file_violations.end());
+  }
+  return out;
+}
+
+}  // namespace pae::lint

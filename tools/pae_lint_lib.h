@@ -1,0 +1,82 @@
+#ifndef PAE_TOOLS_PAE_LINT_LIB_H_
+#define PAE_TOOLS_PAE_LINT_LIB_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pae::lint {
+
+/// One project-rule violation at a specific file/line.
+struct Violation {
+  std::string file;     // repo-relative, e.g. "src/crf/crf_model.h"
+  int line = 0;         // 1-based
+  std::string rule;     // stable rule id, e.g. "raw-random"
+  std::string message;  // human-readable explanation
+
+  std::string ToString() const;
+};
+
+/// Rule ids enforced by LintFile (also the allowlist keys):
+///
+///   hot-path-string-map  std::unordered_map<std::string, ...> inside
+///                        src/crf/ or src/text/ — the tagging/feature
+///                        hot paths must use util::FlatStringInterner.
+///   raw-random           rand()/srand()/std::random_device anywhere but
+///                        util/rng.h — all randomness flows through the
+///                        seeded pae::Rng so experiments reproduce.
+///   raw-stdio            std::cout/std::cerr outside util/logging.cc —
+///                        library code logs through PAE_LOG.
+///   naked-assert         assert( in src/ — use PAE_DCHECK, which logs
+///                        file:line through util/logging instead of
+///                        dying silently under NDEBUG.
+///   include-guard        a header whose first #ifndef is not the
+///                        canonical PAE_<PATH>_H_ guard.
+///   float-accumulator    a scalar `float x = 0...;` accumulated with
+///                        `x +=` shortly after — reductions accumulate
+///                        in double (see math/vec.h) to avoid float
+///                        cancellation drift across bootstrap cycles.
+inline constexpr const char* kAllRules[] = {
+    "hot-path-string-map", "raw-random",    "raw-stdio",
+    "naked-assert",        "include-guard", "float-accumulator",
+};
+
+/// Returns `content` with comments and string/char literals replaced by
+/// spaces (newlines preserved so line numbers survive). Exposed for
+/// testing.
+std::string StripCommentsAndStrings(std::string_view content);
+
+/// Canonical include guard for a repo-relative header path:
+/// "src/crf/crf_model.h" -> "PAE_CRF_CRF_MODEL_H_".
+std::string ExpectedIncludeGuard(std::string_view path);
+
+/// Token-scans one file's content against every project rule. `path` is
+/// the repo-relative path (used for path-scoped rules and the include
+/// guard); it does not need to exist on disk.
+std::vector<Violation> LintFile(std::string_view path,
+                                std::string_view content);
+
+/// An allowlist entry grandfathers one (rule, file) pair. The allowlist
+/// file format is one `rule-id<space>path` pair per line; blank lines
+/// and lines starting with '#' are ignored.
+struct AllowlistEntry {
+  std::string rule;
+  std::string file;
+};
+
+/// Parses the allowlist format above.
+std::vector<AllowlistEntry> ParseAllowlist(std::string_view content);
+
+/// Removes violations covered by the allowlist.
+std::vector<Violation> ApplyAllowlist(
+    std::vector<Violation> violations,
+    const std::vector<AllowlistEntry>& allowlist);
+
+/// Lints every .h/.cc file under `root_dir` (a directory on disk whose
+/// basename becomes the path prefix, e.g. <repo>/src). Files are visited
+/// in sorted path order so output is deterministic.
+std::vector<Violation> LintTree(const std::string& root_dir);
+
+}  // namespace pae::lint
+
+#endif  // PAE_TOOLS_PAE_LINT_LIB_H_
