@@ -70,6 +70,7 @@ int Run() {
             << "iterations but cleaning keeps it high (>85% in most\n"
             << "categories); coverage rises strongly across iterations and\n"
             << "rises further without cleaning (at a precision cost).\n";
+  MaybeWriteMetricsReport();
   return 0;
 }
 

@@ -38,10 +38,12 @@ int Run() {
     core::PipelineResult result =
         RunPipeline(category, CrfConfig(/*iterations=*/5, true));
     std::vector<std::string> row = {datagen::CategoryName(id)};
-    row.push_back(
-        std::to_string(Evaluate(category, result.seed_triples).total));
-    for (const auto& snapshot : result.triples_after) {
-      row.push_back(std::to_string(Evaluate(category, snapshot).total));
+    // Per-iteration totals come straight from the pipeline's recorded
+    // IterationStats — no re-scoring of every snapshot against the
+    // truth sample just to count triples.
+    row.push_back(std::to_string(result.seed_triples.size()));
+    for (const core::IterationStats& stats : result.iteration_stats) {
+      row.push_back(std::to_string(stats.cumulative_triples));
     }
     table.AddRow(row);
   }
@@ -49,6 +51,7 @@ int Run() {
   std::cout << "\nShape checks (paper): a steady increase whose per-\n"
             << "iteration gains shrink — continuing past 5 iterations\n"
             << "would yield diminishing returns (§VII-C).\n";
+  MaybeWriteMetricsReport();
   return 0;
 }
 

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -100,6 +101,20 @@ void PrintHeader(const std::string& title, const BenchOptions& options) {
             << "# from a synthetic substitute corpus; the reproduction\n"
             << "# target is the SHAPE (orderings, gaps, crossovers).\n"
             << "####################################################\n";
+}
+
+void MaybeWriteMetricsReport() {
+  const char* path = std::getenv("PAE_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  const util::RunReport report = util::MetricsRegistry::Global().Snapshot();
+  Status status = report.WriteJsonFile(path);
+  if (!status.ok()) {
+    std::cerr << "PAE_METRICS_OUT: " << status.ToString() << "\n";
+    return;
+  }
+  if (std::string(path) != "-") {
+    std::cout << "metrics report -> " << path << "\n";
+  }
 }
 
 }  // namespace pae::bench

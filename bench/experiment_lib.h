@@ -62,6 +62,12 @@ std::string PaperVsMeasured(double paper, double measured, int digits = 2);
 /// Prints the standard bench header (scale, seed, reproduction note).
 void PrintHeader(const std::string& title, const BenchOptions& options);
 
+/// Writes the global metrics registry's JSON run report to the path in
+/// $PAE_METRICS_OUT, if set ("-" = stdout). No-op otherwise. Benches
+/// call this once at exit so experiment runs leave the same structured
+/// telemetry as `pae-extract --metrics-out`.
+void MaybeWriteMetricsReport();
+
 }  // namespace pae::bench
 
 #endif  // PAE_BENCH_EXPERIMENT_LIB_H_

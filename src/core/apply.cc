@@ -7,6 +7,7 @@
 #include "crf/compiled_corpus.h"
 #include "crf/crf_tagger.h"
 #include "text/negation.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace pae::core {
@@ -14,6 +15,9 @@ namespace pae::core {
 std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
                                      const ProcessedCorpus& corpus,
                                      const ApplyOptions& options) {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  util::ScopedTimer timer(metrics.GetHistogram("apply.seconds"));
+  ApplyStats stats;
   const text::NegationDetector negation(corpus.language);
 
   struct PendingTriple {
@@ -54,11 +58,16 @@ std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
   }
 
   std::vector<std::vector<text::ValueSpan>> sent_spans(refs.size());
+  // Per-sentence drop tallies: each worker writes only its own slot, so
+  // the sequential sum below is deterministic and contention-free.
+  std::vector<uint8_t> negation_dropped(refs.size(), 0);
+  std::vector<uint32_t> confidence_dropped(refs.size(), 0);
   util::ThreadPool pool(util::ThreadPool::ResolveThreads(options.threads));
   pool.ParallelFor(0, refs.size(), 8, [&](size_t i) {
     const ProcessedPage& page = corpus.pages[refs[i].page];
     const text::LabeledSequence& sentence = page.sentences[refs[i].sent];
     if (options.negation_filtering && negation.IsNegated(sentence.tokens)) {
+      negation_dropped[i] = 1;
       return;
     }
     text::SequenceTagger::ScoredPrediction scored;
@@ -75,11 +84,21 @@ std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
         for (size_t k = span.begin; k < span.end; ++k) {
           min_conf = std::min(min_conf, scored.confidence[k]);
         }
-        if (min_conf < options.min_span_confidence) continue;
+        if (min_conf < options.min_span_confidence) {
+          ++confidence_dropped[i];
+          continue;
+        }
       }
       sent_spans[i].push_back(span);
     }
   });
+
+  stats.sentences = static_cast<int64_t>(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    stats.negation_dropped += negation_dropped[i];
+    stats.confidence_dropped += confidence_dropped[i];
+    stats.spans += static_cast<int64_t>(sent_spans[i].size());
+  }
 
   for (size_t i = 0; i < refs.size(); ++i) {
     const ProcessedPage& page = corpus.pages[refs[i].page];
@@ -125,13 +144,16 @@ std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
                 }
                 return a.value_display < b.value_display;
               });
-    CleaningStats stats;
     for (const TaggedCandidate& c :
-         ApplyVetoRules(std::move(candidates), options.veto, &stats)) {
+         ApplyVetoRules(std::move(candidates), options.veto,
+                        &stats.cleaning)) {
       surviving.insert(
           PairKey(c.attribute, NormalizeValue(c.value_display)));
     }
+    stats.candidates_vetoed =
+        static_cast<int64_t>(candidate_map.size() - surviving.size());
   }
+  stats.candidates = static_cast<int64_t>(candidate_map.size());
 
   std::vector<Triple> out;
   std::unordered_set<std::string> seen;
@@ -142,6 +164,23 @@ std::vector<Triple> ExtractWithModel(const text::SequenceTagger& tagger,
     if (!seen.insert(triple_key).second) continue;
     out.push_back(std::move(p.triple));
   }
+  stats.triples = static_cast<int64_t>(out.size());
+
+  metrics.GetCounter("apply.sentences")->Add(stats.sentences);
+  metrics.GetCounter("apply.negation_dropped")->Add(stats.negation_dropped);
+  metrics.GetCounter("apply.spans")->Add(stats.spans);
+  metrics.GetCounter("apply.confidence_dropped")
+      ->Add(stats.confidence_dropped);
+  metrics.GetCounter("apply.candidates")->Add(stats.candidates);
+  metrics.GetCounter("apply.candidates_vetoed")->Add(stats.candidates_vetoed);
+  metrics.GetCounter("apply.triples")->Add(stats.triples);
+  RecordCleaningMetrics(stats.cleaning);
+  const double elapsed = timer.Stop();
+  if (elapsed > 0) {
+    metrics.GetGauge("apply.sentences_per_second")
+        ->Set(static_cast<double>(stats.sentences) / elapsed);
+  }
+  if (options.stats != nullptr) *options.stats = stats;
   return out;
 }
 

@@ -12,6 +12,20 @@
 
 namespace pae::core {
 
+/// Counters describing one ExtractWithModel pass. Filled when
+/// ApplyOptions::stats is set; the same numbers also feed the global
+/// metrics registry under `apply.*` / `cleaning.*`.
+struct ApplyStats {
+  int64_t sentences = 0;           ///< sentences considered
+  int64_t negation_dropped = 0;    ///< sentences skipped as negated
+  int64_t spans = 0;               ///< spans kept after the confidence bar
+  int64_t confidence_dropped = 0;  ///< spans below min_span_confidence
+  int64_t candidates = 0;          ///< distinct <attribute, value> pairs
+  int64_t candidates_vetoed = 0;   ///< pairs removed by the veto rules
+  int64_t triples = 0;             ///< triples emitted
+  CleaningStats cleaning;          ///< per-rule veto breakdown
+};
+
 /// Inference-time extraction: applies an already-trained tagger to a
 /// (possibly new) corpus without running the bootstrap. This is the
 /// production "apply" phase — the bootstrap trains and calibrates on a
@@ -34,6 +48,9 @@ struct ApplyOptions {
   /// count: predictions are collected per sentence slot and merged in
   /// corpus order.
   int threads = 0;
+  /// When non-null, receives the pass's telemetry (overwritten, not
+  /// accumulated). Purely observational: never affects the output.
+  ApplyStats* stats = nullptr;
 };
 
 /// Tags every sentence of every page and returns the surviving triples.

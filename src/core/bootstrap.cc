@@ -10,6 +10,7 @@
 #include "crf/compiled_corpus.h"
 #include "text/negation.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -67,6 +68,8 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
         "PipelineConfig.threads must be >= 0 (0 = all hardware threads), "
         "got " + std::to_string(config_.threads));
   }
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  util::ScopedTimer run_timer(metrics.GetHistogram("bootstrap.seconds"));
   const int threads = util::ThreadPool::ResolveThreads(config_.threads);
   util::ThreadPool pool(threads);
   config_.crf.threads = threads;
@@ -111,6 +114,7 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
   // seed in parallel (each sentence is independent), then fold the
   // results sequentially in corpus order so triples and training
   // sentences accumulate exactly as a serial pass would.
+  util::ScopedTimer ds_timer(metrics.GetHistogram("bootstrap.ds.seconds"));
   std::vector<SentRef> all_sents;
   for (size_t p = 0; p < corpus.pages.size(); ++p) {
     for (size_t s = 0; s < corpus.pages[p].sentences.size(); ++s) {
@@ -157,6 +161,13 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
   }
   result.seed_triples.reserve(triples.size());
   for (const auto& [key, t] : triples) result.seed_triples.push_back(t);
+  ds_timer.Stop();
+  metrics.GetCounter("bootstrap.ds.labeled_sentences")
+      ->Add(static_cast<int64_t>(labeled.size()));
+  metrics.GetCounter("bootstrap.ds.unlabeled_sentences")
+      ->Add(static_cast<int64_t>(unlabeled.size()));
+  metrics.GetCounter("bootstrap.ds.seed_triples")
+      ->Add(static_cast<int64_t>(result.seed_triples.size()));
 
   // Specialized models (§VIII-D) are trained on a balanced set: a
   // global model sees every seed-page sentence, so its rare target
@@ -224,6 +235,8 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
 
   // ---- Tagger–Cleaner cycles (Fig. 1 lines 8–22) ----
   for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    util::ScopedTimer iteration_timer(
+        metrics.GetHistogram("bootstrap.iteration.seconds"));
     IterationStats stats;
     stats.iteration = iteration + 1;
 
@@ -268,6 +281,8 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
       std::vector<text::ValueSpan> spans;
     };
     std::vector<TagOutcome> tag_outcomes(unlabeled.size());
+    util::ScopedTimer tag_timer(
+        metrics.GetHistogram("bootstrap.tag.seconds"));
     pool.ParallelFor(0, unlabeled.size(), 8, [&](size_t u) {
       const SentRef ref = unlabeled[u];
       const ProcessedPage& page = corpus.pages[ref.page];
@@ -301,6 +316,7 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
       tag_outcomes[u].labels = std::move(scored.labels);
       tag_outcomes[u].spans = std::move(spans);
     });
+    tag_timer.Stop();
 
     for (size_t u = 0; u < unlabeled.size(); ++u) {
       if (!tag_outcomes[u].kept) continue;
@@ -343,6 +359,8 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
     stats.candidate_values = candidates.size();
 
     // ---- cleaning ----
+    util::ScopedTimer clean_timer(
+        metrics.GetHistogram("bootstrap.clean.seconds"));
     if (config_.syntactic_cleaning) {
       candidates =
           ApplyVetoRules(std::move(candidates), config_.veto, &stats.cleaning);
@@ -370,6 +388,7 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
       // A failed embedding training (tiny corpora) degrades gracefully
       // to no semantic filtering.
     }
+    clean_timer.Stop();
     stats.accepted_values = candidates.size();
 
     // Accepted (attribute, value) keys.
@@ -430,6 +449,27 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
 
     stats.new_triples = iter_triples.size() - triples.size();
     stats.cumulative_triples = iter_triples.size();
+
+    // Per-iteration telemetry: ordered series mirror IterationStats so
+    // the run report tells the full growth story, and the cleaning
+    // decisions previously visible only in PipelineResult also reach
+    // the global counters.
+    metrics.GetSeries("bootstrap.train_sentences")
+        ->Append(static_cast<double>(stats.labeled_sentences));
+    metrics.GetSeries("bootstrap.candidates")
+        ->Append(static_cast<double>(stats.candidate_values));
+    metrics.GetSeries("bootstrap.accepted")
+        ->Append(static_cast<double>(stats.accepted_values));
+    metrics.GetSeries("bootstrap.new_triples")
+        ->Append(static_cast<double>(stats.new_triples));
+    metrics.GetSeries("bootstrap.triples_total")
+        ->Append(static_cast<double>(stats.cumulative_triples));
+    metrics.GetSeries("bootstrap.vetoed")
+        ->Append(static_cast<double>(stats.cleaning.vetoed()));
+    metrics.GetSeries("bootstrap.semantic_removed")
+        ->Append(static_cast<double>(stats.cleaning.semantic_removed));
+    RecordCleaningMetrics(stats.cleaning);
+
     result.iteration_stats.push_back(stats);
 
     std::vector<Triple> snapshot;

@@ -6,6 +6,7 @@
 #include "text/char_class.h"
 #include "text/utf8.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace pae::core {
@@ -46,6 +47,9 @@ bool IsMarkup(const TaggedCandidate& c) {
 std::vector<TaggedCandidate> ApplyVetoRules(
     std::vector<TaggedCandidate> candidates, const VetoConfig& config,
     CleaningStats* stats) {
+  // Callers that do not care about telemetry may pass null.
+  CleaningStats scratch;
+  if (stats == nullptr) stats = &scratch;
   stats->input += candidates.size();
   std::vector<TaggedCandidate> survivors;
   survivors.reserve(candidates.size());
@@ -96,6 +100,22 @@ std::vector<TaggedCandidate> ApplyVetoRules(
     if (drop.count(i) == 0) out.push_back(std::move(survivors[i]));
   }
   return out;
+}
+
+void RecordCleaningMetrics(const CleaningStats& stats) {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  metrics.GetCounter("cleaning.input")
+      ->Add(static_cast<int64_t>(stats.input));
+  metrics.GetCounter("cleaning.veto_symbol")
+      ->Add(static_cast<int64_t>(stats.veto_symbol));
+  metrics.GetCounter("cleaning.veto_markup")
+      ->Add(static_cast<int64_t>(stats.veto_markup));
+  metrics.GetCounter("cleaning.veto_unpopular")
+      ->Add(static_cast<int64_t>(stats.veto_unpopular));
+  metrics.GetCounter("cleaning.veto_long")
+      ->Add(static_cast<int64_t>(stats.veto_long));
+  metrics.GetCounter("cleaning.semantic_removed")
+      ->Add(static_cast<int64_t>(stats.semantic_removed));
 }
 
 SemanticCleaner::SemanticCleaner(Config config) : config_(config) {}
@@ -184,6 +204,8 @@ std::vector<TaggedCandidate> SemanticCleaner::Filter(
         known_values,
     CleaningStats* stats) const {
   PAE_CHECK(trained_);
+  CleaningStats scratch;
+  if (stats == nullptr) stats = &scratch;
   // Build cores lazily per attribute.
   std::unordered_map<std::string, std::vector<std::string>> cores;
   for (const auto& [attribute, known] : known_values) {

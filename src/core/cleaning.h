@@ -50,10 +50,15 @@ struct VetoConfig {
 };
 
 /// Applies the veto rules; returns the surviving candidates and
-/// accumulates counts into `stats`.
+/// accumulates counts into `stats` (null `stats` is allowed and simply
+/// discards the telemetry).
 std::vector<TaggedCandidate> ApplyVetoRules(
     std::vector<TaggedCandidate> candidates, const VetoConfig& config,
     CleaningStats* stats);
+
+/// Adds `stats` to the global `cleaning.*` metrics counters so no
+/// cleaning decision is ever silently discarded.
+void RecordCleaningMetrics(const CleaningStats& stats);
 
 /// Semantic-drift control (§V-C): a word2vec model is retrained on the
 /// current corpus each iteration (with multiword values merged into

@@ -2,6 +2,7 @@
 
 #include "html/parser.h"
 #include "text/sentence.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -14,6 +15,8 @@ std::string ProcessedCorpus::Detokenize(
 }
 
 ProcessedCorpus ProcessCorpus(const Corpus& corpus, int threads) {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  util::ScopedTimer timer(metrics.GetHistogram("preprocess.seconds"));
   ProcessedCorpus out;
   out.category = corpus.category;
   out.language = corpus.language;
@@ -47,6 +50,17 @@ ProcessedCorpus ProcessCorpus(const Corpus& corpus, int threads) {
       processed.sentences.push_back(std::move(seq));
     }
   });
+  // Totals are summed sequentially after the parallel loop so they are
+  // deterministic and no worker contends on a shared counter.
+  int64_t sentences = 0, tables = 0;
+  for (const ProcessedPage& page : out.pages) {
+    sentences += static_cast<int64_t>(page.sentences.size());
+    tables += static_cast<int64_t>(page.tables.size());
+  }
+  metrics.GetCounter("preprocess.pages")
+      ->Add(static_cast<int64_t>(out.pages.size()));
+  metrics.GetCounter("preprocess.sentences")->Add(sentences);
+  metrics.GetCounter("preprocess.tables")->Add(tables);
   return out;
 }
 

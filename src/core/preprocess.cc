@@ -6,6 +6,7 @@
 
 #include "core/normalize.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace pae::core {
@@ -131,6 +132,8 @@ std::unordered_map<std::string, std::string> AggregateAttributes(
 }
 
 Seed BuildSeed(const ProcessedCorpus& corpus, const PreprocessConfig& config) {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  util::ScopedTimer timer(metrics.GetHistogram("seed.seconds"));
   Seed seed;
   CandidateSet candidates = DiscoverCandidates(corpus);
   seed.candidates_before_cleaning = candidates.pairs.size();
@@ -279,6 +282,18 @@ Seed BuildSeed(const ProcessedCorpus& corpus, const PreprocessConfig& config) {
       seed.table_triples.push_back(Triple{pid, pair->attribute, pair->value});
     }
   }
+  metrics.GetCounter("seed.candidates")
+      ->Add(static_cast<int64_t>(seed.candidates_before_cleaning));
+  metrics.GetCounter("seed.cleaned_pairs")
+      ->Add(static_cast<int64_t>(seed.pairs_after_cleaning));
+  metrics.GetCounter("seed.diversified_pairs")
+      ->Add(static_cast<int64_t>(seed.pairs_added_by_diversification));
+  metrics.GetCounter("seed.pairs")
+      ->Add(static_cast<int64_t>(seed.pairs.size()));
+  metrics.GetCounter("seed.table_triples")
+      ->Add(static_cast<int64_t>(seed.table_triples.size()));
+  metrics.GetCounter("seed.attributes")
+      ->Add(static_cast<int64_t>(seed.attributes.size()));
   return seed;
 }
 

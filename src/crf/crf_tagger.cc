@@ -5,6 +5,7 @@
 
 #include "util/interner.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serial.h"
 #include "util/thread_pool.h"
 
@@ -61,6 +62,11 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
   if (data.empty()) {
     return Status::InvalidArgument("CRF training set is empty");
   }
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  util::ScopedTimer train_timer(metrics.GetHistogram("crf.train.seconds"));
+  metrics.GetCounter("crf.trainings")->Increment();
+  metrics.GetCounter("crf.train.sequences")
+      ->Add(static_cast<int64_t>(data.size()));
   model_ = CrfModel();
   model_.AddLabel(text::kOutsideLabel);  // id 0
 
@@ -231,6 +237,10 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
       const double current = objective(weights_, &grad);
       report_.iterations = epoch + 1;
       report_.final_objective = current;
+      report_.objective_history.push_back(current);
+      double grad_inf = 0;
+      for (double g : grad) grad_inf = std::max(grad_inf, std::fabs(g));
+      report_.grad_norm_history.push_back(grad_inf);
       if (std::fabs(previous - current) <
           options_.epsilon * std::max(1.0, std::fabs(current))) {
         report_.converged = true;
@@ -245,6 +255,13 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
       << "CRF training produced non-finite weights";
   trained_ = true;
   ++generation_;
+  metrics.GetSeries("crf.features")
+      ->Append(static_cast<double>(model_.num_features()));
+  metrics.GetSeries("crf.iterations")
+      ->Append(static_cast<double>(report_.iterations));
+  metrics.GetSeries("crf.final_objective")->Append(report_.final_objective);
+  metrics.GetSeries("crf.objective")->Extend(report_.objective_history);
+  metrics.GetSeries("crf.grad_norm")->Extend(report_.grad_norm_history);
   return Status::Ok();
 }
 

@@ -74,6 +74,8 @@ Status MinimizeOwlqn(const SmoothObjective& objective,
 
   report->iterations = 0;
   report->converged = false;
+  report->objective_history.clear();
+  report->grad_norm_history.clear();
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     if (use_l1) {
@@ -81,7 +83,8 @@ Status MinimizeOwlqn(const SmoothObjective& objective,
     } else {
       pg = grad;
     }
-    if (InfNorm(pg) < options.epsilon) {
+    const double pg_norm = InfNorm(pg);
+    if (pg_norm < options.epsilon) {
       report->converged = true;
       break;
     }
@@ -179,6 +182,8 @@ Status MinimizeOwlqn(const SmoothObjective& objective,
     grad = grad_new;
     obj = obj_new;
     report->iterations = iter + 1;
+    report->objective_history.push_back(obj);
+    report->grad_norm_history.push_back(pg_norm);
     if (improvement < options.epsilon * std::max(1.0, std::fabs(obj))) {
       report->converged = true;
       break;

@@ -32,6 +32,11 @@ struct OwlqnReport {
   int iterations = 0;
   double final_objective = 0.0;  // smooth + L1
   bool converged = false;
+  /// Per-iteration trace, one entry per accepted iterate, in order:
+  /// total objective (smooth + L1) after the step, and the inf-norm of
+  /// the pseudo-gradient evaluated before the step.
+  std::vector<double> objective_history;
+  std::vector<double> grad_norm_history;
 };
 
 /// Minimizes f(x) + l1_weight * ||x||_1 with the Orthant-Wise Limited-

@@ -6,6 +6,7 @@
 
 #include "math/vec.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serial.h"
 #include "util/thread_pool.h"
 
@@ -22,6 +23,11 @@ Status Word2Vec::Train(
   if (sentences.empty()) {
     return Status::InvalidArgument("word2vec corpus is empty");
   }
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  util::ScopedTimer train_timer(metrics.GetHistogram("embed.train.seconds"));
+  metrics.GetCounter("embed.trainings")->Increment();
+  metrics.GetCounter("embed.train.sentences")
+      ->Add(static_cast<int64_t>(sentences.size()));
   Rng rng(options_.seed);
 
   // Vocabulary with frequency threshold.
@@ -42,6 +48,8 @@ Status Word2Vec::Train(
     return Status::FailedPrecondition(
         "word2vec: no words above min_count");
   }
+  metrics.GetSeries("embed.vocab")
+      ->Append(static_cast<double>(vocab_.size()));
 
   const size_t v = vocab_.size();
   const size_t d = dim();

@@ -6,6 +6,7 @@
 #include "math/vec.h"
 #include "text/utf8.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serial.h"
 
 namespace pae::lstm {
@@ -128,6 +129,12 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
   if (data.empty()) {
     return Status::InvalidArgument("BiLSTM training set is empty");
   }
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  util::ScopedTimer train_timer(metrics.GetHistogram("lstm.train.seconds"));
+  metrics.GetCounter("lstm.trainings")->Increment();
+  metrics.GetCounter("lstm.train.sentences")
+      ->Add(static_cast<int64_t>(data.size()));
+  epoch_losses_.clear();
   Rng rng(options_.seed);
 
   // Vocabularies and label inventory.
@@ -363,7 +370,9 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
     final_epoch_loss_ =
         epoch_tokens > 0 ? epoch_loss / static_cast<double>(epoch_tokens) : 0;
     PAE_DCHECK_FINITE(final_epoch_loss_);
+    epoch_losses_.push_back(final_epoch_loss_);
   }
+  metrics.GetSeries("lstm.epoch_loss")->Extend(epoch_losses_);
   trained_ = true;
   return Status::Ok();
 }

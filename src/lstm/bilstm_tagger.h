@@ -56,6 +56,8 @@ class BiLstmTagger : public text::SequenceTagger {
 
   /// Mean training loss (per token) of the final epoch.
   double final_epoch_loss() const { return final_epoch_loss_; }
+  /// Mean per-token training loss of every epoch, in order.
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
   const std::vector<std::string>& labels() const { return labels_; }
   bool trained() const { return trained_; }
 
@@ -94,6 +96,7 @@ class BiLstmTagger : public text::SequenceTagger {
   std::vector<float> out_b_;
 
   double final_epoch_loss_ = 0.0;
+  std::vector<double> epoch_losses_;
   bool trained_ = false;
 };
 

@@ -1,0 +1,447 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace pae::util {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds,
+                     const std::atomic<bool>* enabled)
+    : bounds_(std::move(bounds)), enabled_(enabled) {
+  PAE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket bounds must be ascending";
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  ++counts_[bucket];
+  sum_ += v;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Series
+// ---------------------------------------------------------------------------
+
+void Series::Append(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.push_back(v);
+}
+
+void Series::Extend(const std::vector<double>& values) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
+std::vector<double> Series::values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_.size();
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Default bucket bounds
+// ---------------------------------------------------------------------------
+
+const std::vector<double>& DefaultLatencyBoundsSeconds() {
+  static const auto* kBounds = new std::vector<double>{
+      1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10, 30, 100, 300};
+  return *kBounds;
+}
+
+const std::vector<double>& DefaultSizeBounds() {
+  static const auto* kBounds = new std::vector<double>{
+      1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7};
+  return *kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer
+// ---------------------------------------------------------------------------
+
+ScopedTimer::ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+  if (histogram_ != nullptr &&
+      histogram_->enabled_->load(std::memory_order_relaxed)) {
+    start_ = std::chrono::steady_clock::now();
+    running_ = true;
+  }
+}
+
+double ScopedTimer::Stop() {
+  if (!running_) return 0;
+  running_ = false;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  histogram_->Observe(elapsed.count());
+  return elapsed.count();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrNull(std::string_view name,
+                                                    Kind kind) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) return nullptr;
+  PAE_CHECK(it->second.kind == kind)
+      << "metric '" << std::string(name)
+      << "' re-requested with a different type";
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = FindOrNull(name, Kind::kCounter)) {
+    return entry->counter.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.counter.reset(new Counter(&enabled_));
+  return metrics_.emplace(std::string(name), std::move(entry))
+      .first->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = FindOrNull(name, Kind::kGauge)) {
+    return entry->gauge.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.gauge.reset(new Gauge(&enabled_));
+  return metrics_.emplace(std::string(name), std::move(entry))
+      .first->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetHistogram(name, DefaultLatencyBoundsSeconds());
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = FindOrNull(name, Kind::kHistogram)) {
+    return entry->histogram.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.histogram.reset(new Histogram(std::move(bounds), &enabled_));
+  return metrics_.emplace(std::string(name), std::move(entry))
+      .first->second.histogram.get();
+}
+
+Series* MetricsRegistry::GetSeries(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = FindOrNull(name, Kind::kSeries)) {
+    return entry->series.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kSeries;
+  entry.series.reset(new Series(&enabled_));
+  return metrics_.emplace(std::string(name), std::move(entry))
+      .first->second.series.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+      case Kind::kSeries:
+        entry.series->Reset();
+        break;
+    }
+  }
+}
+
+RunReport MetricsRegistry::Snapshot() const {
+  RunReport report;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        report.counters[name] = entry.counter->value();
+        break;
+      case Kind::kGauge:
+        report.gauges[name] = entry.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        RunReport::HistogramSnapshot snapshot;
+        snapshot.bounds = entry.histogram->bounds();
+        snapshot.counts = entry.histogram->bucket_counts();
+        snapshot.count = entry.histogram->count();
+        snapshot.sum = entry.histogram->sum();
+        snapshot.min = entry.histogram->min();
+        snapshot.max = entry.histogram->max();
+        report.histograms[name] = std::move(snapshot);
+        break;
+      }
+      case Kind::kSeries:
+        report.series[name] = entry.series->values();
+        break;
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void AppendJsonNumber(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no inf/nan; null keeps the report parsable
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void RunReport::WriteJson(std::ostream& os) const {
+  os << "{\n  \"version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(os, name);
+    os << ": " << value;
+  }
+  os << (counters.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(os, name);
+    os << ": ";
+    AppendJsonNumber(os, value);
+  }
+  os << (gauges.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(os, name);
+    os << ": {\"count\": " << h.count << ", \"sum\": ";
+    AppendJsonNumber(os, h.sum);
+    os << ", \"min\": ";
+    AppendJsonNumber(os, h.min);
+    os << ", \"max\": ";
+    AppendJsonNumber(os, h.max);
+    os << ", \"buckets\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) os << ", ";
+      os << "{\"le\": ";
+      if (b < h.bounds.size()) {
+        AppendJsonNumber(os, h.bounds[b]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << h.counts[b] << "}";
+    }
+    os << "]}";
+  }
+  os << (histograms.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"series\": {";
+  first = true;
+  for (const auto& [name, values] : series) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(os, name);
+    os << ": [";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) os << ", ";
+      AppendJsonNumber(os, values[i]);
+    }
+    os << "]";
+  }
+  os << (series.empty() ? "}\n" : "\n  }\n");
+  os << "}\n";
+}
+
+Status RunReport::WriteJsonFile(const std::string& path) const {
+  if (path == "-") {
+    WriteJson(std::cout);
+    return std::cout.good()
+               ? Status::Ok()
+               : Status::Internal("failed writing metrics report to stdout");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    return Status::Internal("cannot open metrics report file " + path);
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing metrics report " + path);
+  }
+  return Status::Ok();
+}
+
+void RunReport::PrintSummary(std::ostream& os) const {
+  if (!histograms.empty()) {
+    TablePrinter table("Run report — timers & distributions");
+    table.SetHeader({"histogram", "count", "total", "mean", "min", "max"});
+    for (const auto& [name, h] : histograms) {
+      const double mean =
+          h.count > 0 ? h.sum / static_cast<double>(h.count) : 0;
+      table.AddRow({name, std::to_string(h.count), FormatDouble(h.sum, 4),
+                    FormatDouble(mean, 4), FormatDouble(h.min, 4),
+                    FormatDouble(h.max, 4)});
+    }
+    table.Print(os);
+  }
+  if (!counters.empty()) {
+    TablePrinter table("Run report — counters");
+    table.SetHeader({"counter", "value"});
+    for (const auto& [name, value] : counters) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    table.Print(os);
+  }
+  if (!gauges.empty()) {
+    TablePrinter table("Run report — gauges");
+    table.SetHeader({"gauge", "value"});
+    for (const auto& [name, value] : gauges) {
+      table.AddRow({name, FormatDouble(value, 4)});
+    }
+    table.Print(os);
+  }
+  if (!series.empty()) {
+    TablePrinter table("Run report — series");
+    table.SetHeader({"series", "n", "values"});
+    for (const auto& [name, values] : series) {
+      // Print the full series up to 8 entries, then the tail — enough to
+      // see per-iteration trajectories without drowning the terminal.
+      std::string rendered;
+      const size_t shown = std::min<size_t>(values.size(), 8);
+      for (size_t i = 0; i < shown; ++i) {
+        if (i > 0) rendered += " ";
+        rendered += FormatDouble(values[i], 3);
+      }
+      if (values.size() > shown) {
+        rendered += " .. " + FormatDouble(values.back(), 3);
+      }
+      table.AddRow({name, std::to_string(values.size()), rendered});
+    }
+    table.Print(os);
+  }
+}
+
+}  // namespace pae::util

@@ -1,0 +1,237 @@
+#ifndef PAE_UTIL_METRICS_H_
+#define PAE_UTIL_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pae::util {
+
+class MetricsRegistry;
+
+/// Monotonically increasing integer metric (events, items, nanoseconds).
+/// Additions are atomic and order-independent, so totals are identical
+/// for every thread count even when incremented from a ThreadPool loop.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t n) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<int64_t> value_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Last-write-wins double metric (configuration values, sizes).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Fixed-bucket histogram for latencies and sizes. Bucket boundaries are
+/// chosen at registration and never change; a value lands in the first
+/// bucket whose upper bound is >= the value ("le" semantics), or in the
+/// overflow bucket past the last bound. Tracks count/sum/min/max so the
+/// run report can print totals and means without re-deriving them.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const;
+  double sum() const;
+  /// Minimum observed value (0 when count() == 0).
+  double min() const;
+  double max() const;
+  /// Per-bucket counts; size is bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  friend class MetricsRegistry;
+  friend class ScopedTimer;  // reads enabled_ to skip the clock entirely
+  Histogram(std::vector<double> bounds, const std::atomic<bool>* enabled);
+  void Reset();
+
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;        // ascending upper bounds
+  std::vector<uint64_t> counts_;      // bounds_.size() + 1 slots
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  const std::atomic<bool>* enabled_;
+};
+
+/// Append-only ordered sequence of doubles: per-iteration objective
+/// values, per-epoch losses, per-bootstrap-cycle triple counts — any
+/// metric whose *order* carries information a histogram would destroy.
+class Series {
+ public:
+  void Append(double v);
+  void Extend(const std::vector<double>& values);
+  std::vector<double> values() const;
+  size_t size() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Series(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset();
+
+  mutable std::mutex mutex_;
+  std::vector<double> values_;
+  const std::atomic<bool>* enabled_;
+};
+
+/// Default latency bucket bounds in seconds: 100 µs .. 300 s, 1-3-10
+/// progression. Stage timers across the pipeline share these so reports
+/// from different runs line up.
+const std::vector<double>& DefaultLatencyBoundsSeconds();
+
+/// Default size bucket bounds: powers of ten 1 .. 10^7.
+const std::vector<double>& DefaultSizeBounds();
+
+/// Observes the wall time of a scope into a latency histogram, in
+/// seconds, on destruction (or at an explicit Stop()). A null histogram
+/// or a disabled registry makes the timer a no-op, clock calls included.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram);
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Observes now instead of at scope exit; later calls are no-ops.
+  /// Returns the elapsed seconds (0 when inactive).
+  double Stop();
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  bool running_ = false;
+};
+
+/// Immutable snapshot of a registry, ready for reporting. Maps are
+/// ordered by metric name so the JSON and the summary table are
+/// deterministic.
+struct RunReport {
+  struct HistogramSnapshot {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1, last = overflow
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, std::vector<double>> series;
+
+  /// Structured JSON: {"version": 1, "counters": {...}, "gauges": {...},
+  /// "histograms": {...}, "series": {...}}. Non-finite values are
+  /// emitted as null so the output always parses.
+  void WriteJson(std::ostream& os) const;
+
+  /// Writes the JSON report to `path` ("-" writes to stdout).
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Human-readable end-of-run tables (timers, counters, series tails)
+  /// rendered through util/table_printer.
+  void PrintSummary(std::ostream& os) const;
+};
+
+/// Thread-safe name → metric registry. Metrics are created on first use
+/// and live as long as the registry; returned pointers are stable, so
+/// hot paths look a metric up once and cache the pointer. Re-requesting
+/// a name with a different metric type is a programmer error (PAE_CHECK).
+///
+/// Naming convention: `<module>.<stage>.<what>[_<unit>]`, lower-case,
+/// dot-separated — e.g. `crf.train.seconds`, `cleaning.veto_symbol`,
+/// `threadpool.busy_nanos`. Timers are histograms named `*.seconds`.
+///
+/// Disabling a registry (set_enabled(false)) turns every mutation into a
+/// no-op while keeping all pointers valid; reads still work. The
+/// pipeline's outputs never depend on the registry either way — metrics
+/// observe, they do not steer.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry used by the instrumented pipeline stages.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Registers with DefaultLatencyBoundsSeconds() when first created.
+  Histogram* GetHistogram(std::string_view name);
+  /// `bounds` must be ascending; only the first call's bounds are used.
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+  Series* GetSeries(std::string_view name);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Zeroes every registered metric; registrations (and handed-out
+  /// pointers) survive. Run reports for sequential experiments call this
+  /// between runs.
+  void Reset();
+
+  RunReport Snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kSeries };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Series> series;
+  };
+
+  Entry* FindOrNull(std::string_view name, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{true};
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+}  // namespace pae::util
+
+#endif  // PAE_UTIL_METRICS_H_

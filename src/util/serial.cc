@@ -2,11 +2,6 @@
 
 namespace pae {
 
-namespace {
-// Guard against corrupt files requesting absurd allocations.
-constexpr uint32_t kMaxElements = 1u << 28;
-}  // namespace
-
 BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic,
                            uint32_t version)
     : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
@@ -19,27 +14,44 @@ void BinaryWriter::WriteRaw(const void* data, size_t size) {
              static_cast<std::streamsize>(size));
 }
 
+bool BinaryWriter::CheckLength(size_t size, const char* what) {
+  if (size <= kMaxSerialElements) return true;
+  if (status_.ok()) {
+    status_ = Status::OutOfRange(
+        path_ + ": refusing to serialize " + what + " of " +
+        std::to_string(size) + " elements (limit " +
+        std::to_string(kMaxSerialElements) +
+        "); the length word would be unreadable");
+  }
+  return false;
+}
+
 void BinaryWriter::WriteString(const std::string& s) {
+  if (!CheckLength(s.size(), "string")) return;
   WriteU32(static_cast<uint32_t>(s.size()));
   WriteRaw(s.data(), s.size());
 }
 
 void BinaryWriter::WriteDoubleVec(const std::vector<double>& v) {
+  if (!CheckLength(v.size(), "double vector")) return;
   WriteU32(static_cast<uint32_t>(v.size()));
   if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(double));
 }
 
 void BinaryWriter::WriteFloatVec(const std::vector<float>& v) {
+  if (!CheckLength(v.size(), "float vector")) return;
   WriteU32(static_cast<uint32_t>(v.size()));
   if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(float));
 }
 
 void BinaryWriter::WriteStringVec(const std::vector<std::string>& v) {
+  if (!CheckLength(v.size(), "string vector")) return;
   WriteU32(static_cast<uint32_t>(v.size()));
   for (const std::string& s : v) WriteString(s);
 }
 
 Status BinaryWriter::Finish() {
+  if (!status_.ok()) return status_;
   out_.flush();
   if (!out_.good()) {
     return Status::Internal("failed writing " + path_);
@@ -78,30 +90,42 @@ bool BinaryReader::ReadRaw(void* data, size_t size) {
   return good_;
 }
 
+bool BinaryReader::ReadLength(uint32_t* size, const char* what) {
+  if (!ReadU32(size)) return false;  // ReadRaw latched good_/status_
+  if (*size > kMaxSerialElements) {
+    good_ = false;
+    status_ = Status::OutOfRange(
+        std::string("corrupt ") + what + " length " + std::to_string(*size) +
+        " (limit " + std::to_string(kMaxSerialElements) + ")");
+    return false;
+  }
+  return true;
+}
+
 bool BinaryReader::ReadString(std::string* s) {
   uint32_t size = 0;
-  if (!ReadU32(&size) || size > kMaxElements) return false;
+  if (!ReadLength(&size, "string")) return false;
   s->resize(size);
   return size == 0 || ReadRaw(s->data(), size);
 }
 
 bool BinaryReader::ReadDoubleVec(std::vector<double>* v) {
   uint32_t size = 0;
-  if (!ReadU32(&size) || size > kMaxElements) return false;
+  if (!ReadLength(&size, "double vector")) return false;
   v->resize(size);
   return size == 0 || ReadRaw(v->data(), size * sizeof(double));
 }
 
 bool BinaryReader::ReadFloatVec(std::vector<float>* v) {
   uint32_t size = 0;
-  if (!ReadU32(&size) || size > kMaxElements) return false;
+  if (!ReadLength(&size, "float vector")) return false;
   v->resize(size);
   return size == 0 || ReadRaw(v->data(), size * sizeof(float));
 }
 
 bool BinaryReader::ReadStringVec(std::vector<std::string>* v) {
   uint32_t size = 0;
-  if (!ReadU32(&size) || size > kMaxElements) return false;
+  if (!ReadLength(&size, "string vector")) return false;
   v->clear();
   v->reserve(size);
   for (uint32_t i = 0; i < size; ++i) {

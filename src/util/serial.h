@@ -10,6 +10,14 @@
 
 namespace pae {
 
+/// Hard ceiling on the element count of any serialized string or vector
+/// (2^28). The reader rejects corrupt length words above it instead of
+/// attempting an absurd allocation, and the writer refuses to emit a
+/// container it knows the reader could never accept — which also rules
+/// out the silent size_t → uint32_t length truncation a >4 GiB payload
+/// would otherwise suffer.
+inline constexpr uint32_t kMaxSerialElements = 1u << 28;
+
 /// Minimal binary serialization for model persistence. Fixed-width
 /// little-endian scalars, length-prefixed strings and vectors, and a
 /// magic+version header per file. Not an interchange format — models
@@ -19,7 +27,7 @@ class BinaryWriter {
   /// Opens `path` for writing and emits the header.
   BinaryWriter(const std::string& path, uint32_t magic, uint32_t version);
 
-  bool ok() const { return out_.good(); }
+  bool ok() const { return status_.ok() && out_.good(); }
 
   void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
@@ -31,17 +39,22 @@ class BinaryWriter {
   void WriteFloatVec(const std::vector<float>& v);
   void WriteStringVec(const std::vector<std::string>& v);
 
-  /// Flushes and reports the final state.
+  /// Flushes and reports the final state. Oversize containers
+  /// (> kMaxSerialElements) latch an OutOfRange error here; nothing is
+  /// written for them, so a truncated length can never reach disk.
   Status Finish();
 
  private:
+  bool CheckLength(size_t size, const char* what);
   void WriteRaw(const void* data, size_t size);
   std::ofstream out_;
   std::string path_;
+  Status status_;
 };
 
-/// Counterpart reader. Every Read* returns false once the stream is
-/// bad; callers check ok()/status at the end (or per field).
+/// Counterpart reader. Every Read* returns false once the stream is bad
+/// or a length word is corrupt, and every failure latches a non-Ok
+/// status(): a corrupt file can never read back as Ok.
 class BinaryReader {
  public:
   /// Opens `path` and validates the header.
@@ -49,7 +62,8 @@ class BinaryReader {
                uint32_t expected_version);
 
   bool ok() const { return good_ && in_.good(); }
-  /// Error found while opening/validating (ok status if none).
+  /// First error encountered while opening, validating, or reading
+  /// (Ok status if none).
   const Status& status() const { return status_; }
 
   bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
@@ -64,6 +78,9 @@ class BinaryReader {
 
  private:
   bool ReadRaw(void* data, size_t size);
+  /// Reads a length word and validates it against kMaxSerialElements;
+  /// a corrupt length fails the reader with OutOfRange.
+  bool ReadLength(uint32_t* size, const char* what);
   std::ifstream in_;
   bool good_ = false;
   Status status_;

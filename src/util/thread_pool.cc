@@ -1,10 +1,51 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "util/metrics.h"
 
 namespace pae::util {
 
+namespace {
+
+/// Pool utilization telemetry (one set of global counters; pools are
+/// created and destroyed per pipeline stage). `busy_nanos` sums the time
+/// threads spent executing chunks, `wall_nanos` sums each job's
+/// caller-observed wall time, and `idle_nanos` is the per-job gap
+/// wall × threads − busy — the time workers waited instead of working.
+struct PoolCounters {
+  Counter* jobs;
+  Counter* chunks;
+  Counter* busy_nanos;
+  Counter* wall_nanos;
+  Counter* idle_nanos;
+
+  static const PoolCounters& Get() {
+    static const PoolCounters counters = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      return PoolCounters{registry.GetCounter("threadpool.jobs"),
+                          registry.GetCounter("threadpool.chunks"),
+                          registry.GetCounter("threadpool.busy_nanos"),
+                          registry.GetCounter("threadpool.wall_nanos"),
+                          registry.GetCounter("threadpool.idle_nanos")};
+    }();
+    return counters;
+  }
+};
+
+int64_t ElapsedNanos(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) : num_threads_(std::max(1, threads)) {
+  MetricsRegistry::Global()
+      .GetGauge("threadpool.threads")
+      ->Set(static_cast<double>(num_threads_));
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 0; i < num_threads_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -43,6 +84,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   job->num_chunks = (n + grain - 1) / grain;
   job->fn = &fn;
 
+  const bool record = MetricsRegistry::Global().enabled();
+  const auto start = record ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point();
+
   if (workers_.empty() || job->num_chunks == 1) {
     // Inline path: same chunk decomposition, same (trivial) order.
     RunChunks(job.get());
@@ -63,13 +108,27 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
       if (job_ == job) job_.reset();
     }
   }
+  if (record) {
+    const PoolCounters& counters = PoolCounters::Get();
+    const int64_t wall = ElapsedNanos(start);
+    const int64_t busy = job->busy_nanos.load(std::memory_order_relaxed);
+    counters.jobs->Increment();
+    counters.chunks->Add(static_cast<int64_t>(job->num_chunks));
+    counters.wall_nanos->Add(wall);
+    counters.busy_nanos->Add(busy);
+    counters.idle_nanos->Add(
+        std::max<int64_t>(0, wall * num_threads_ - busy));
+  }
   if (job->error) std::rethrow_exception(job->error);
 }
 
 void ThreadPool::RunChunks(Job* job) {
+  const bool record = MetricsRegistry::Global().enabled();
+  const auto start = record ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point();
   while (true) {
     const size_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
-    if (c >= job->num_chunks) return;
+    if (c >= job->num_chunks) break;
     const size_t lo = job->begin + c * job->grain;
     const size_t hi = std::min(job->end, lo + job->grain);
     try {
@@ -89,6 +148,9 @@ void ThreadPool::RunChunks(Job* job) {
       { std::lock_guard<std::mutex> lock(mutex_); }
       done_.notify_all();
     }
+  }
+  if (record) {
+    job->busy_nanos.fetch_add(ElapsedNanos(start), std::memory_order_relaxed);
   }
 }
 

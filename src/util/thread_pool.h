@@ -68,6 +68,9 @@ class ThreadPool {
     std::mutex error_mutex;
     std::exception_ptr error;
     size_t error_chunk = SIZE_MAX;
+    /// Total nanoseconds threads spent inside RunChunks for this job;
+    /// feeds the threadpool.busy_nanos utilization counter.
+    std::atomic<int64_t> busy_nanos{0};
   };
 
   void WorkerLoop();

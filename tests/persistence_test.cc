@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "core/corpus_io.h"
 #include "crf/crf_tagger.h"
@@ -114,6 +115,138 @@ TEST(SerialTest, MissingFileIsNotFound) {
   EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
 }
 
+// ---------------- corrupt length words & silent failures ----------------
+
+// Every BinaryReader failure must surface through status(), not only
+// through the bool return — callers that forward reader.status() (model
+// Load functions) must never report Ok for a corrupt file.
+
+TEST(SerialTest, TruncatedReadLatchesNonOkStatus) {
+  const std::string path = TempPath("trunc_status.bin");
+  {
+    BinaryWriter writer(path, 0x11111111, 1);
+    writer.WriteU32(1234);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  fs::resize_file(path, 9);
+  BinaryReader reader(path, 0x11111111, 1);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.status().ok());
+  uint32_t v = 0;
+  EXPECT_FALSE(reader.ReadU32(&v));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.status().ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, OversizeLengthWordFailsEveryContainerReader) {
+  // A corrupt length word above kMaxSerialElements must fail the read
+  // AND latch a non-Ok status — this was the silent-failure bug: the
+  // read returned false but ok()/status() still claimed success.
+  const std::string path = TempPath("oversize_len.bin");
+  {
+    BinaryWriter writer(path, 0x11111111, 1);
+    writer.WriteU32(kMaxSerialElements + 1);  // bogus length word
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const auto expect_fails = [&](auto read_fn) {
+    BinaryReader reader(path, 0x11111111, 1);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_FALSE(read_fn(reader));
+    EXPECT_FALSE(reader.ok());
+    ASSERT_FALSE(reader.status().ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::kOutOfRange);
+  };
+  expect_fails([](BinaryReader& r) {
+    std::string s;
+    return r.ReadString(&s);
+  });
+  expect_fails([](BinaryReader& r) {
+    std::vector<double> v;
+    return r.ReadDoubleVec(&v);
+  });
+  expect_fails([](BinaryReader& r) {
+    std::vector<float> v;
+    return r.ReadFloatVec(&v);
+  });
+  expect_fails([](BinaryReader& r) {
+    std::vector<std::string> v;
+    return r.ReadStringVec(&v);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, MidVectorEofLatchesNonOkStatus) {
+  const std::string path = TempPath("mid_vector_eof.bin");
+  {
+    BinaryWriter writer(path, 0x11111111, 1);
+    writer.WriteDoubleVec({1, 2, 3, 4, 5, 6, 7, 8});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  // Header (8) + length word (4) + 3.5 doubles: EOF mid-payload.
+  fs::resize_file(path, 8 + 4 + 28);
+  BinaryReader reader(path, 0x11111111, 1);
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> v;
+  EXPECT_FALSE(reader.ReadDoubleVec(&v));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, MidStringVecEofLatchesNonOkStatus) {
+  const std::string path = TempPath("mid_stringvec_eof.bin");
+  size_t full_size = 0;
+  {
+    BinaryWriter writer(path, 0x11111111, 1);
+    writer.WriteStringVec({"first", "second", "third"});
+    ASSERT_TRUE(writer.Finish().ok());
+    full_size = static_cast<size_t>(fs::file_size(path));
+  }
+  fs::resize_file(path, full_size - 4);  // cut into the last string
+  BinaryReader reader(path, 0x11111111, 1);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> v;
+  EXPECT_FALSE(reader.ReadStringVec(&v));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, WriterRefusesOversizeContainers) {
+  // The writer shares the reader's element bound, so a container whose
+  // length word would be unreadable (or, at > 4 GiB, silently truncated
+  // from size_t to uint32_t) is refused up front and Finish() reports it.
+  const std::string path = TempPath("oversize_write.bin");
+  {
+    BinaryWriter writer(path, 0x11111111, 1);
+    const std::string huge(static_cast<size_t>(kMaxSerialElements) + 1, 'x');
+    writer.WriteString(huge);
+    EXPECT_FALSE(writer.ok());
+    const Status finish = writer.Finish();
+    ASSERT_FALSE(finish.ok());
+    EXPECT_EQ(finish.code(), StatusCode::kOutOfRange);
+  }
+  // Nothing beyond the header may have been written for the refused
+  // container — a partial/truncated length word on disk would defeat
+  // the point.
+  EXPECT_LE(fs::file_size(path), 8u);
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, WriterOversizeErrorLatchesFirstError) {
+  const std::string path = TempPath("oversize_latch.bin");
+  BinaryWriter writer(path, 0x11111111, 1);
+  const std::string huge(static_cast<size_t>(kMaxSerialElements) + 1, 'x');
+  writer.WriteString(huge);
+  writer.WriteString("small");  // later valid writes don't clear the error
+  const Status finish = writer.Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_EQ(finish.code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
 // ---------------- model round-trips ----------------
 
 std::vector<text::LabeledSequence> TinyTrainingData() {
@@ -157,6 +290,71 @@ TEST(PersistenceTest, CrfSaveLoadPredictsIdentically) {
 TEST(PersistenceTest, CrfSaveUntrainedFails) {
   crf::CrfTagger untrained;
   EXPECT_FALSE(untrained.Save(TempPath("untrained.crf")).ok());
+}
+
+// Overwrites `count` bytes at `offset` in the file at `path`.
+void CorruptBytes(const std::string& path, size_t offset, size_t count,
+                  char byte) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open()) << path;
+  file.seekp(static_cast<std::streamoff>(offset));
+  for (size_t i = 0; i < count; ++i) file.put(byte);
+  ASSERT_TRUE(file.good());
+}
+
+TEST(PersistenceTest, CrfLoadRejectsCorruptModels) {
+  // A corrupt model file must never load as Ok — a tagger silently
+  // built from garbage weights would poison every downstream triple.
+  crf::CrfOptions options;
+  options.max_iterations = 10;
+  crf::CrfTagger original(options);
+  ASSERT_TRUE(original.Train(TinyTrainingData()).ok());
+  const std::string good = TempPath("corrupt_base.crf");
+  ASSERT_TRUE(original.Save(good).ok());
+  const size_t full_size = static_cast<size_t>(fs::file_size(good));
+  const std::string path = TempPath("corrupt_probe.crf");
+
+  const auto copy_model = [&]() {
+    fs::copy_file(good, path, fs::copy_options::overwrite_existing);
+  };
+
+  // Truncation anywhere in the file: sample offsets from mid-header to
+  // one byte short of complete.
+  for (const size_t size :
+       {size_t{4}, size_t{16}, size_t{40}, full_size / 2, full_size - 1}) {
+    ASSERT_LT(size, full_size);
+    copy_model();
+    fs::resize_file(path, size);
+    crf::CrfTagger restored;
+    const Status status = restored.Load(path);
+    EXPECT_FALSE(status.ok()) << "loaded a model truncated to " << size
+                              << " of " << full_size << " bytes";
+  }
+
+  // Flipped magic byte.
+  copy_model();
+  CorruptBytes(path, 0, 1, '\x00');
+  {
+    crf::CrfTagger restored;
+    EXPECT_FALSE(restored.Load(path).ok());
+  }
+
+  // Corrupt container length word. The CRF layout is header (8 bytes) +
+  // i32 window + i32 bucket + double c1 + double c2 = 32 bytes, then the
+  // label StringVec's length word; 0xFFFFFFFF there exceeds
+  // kMaxSerialElements and must be rejected, not allocated.
+  copy_model();
+  CorruptBytes(path, 32, 4, '\xFF');
+  {
+    crf::CrfTagger restored;
+    const Status status = restored.Load(path);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  }
+
+  std::remove(good.c_str());
+  std::remove(path.c_str());
 }
 
 TEST(PersistenceTest, BiLstmSaveLoadPredictsIdentically) {

@@ -10,6 +10,7 @@
 //        --no-cleaning / --no-semantic / --no-syntactic / --no-negation
 //        --no-diversification            --min-confidence X
 //        --epochs N (BiLSTM)             --eval
+//        --metrics-out report.json ("-" = stdout) --no-metrics
 
 #include <iostream>
 #include <string>
@@ -23,9 +24,28 @@
 #include "core/corpus_io.h"
 #include "core/eval.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace {
+
+/// Writes the JSON run report and prints the summary tables when
+/// --metrics-out was given. Returns non-zero on write failure.
+int WriteMetricsReport(const pae::tools::Args& args) {
+  const std::string path = args.GetString("metrics-out", "");
+  if (path.empty()) return 0;
+  const pae::util::RunReport report =
+      pae::util::MetricsRegistry::Global().Snapshot();
+  pae::Status status = report.WriteJsonFile(path);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  // When the JSON goes to stdout the summary must not corrupt it.
+  report.PrintSummary(path == "-" ? std::cerr : std::cout);
+  if (path != "-") std::cout << "metrics report -> " << path << "\n";
+  return 0;
+}
 
 int Usage() {
   std::cerr << "usage: pae-extract --in <corpus dir> --out <triples.tsv>\n"
@@ -36,6 +56,10 @@ int Usage() {
             << "                   [--no-syntactic] [--no-negation]\n"
             << "                   [--no-diversification]\n"
             << "                   [--min-confidence X] [--eval]\n"
+            << "                   [--metrics-out report.json]  (\"-\" =\n"
+            << "                    stdout; also prints a summary table)\n"
+            << "                   [--no-metrics]  (disable all metrics\n"
+            << "                    collection)\n"
             << "                   [--threads N]  (0 = all hardware threads;\n"
             << "                    output is identical for every N)\n"
             << "                   [--save-model m.crf]  (CRF only; also\n"
@@ -58,6 +82,9 @@ int main(int argc, char** argv) {
   if (threads < 0) {
     std::cerr << "--threads must be >= 0 (0 = all hardware threads)\n";
     return 2;
+  }
+  if (args.Has("no-metrics")) {
+    pae::util::MetricsRegistry::Global().set_enabled(false);
   }
 
   auto corpus_result = pae::core::LoadCorpus(in_dir);
@@ -107,7 +134,7 @@ int main(int argc, char** argv) {
                   << "%\n";
       }
     }
-    return 0;
+    return WriteMetricsReport(args);
   }
 
   pae::core::PipelineConfig config;
@@ -198,5 +225,5 @@ int main(int argc, char** argv) {
               << " maybe=" << metrics.maybe_incorrect
               << " unjudged=" << metrics.unjudged << ")\n";
   }
-  return 0;
+  return WriteMetricsReport(args);
 }
