@@ -16,6 +16,7 @@
 #include "html/parser.h"
 #include "html/table_extractor.h"
 #include "lstm/lstm_cell.h"
+#include "math/kernels.h"
 #include "text/tokenizer.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -521,6 +522,125 @@ void BM_Word2VecTrainSharded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Word2VecTrainSharded)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+// ---- SIMD kernel layer ----
+//
+// ISA-parameterized benchmarks of the math/kernels.h dispatch tiers.
+// Arg = Isa enum value (0 scalar, 1 sse2, 2 avx2); tiers the host
+// cannot run are skipped. scripts/bench_simd.sh runs these and writes
+// BENCH_simd_kernels.json.
+
+bool EnterIsa(benchmark::State& state, math::kernels::Isa* prev) {
+  const auto isa = static_cast<math::kernels::Isa>(state.range(0));
+  if (!math::kernels::IsaSupported(isa)) {
+    state.SkipWithError("isa unsupported on this host");
+    return false;
+  }
+  *prev = math::kernels::ActiveIsa();
+  math::kernels::SetIsa(isa);
+  return true;
+}
+
+void FillGaussian(Rng* rng, std::vector<float>* v) {
+  for (float& x : *v) x = static_cast<float>(rng->NextGaussian());
+}
+
+void BM_SimdDot(benchmark::State& state) {
+  math::kernels::Isa prev;
+  if (!EnterIsa(state, &prev)) return;
+  Rng rng(9);
+  std::vector<float> a(1024), b(1024);
+  FillGaussian(&rng, &a);
+  FillGaussian(&rng, &b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::kernels::Dot(a.data(), b.data(), a.size()));
+  }
+  math::kernels::SetIsa(prev);
+}
+BENCHMARK(BM_SimdDot)->ArgName("isa")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdMatVec(benchmark::State& state) {
+  math::kernels::Isa prev;
+  if (!EnterIsa(state, &prev)) return;
+  constexpr size_t kRows = 256;
+  constexpr size_t kCols = 256;
+  Rng rng(10);
+  std::vector<float> m(kRows * kCols), x(kCols), out(kRows);
+  FillGaussian(&rng, &m);
+  FillGaussian(&rng, &x);
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    math::kernels::MatVec(m.data(), kRows, kCols, x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  math::kernels::SetIsa(prev);
+}
+BENCHMARK(BM_SimdMatVec)->ArgName("isa")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdWord2VecStep(benchmark::State& state) {
+  // The word2vec negative-sampling update for one center word exactly as
+  // embed/word2vec.cc issues it: per sample a Dot plus two Axpys into the
+  // output vector and gradient buffer, then one Axpy back into the input
+  // vector. 1 positive + 5 negatives (the `negative` default) at
+  // dim 128; the per-sample sigmoid is a fixed scalar cost, so smaller
+  // dims shift the measurement from the kernels to libm.
+  math::kernels::Isa prev;
+  if (!EnterIsa(state, &prev)) return;
+  constexpr size_t kDim = 128;
+  constexpr int kSamples = 6;
+  Rng rng(11);
+  std::vector<float> vin(kDim), grad_in(kDim);
+  std::vector<std::vector<float>> vouts(kSamples, std::vector<float>(kDim));
+  FillGaussian(&rng, &vin);
+  for (auto& vout : vouts) FillGaussian(&rng, &vout);
+  for (auto _ : state) {
+    std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+    for (int s = 0; s < kSamples; ++s) {
+      float* vout = vouts[static_cast<size_t>(s)].data();
+      const double dot = math::kernels::Dot(vin.data(), vout, kDim);
+      const float label = s == 0 ? 1.0f : 0.0f;
+      const float pred = 1.0f / (1.0f + static_cast<float>(std::exp(-dot)));
+      const float g = 0.025f * (label - pred);
+      math::kernels::Axpy(g, vout, grad_in.data(), kDim);
+      math::kernels::Axpy(g, vin.data(), vout, kDim);
+    }
+    math::kernels::Axpy(1.0f, grad_in.data(), vin.data(), kDim);
+    benchmark::DoNotOptimize(vin.data());
+  }
+  math::kernels::SetIsa(prev);
+}
+BENCHMARK(BM_SimdWord2VecStep)->ArgName("isa")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdLstmStep(benchmark::State& state) {
+  // One fused LSTM timestep (gate preactivations + activations) at the
+  // tagger's hidden size, the per-token cost of the BiLSTM forward pass.
+  math::kernels::Isa prev;
+  if (!EnterIsa(state, &prev)) return;
+  constexpr size_t kHidden = 64;
+  constexpr size_t kInput = 48;
+  Rng rng(12);
+  std::vector<float> wx(4 * kHidden * kInput), wh(4 * kHidden * kHidden);
+  std::vector<float> b(4 * kHidden), x(kInput), h_prev(kHidden);
+  std::vector<float> c_prev(kHidden), pre(4 * kHidden);
+  std::vector<float> i(kHidden), f(kHidden), o(kHidden), g(kHidden);
+  std::vector<float> c(kHidden), h(kHidden);
+  FillGaussian(&rng, &wx);
+  FillGaussian(&rng, &wh);
+  FillGaussian(&rng, &b);
+  FillGaussian(&rng, &x);
+  FillGaussian(&rng, &h_prev);
+  FillGaussian(&rng, &c_prev);
+  for (auto _ : state) {
+    math::kernels::LstmGatePreact(wx.data(), wh.data(), b.data(), x.data(),
+                                  h_prev.data(), kHidden, kInput, pre.data());
+    math::kernels::LstmActivateGates(pre.data(), c_prev.data(), kHidden,
+                                     i.data(), f.data(), o.data(), g.data(),
+                                     c.data(), h.data());
+    benchmark::DoNotOptimize(h.data());
+  }
+  math::kernels::SetIsa(prev);
+}
+BENCHMARK(BM_SimdLstmStep)->ArgName("isa")->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace pae

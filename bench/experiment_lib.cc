@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/strings.h"
@@ -106,6 +107,9 @@ void PrintHeader(const std::string& title, const BenchOptions& options) {
 void MaybeWriteMetricsReport() {
   const char* path = std::getenv("PAE_METRICS_OUT");
   if (path == nullptr || path[0] == '\0') return;
+  // Stamp the SIMD dispatch decision right before snapshotting: gauges
+  // set at startup would not survive a MetricsRegistry::Reset().
+  math::kernels::RecordSimdMetrics();
   const util::RunReport report = util::MetricsRegistry::Global().Snapshot();
   Status status = report.WriteJsonFile(path);
   if (!status.ok()) {

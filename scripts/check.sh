@@ -14,7 +14,10 @@
 # Pass 1 (default flags) configures build-check/ and runs every ctest
 # target (including pae_lint), then runs an instrumented pae-extract
 # pass over a small synthetic corpus and validates the emitted
-# --metrics-out JSON report (pass 1b). Pass 2 configures build-check-tsan/ with
+# --metrics-out JSON report (pass 1b), then reruns the full suite with
+# PAE_SIMD=scalar (pass 1c) so the portable kernel tier — the one CI
+# hosts without AVX2 would silently fall back to — gets the same
+# coverage as the dispatched default. Pass 2 configures build-check-tsan/ with
 # -DPAE_SANITIZE=thread and runs the thread-pool + concurrency +
 # feature-pipeline binaries directly: they are the tests whose failure
 # modes are data races, and running them under TSan turns the
@@ -93,6 +96,12 @@ else
   done
   echo "metrics report OK (grep-checked; python3 unavailable)"
 fi
+
+echo "==> pass 1c: full ctest with PAE_SIMD=scalar"
+# Same binaries, scalar kernel tier. The kernels are bit-identical
+# across tiers by contract, so every pass-1 expectation must hold
+# unchanged here; a divergence means a tier broke the lane discipline.
+PAE_SIMD=scalar ctest --test-dir build-check --output-on-failure -j "${JOBS}"
 
 if [[ "${RUN_TSAN}" == "1" ]]; then
   echo "==> pass 2: ThreadSanitizer build + concurrency binaries"

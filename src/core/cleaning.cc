@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/kernels.h"
+#include "math/matrix.h"
 #include "text/char_class.h"
 #include "text/utf8.h"
 #include "util/logging.h"
@@ -40,6 +42,57 @@ bool IsMarkup(const TaggedCandidate& c) {
     }
   }
   return false;
+}
+
+/// A semantic core with its embedding rows pre-normalized to unit
+/// length: cosine(candidate, member i) is then one row of a single
+/// MatVec against the normalized candidate, instead of a per-pair
+/// CosineSimilarity that recomputes both norms every call.
+struct CoreMatrix {
+  std::vector<std::string> values;  // core member merged tokens
+  math::Matrix normalized;          // [n x dim]; zero row when norm ~ 0
+};
+
+/// Unit-normalizes `v` into `row` (dim floats); writes zeros when the
+/// norm is (near) zero, which makes every cosine against it 0 — the
+/// same contract as kernels::CosineFromNorms.
+void WriteUnitRow(const float* v, size_t dim, float* row) {
+  const double norm = math::kernels::Norm2(v, dim);
+  if (norm < 1e-12) {
+    std::fill(row, row + dim, 0.0f);
+    return;
+  }
+  std::copy(v, v + dim, row);
+  math::kernels::Scale(static_cast<float>(1.0 / norm), row, dim);
+}
+
+CoreMatrix BuildCoreMatrix(const embed::Word2Vec& model,
+                           std::vector<std::string> core) {
+  CoreMatrix cm;
+  cm.values = std::move(core);
+  const size_t d = model.dim();
+  cm.normalized = math::Matrix(cm.values.size(), d);
+  for (size_t i = 0; i < cm.values.size(); ++i) {
+    const float* v = model.Vector(cm.values[i]);
+    PAE_DCHECK(v != nullptr);  // BuildCore only admits in-vocab values
+    WriteUnitRow(v, d, cm.normalized.Row(i));
+  }
+  return cm;
+}
+
+/// Cosines of `vec` (un-normalized, `dim` floats) against every row of
+/// the core, into `sims`. One Norm2 for the candidate plus one MatVec —
+/// the per-pair norm recomputation is gone.
+void CoreCosines(const CoreMatrix& cm, const float* vec, size_t dim,
+                 std::vector<float>* sims) {
+  const size_t n = cm.values.size();
+  sims->assign(n, 0.0f);
+  const double norm = math::kernels::Norm2(vec, dim);
+  if (norm < 1e-12) return;
+  std::vector<float> unit(vec, vec + dim);
+  math::kernels::Scale(static_cast<float>(1.0 / norm), unit.data(), dim);
+  math::kernels::MatVec(cm.normalized.data().data(), n, dim, unit.data(),
+                        sims->data());
 }
 
 }  // namespace
@@ -177,22 +230,46 @@ std::vector<std::string> SemanticCleaner::BuildCore(
   }
   // Iteratively discard the value with the lowest total cosine
   // similarity to the rest until core_size remain (§V-C step ii/iii).
-  std::vector<std::string> core = in_vocab;
-  while (static_cast<int>(core.size()) > config_.core_size) {
+  // The pairwise similarity matrix is computed once (O(n² d) through
+  // the MatVec kernel) and the per-value totals are maintained by
+  // subtraction as members drop out — the historical code recomputed
+  // every pair with fresh norms on every elimination round.
+  const size_t n = in_vocab.size();
+  const size_t d = model_.dim();
+  const CoreMatrix cm = BuildCoreMatrix(model_, in_vocab);
+  math::Matrix sims(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    math::kernels::MatVec(cm.normalized.data().data(), n, d,
+                          cm.normalized.Row(i), sims.Row(i));
+  }
+  std::vector<double> total(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = sims.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) total[i] += row[j];
+    }
+  }
+  std::vector<bool> alive(n, true);
+  size_t remaining = n;
+  while (remaining > static_cast<size_t>(config_.core_size)) {
     double worst_score = 1e300;
     size_t worst = 0;
-    for (size_t i = 0; i < core.size(); ++i) {
-      double total = 0;
-      for (size_t j = 0; j < core.size(); ++j) {
-        if (i == j) continue;
-        total += model_.Similarity(core[i], core[j]);
-      }
-      if (total < worst_score) {
-        worst_score = total;
+    for (size_t i = 0; i < n; ++i) {
+      if (alive[i] && total[i] < worst_score) {
+        worst_score = total[i];
         worst = i;
       }
     }
-    core.erase(core.begin() + static_cast<long>(worst));
+    alive[worst] = false;
+    --remaining;
+    for (size_t j = 0; j < n; ++j) {
+      if (alive[j]) total[j] -= sims.at(j, worst);
+    }
+  }
+  std::vector<std::string> core;
+  core.reserve(remaining);
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i]) core.push_back(in_vocab[i]);
   }
   return core;
 }
@@ -206,23 +283,27 @@ std::vector<TaggedCandidate> SemanticCleaner::Filter(
   PAE_CHECK(trained_);
   CleaningStats scratch;
   if (stats == nullptr) stats = &scratch;
-  // Build cores lazily per attribute.
-  std::unordered_map<std::string, std::vector<std::string>> cores;
+  // One core per attribute, with its embedding rows normalized once for
+  // the whole pass — every candidate and cohesion score below reuses
+  // the cached unit rows instead of recomputing norms per pair.
+  std::unordered_map<std::string, CoreMatrix> cores;
   for (const auto& [attribute, known] : known_values) {
-    cores[attribute] = BuildCore(known);
+    cores.emplace(attribute, BuildCoreMatrix(model_, BuildCore(known)));
   }
 
   // Multiplicative combination of the cosine similarities of all core
   // elements with the value (footnote 4): geometric mean of the
   // similarities mapped to (0, 1).
-  auto score_against = [&](const std::string& merged,
-                           const std::vector<std::string>& core) -> double {
+  std::vector<float> sims;
+  auto score_against = [&](const std::string& merged, const float* vec,
+                           const CoreMatrix& core) -> double {
+    CoreCosines(core, vec, model_.dim(), &sims);
     double log_sum = 0;
     int n = 0;
-    for (const std::string& core_value : core) {
-      if (core_value == merged) continue;
-      const double cos = model_.Similarity(merged, core_value);
-      const double mapped = std::max(1e-6, (cos + 1.0) / 2.0);
+    for (size_t i = 0; i < core.values.size(); ++i) {
+      if (core.values[i] == merged) continue;
+      const double mapped =
+          std::max(1e-6, (static_cast<double>(sims[i]) + 1.0) / 2.0);
       log_sum += std::log(mapped);
       ++n;
     }
@@ -233,12 +314,14 @@ std::vector<TaggedCandidate> SemanticCleaner::Filter(
   // The acceptance bar self-calibrates to it.
   std::unordered_map<std::string, double> cohesion;
   for (const auto& [attribute, core] : cores) {
-    if (static_cast<int>(core.size()) < config_.min_core_values) continue;
-    double total = 0;
-    for (const std::string& member : core) {
-      total += score_against(member, core);
+    if (static_cast<int>(core.values.size()) < config_.min_core_values) {
+      continue;
     }
-    cohesion[attribute] = total / static_cast<double>(core.size());
+    double total = 0;
+    for (const std::string& member : core.values) {
+      total += score_against(member, model_.Vector(member), core);
+    }
+    cohesion[attribute] = total / static_cast<double>(core.values.size());
   }
 
   std::vector<TaggedCandidate> out;
@@ -246,16 +329,18 @@ std::vector<TaggedCandidate> SemanticCleaner::Filter(
   for (const TaggedCandidate& c : candidates) {
     auto core_it = cores.find(c.attribute);
     if (core_it == cores.end() ||
-        static_cast<int>(core_it->second.size()) < config_.min_core_values) {
+        static_cast<int>(core_it->second.values.size()) <
+            config_.min_core_values) {
       out.push_back(c);  // no reliable core: keep
       continue;
     }
     const std::string merged = MergedToken(c.value_tokens);
-    if (!model_.Contains(merged)) {
+    const float* vec = model_.Vector(merged);
+    if (vec == nullptr) {
       out.push_back(c);  // too rare for the embedding space: keep
       continue;
     }
-    const double score = score_against(merged, core_it->second);
+    const double score = score_against(merged, vec, core_it->second);
     const double bar = std::max(
         config_.threshold, config_.relative_alpha * cohesion[c.attribute]);
     if (score < bar) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "math/kernels.h"
 #include "math/vec.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -145,18 +146,17 @@ Status Word2Vec::Train(
               label = 0.0f;
             }
             float* vout = out.Row(target);
-            double dot = 0;
-            for (size_t k = 0; k < d; ++k) {
-              dot += static_cast<double>(vin[k]) * vout[k];
-            }
+            const double dot = math::kernels::Dot(vin, vout, d);
             const float pred = math::Sigmoid(static_cast<float>(dot));
             const float g = (label - pred) * lr;
-            for (size_t k = 0; k < d; ++k) {
-              grad_in[k] += g * vout[k];
-              vout[k] += g * vin[k];
-            }
+            // grad_in += g*vout must read vout before the vout update
+            // writes it; two Axpy calls preserve that order (and stay
+            // correct when target == center aliases vout onto vin's
+            // matrix — they are distinct rows by construction here).
+            math::kernels::Axpy(g, vout, grad_in.data(), d);
+            math::kernels::Axpy(g, vin, vout, d);
           }
-          for (size_t k = 0; k < d; ++k) vin[k] += grad_in[k];
+          math::kernels::Axpy(1.0f, grad_in.data(), vin, d);
         }
       }
     }
@@ -258,14 +258,9 @@ double Word2Vec::Similarity(const std::string& a, const std::string& b) const {
 }
 
 double Word2Vec::Cosine(const float* a, const float* b, size_t dim) {
-  double dot = 0, na = 0, nb = 0;
-  for (size_t k = 0; k < dim; ++k) {
-    dot += static_cast<double>(a[k]) * b[k];
-    na += static_cast<double>(a[k]) * a[k];
-    nb += static_cast<double>(b[k]) * b[k];
-  }
-  if (na < 1e-12 || nb < 1e-12) return 0.0;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
+  // Deduplicated against math::CosineSimilarity: both now share the
+  // kernel-layer dot/norm reductions and the CosineFromNorms contract.
+  return math::kernels::Cosine(a, b, dim);
 }
 
 }  // namespace pae::embed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/kernels.h"
 #include "math/vec.h"
 #include "text/utf8.h"
 #include "util/logging.h"
@@ -115,12 +116,9 @@ void BiLstmTagger::Forward(
 
     std::vector<float>& out = (*logits)[t];
     for (size_t y = 0; y < L; ++y) {
-      const float* row = out_w_.Row(y);
-      double s = out_b_[y];
-      for (size_t k = 0; k < repr_full.size(); ++k) {
-        s += static_cast<double>(row[k]) * repr_full[k];
-      }
-      out[y] = static_cast<float>(s);
+      out[y] = static_cast<float>(
+          out_b_[y] + math::kernels::Dot(out_w_.Row(y), repr_full.data(),
+                                         repr_full.size()));
     }
   }
 }
@@ -334,13 +332,13 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
       // Global-norm gradient clipping.
       double sq = g_char_fwd.SquaredNorm() + g_char_bwd.SquaredNorm() +
                   g_word_fwd.SquaredNorm() + g_word_bwd.SquaredNorm();
-      for (float v : g_out_w.data()) sq += static_cast<double>(v) * v;
-      for (float v : g_out_b) sq += static_cast<double>(v) * v;
+      sq += math::kernels::SumSq(g_out_w.data().data(), g_out_w.data().size());
+      sq += math::kernels::SumSq(g_out_b.data(), g_out_b.size());
       for (const auto& [id, g] : g_word_emb) {
-        for (float v : g) sq += static_cast<double>(v) * v;
+        sq += math::kernels::SumSq(g.data(), g.size());
       }
       for (const auto& [id, g] : g_char_emb) {
-        for (float v : g) sq += static_cast<double>(v) * v;
+        sq += math::kernels::SumSq(g.data(), g.size());
       }
       double norm = std::sqrt(sq);
       // A non-finite gradient norm means clipping silently rescales to
@@ -357,14 +355,14 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
       word_fwd_.AddScaled(step, g_word_fwd);
       word_bwd_.AddScaled(step, g_word_bwd);
       out_w_.AddScaled(step, g_out_w);
-      for (size_t y = 0; y < L; ++y) out_b_[y] += step * g_out_b[y];
+      math::kernels::Axpy(step, g_out_b.data(), out_b_.data(), L);
       for (const auto& [id, g] : g_word_emb) {
-        float* row = word_emb_.Row(static_cast<size_t>(id));
-        for (size_t d = 0; d < dw; ++d) row[d] += step * g[d];
+        math::kernels::Axpy(step, g.data(),
+                            word_emb_.Row(static_cast<size_t>(id)), dw);
       }
       for (const auto& [id, g] : g_char_emb) {
-        float* row = char_emb_.Row(static_cast<size_t>(id));
-        for (size_t d = 0; d < dc; ++d) row[d] += step * g[d];
+        math::kernels::Axpy(step, g.data(),
+                            char_emb_.Row(static_cast<size_t>(id)), dc);
       }
     }
     final_epoch_loss_ =

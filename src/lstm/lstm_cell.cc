@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "math/kernels.h"
 #include "math/vec.h"
 #include "util/logging.h"
 
@@ -19,15 +20,13 @@ void LstmParams::AddScaled(float alpha, const LstmParams& g) {
   wx.AddScaled(alpha, g.wx);
   wh.AddScaled(alpha, g.wh);
   PAE_CHECK_EQ(b.size(), g.b.size());
-  for (size_t i = 0; i < b.size(); ++i) b[i] += alpha * g.b[i];
+  math::kernels::Axpy(alpha, g.b.data(), b.data(), b.size());
 }
 
 double LstmParams::SquaredNorm() const {
-  double s = 0;
-  for (float v : wx.data()) s += static_cast<double>(v) * v;
-  for (float v : wh.data()) s += static_cast<double>(v) * v;
-  for (float v : b) s += static_cast<double>(v) * v;
-  return s;
+  return math::kernels::SumSq(wx.data().data(), wx.data().size()) +
+         math::kernels::SumSq(wh.data().data(), wh.data().size()) +
+         math::kernels::SumSq(b.data(), b.size());
 }
 
 void LstmParams::SetZero() {
@@ -60,28 +59,21 @@ void LstmForward(const LstmParams& params,
 
   for (size_t t = 0; t < T; ++t) {
     PAE_DCHECK_EQ(inputs[t].size(), params.input_dim);
-    // pre = Wx * x_t + Wh * h_{t-1} + b
-    params.wx.MatVec(inputs[t], &pre);
-    for (size_t r = 0; r < 4 * H; ++r) {
-      const float* row = params.wh.Row(r);
-      double s = pre[r] + params.b[r];
-      for (size_t k = 0; k < H; ++k) s += static_cast<double>(row[k]) * h_prev[k];
-      pre[r] = static_cast<float>(s);
-    }
+    // pre = Wx * x_t + Wh * h_{t-1} + b, fused over the packed [4H x D]
+    // and [4H x H] gate blocks — one dispatched kernel per timestep.
+    math::kernels::LstmGatePreact(params.wx.data().data(),
+                                  params.wh.data().data(), params.b.data(),
+                                  inputs[t].data(), h_prev.data(), H,
+                                  params.input_dim, pre.data());
     auto& it = trace->i[t];
     auto& ft = trace->f[t];
     auto& ot = trace->o[t];
     auto& gt = trace->g[t];
     auto& ct = trace->c[t];
     auto& ht = trace->h[t];
-    for (size_t k = 0; k < H; ++k) {
-      it[k] = math::Sigmoid(pre[k]);
-      ft[k] = math::Sigmoid(pre[H + k]);
-      ot[k] = math::Sigmoid(pre[2 * H + k]);
-      gt[k] = std::tanh(pre[3 * H + k]);
-      ct[k] = ft[k] * c_prev[k] + it[k] * gt[k];
-      ht[k] = ot[k] * std::tanh(ct[k]);
-    }
+    math::kernels::LstmActivateGates(pre.data(), c_prev.data(), H, it.data(),
+                                     ft.data(), ot.data(), gt.data(),
+                                     ct.data(), ht.data());
     h_prev = ht;
     c_prev = ct;
   }

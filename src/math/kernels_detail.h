@@ -1,0 +1,111 @@
+#ifndef PAE_MATH_KERNELS_DETAIL_H_
+#define PAE_MATH_KERNELS_DETAIL_H_
+
+// Internal contract shared by the per-ISA kernel translation units
+// (kernels.cc, kernels_sse2.cc, kernels_avx2.cc). Not part of the
+// public API — include math/kernels.h instead.
+//
+// The determinism scheme lives here: every reduction runs over 8
+// logical double lanes (element i lands in lane i % 8) and the lanes
+// are combined by ReduceLanes8's fixed tree. A SIMD tier computes the
+// lane partial sums in registers, spills them to a double[8], routes
+// the tail through the same scalar code as the fallback, and reduces
+// with the same tree — which is why avx2/sse2/scalar agree to the bit.
+
+#include <cstddef>
+
+namespace pae::math::kernels::detail {
+
+/// Fixed lane-combine tree: ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+inline double ReduceLanes8(const double* l) {
+  return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+}
+
+/// Adds elements [i, n) of a·b into the lanes (lane i % 8) and reduces.
+/// Every tier finishes its Dot through this helper.
+inline double FinishDot(double* lanes, const float* a, const float* b,
+                        size_t i, size_t n) {
+  for (; i < n; ++i) {
+    lanes[i % 8] += static_cast<double>(a[i]) * b[i];
+  }
+  return ReduceLanes8(lanes);
+}
+
+/// Tail + reduce for SumSq, mirroring FinishDot.
+inline double FinishSumSq(double* lanes, const float* a, size_t i, size_t n) {
+  for (; i < n; ++i) {
+    lanes[i % 8] += static_cast<double>(a[i]) * a[i];
+  }
+  return ReduceLanes8(lanes);
+}
+
+// The row-loop kernels are the same for every tier except for which
+// dot/axpy core they inline; the templates below are instantiated once
+// per translation unit with that unit's core so there is no indirect
+// call inside the row loop.
+
+template <typename DotFn>
+inline void MatVecImpl(const float* m, size_t rows, size_t cols,
+                       const float* x, float* out, DotFn dot) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = static_cast<float>(dot(m + r * cols, x, cols));
+  }
+}
+
+template <typename AxpyFn>
+inline void MatTVecImpl(const float* m, size_t rows, size_t cols,
+                        const float* x, float* out, AxpyFn axpy) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float xv = x[r];
+    if (xv == 0.0f) continue;  // contract: all tiers skip (signed zeros)
+    axpy(xv, m + r * cols, out, cols);
+  }
+}
+
+template <typename AxpyFn>
+inline void AddOuterImpl(float alpha, const float* a, const float* b,
+                         float* m, size_t rows, size_t cols, AxpyFn axpy) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float av = alpha * a[r];
+    if (av == 0.0f) continue;  // contract: all tiers skip
+    axpy(av, b, m + r * cols, cols);
+  }
+}
+
+template <typename DotFn>
+inline void LstmGatePreactImpl(const float* wx, const float* wh,
+                               const float* bias, const float* x,
+                               const float* h_prev, size_t hidden,
+                               size_t input_dim, float* pre, DotFn dot) {
+  const size_t gates = 4 * hidden;
+  for (size_t r = 0; r < gates; ++r) {
+    pre[r] = static_cast<float>(static_cast<double>(bias[r]) +
+                                dot(wx + r * input_dim, x, input_dim) +
+                                dot(wh + r * hidden, h_prev, hidden));
+  }
+}
+
+/// Function-pointer table one ISA tier exports.
+struct KernelTable {
+  double (*dot)(const float*, const float*, size_t);
+  double (*sumsq)(const float*, size_t);
+  void (*axpy)(float, const float*, float*, size_t);
+  void (*scale)(float, float*, size_t);
+  void (*matvec)(const float*, size_t, size_t, const float*, float*);
+  void (*mattvec)(const float*, size_t, size_t, const float*, float*);
+  void (*addouter)(float, const float*, const float*, float*, size_t, size_t);
+  void (*gate_preact)(const float*, const float*, const float*, const float*,
+                      const float*, size_t, size_t, float*);
+};
+
+extern const KernelTable kScalarTable;
+#if defined(PAE_KERNELS_HAVE_SSE2)
+extern const KernelTable kSse2Table;
+#endif
+#if defined(PAE_KERNELS_HAVE_AVX2)
+extern const KernelTable kAvx2Table;
+#endif
+
+}  // namespace pae::math::kernels::detail
+
+#endif  // PAE_MATH_KERNELS_DETAIL_H_

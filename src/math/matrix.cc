@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "math/kernels.h"
+
 namespace pae::math {
 
 void Matrix::XavierInit(Rng* rng) {
@@ -19,44 +21,27 @@ void Matrix::MatVec(const std::vector<float>& x,
                     std::vector<float>* out) const {
   PAE_DCHECK_EQ(x.size(), cols_);
   out->assign(rows_, 0.0f);
-  for (size_t r = 0; r < rows_; ++r) {
-    const float* row = Row(r);
-    double s = 0;
-    for (size_t c = 0; c < cols_; ++c) s += static_cast<double>(row[c]) * x[c];
-    (*out)[r] = static_cast<float>(s);
-  }
+  kernels::MatVec(data_.data(), rows_, cols_, x.data(), out->data());
 }
 
 void Matrix::MatTVec(const std::vector<float>& x,
                      std::vector<float>* out) const {
   PAE_DCHECK_EQ(x.size(), rows_);
   out->assign(cols_, 0.0f);
-  for (size_t r = 0; r < rows_; ++r) {
-    const float* row = Row(r);
-    const float xv = x[r];
-    if (xv == 0.0f) continue;
-    for (size_t c = 0; c < cols_; ++c) (*out)[c] += xv * row[c];
-  }
+  kernels::MatTVec(data_.data(), rows_, cols_, x.data(), out->data());
 }
 
 void Matrix::AddOuter(float alpha, const std::vector<float>& a,
                       const std::vector<float>& b) {
   PAE_DCHECK_EQ(a.size(), rows_);
   PAE_DCHECK_EQ(b.size(), cols_);
-  for (size_t r = 0; r < rows_; ++r) {
-    const float av = alpha * a[r];
-    if (av == 0.0f) continue;
-    float* row = Row(r);
-    for (size_t c = 0; c < cols_; ++c) row[c] += av * b[c];
-  }
+  kernels::AddOuter(alpha, a.data(), b.data(), data_.data(), rows_, cols_);
 }
 
 void Matrix::AddScaled(float alpha, const Matrix& other) {
   PAE_DCHECK_EQ(rows_, other.rows());
   PAE_DCHECK_EQ(cols_, other.cols());
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data()[i];
-  }
+  kernels::AddScaled(alpha, other.data().data(), data_.data(), data_.size());
 }
 
 }  // namespace pae::math

@@ -5,43 +5,43 @@
 #include <cstddef>
 #include <vector>
 
+#include "math/kernels.h"
 #include "util/logging.h"
 
 namespace pae::math {
 
+// The dense float primitives delegate to the runtime-dispatched SIMD
+// kernel layer (math/kernels.h); results are bit-identical across the
+// avx2/sse2/scalar tiers.
+
 /// Dot product of equally sized vectors.
 inline float Dot(const std::vector<float>& a, const std::vector<float>& b) {
   PAE_DCHECK_EQ(a.size(), b.size());
-  double s = 0;
-  for (size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
-  return static_cast<float>(s);
+  return static_cast<float>(kernels::Dot(a.data(), b.data(), a.size()));
 }
 
 /// y += alpha * x.
 inline void Axpy(float alpha, const std::vector<float>& x,
                  std::vector<float>* y) {
   PAE_DCHECK_EQ(x.size(), y->size());
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  kernels::Axpy(alpha, x.data(), y->data(), x.size());
 }
 
 /// x *= alpha.
 inline void Scale(float alpha, std::vector<float>* x) {
-  for (float& v : *x) v *= alpha;
+  kernels::Scale(alpha, x->data(), x->size());
 }
 
 /// Euclidean norm.
 inline double Norm2(const std::vector<float>& x) {
-  double s = 0;
-  for (float v : x) s += static_cast<double>(v) * v;
-  return std::sqrt(s);
+  return kernels::Norm2(x.data(), x.size());
 }
 
 /// Cosine similarity; returns 0 when either vector is (near) zero.
 inline double CosineSimilarity(const std::vector<float>& a,
                                const std::vector<float>& b) {
-  double na = Norm2(a), nb = Norm2(b);
-  if (na < 1e-12 || nb < 1e-12) return 0.0;
-  return Dot(a, b) / (na * nb);
+  PAE_DCHECK_EQ(a.size(), b.size());
+  return kernels::Cosine(a.data(), b.data(), a.size());
 }
 
 /// Numerically stable log(sum(exp(x))) over doubles.

@@ -332,6 +332,84 @@ TEST(SemanticCleanerTest, SmallCoreSkipsFiltering) {
   EXPECT_EQ(out.size(), 1u);  // kept: no reliable core
 }
 
+TEST(SemanticCleanerTest, CachedNormScoringMatchesPerPairCosines) {
+  // Filter now normalizes the core embeddings once per pass and scores
+  // candidates with a single MatVec instead of per-pair cosine calls
+  // that recompute both norms every time. This replays the filtering
+  // decision with the naive per-pair formula and asserts both agree.
+  Corpus corpus;
+  corpus.category = "t";
+  corpus.language = text::Language::kDe;
+  Rng rng(13);
+  const std::vector<std::string> colors = {"rot", "blau", "gruen", "weiss"};
+  for (int i = 0; i < 300; ++i) {
+    ProductPage page;
+    page.product_id = "p" + std::to_string(i);
+    const std::string c1 = colors[rng.NextBounded(4)];
+    const std::string c2 = colors[rng.NextBounded(4)];
+    page.html = "<p>farbe ist " + c1 + " und " + c2 + " lack.</p>" +
+                "<p>blume hat form rosette und blatt stern garten.</p>";
+    corpus.pages.push_back(std::move(page));
+  }
+  ProcessedCorpus processed = ProcessCorpus(corpus);
+
+  SemanticCleaner::Config config;
+  config.threshold = 0.5;
+  config.core_size = 0;  // core = every in-vocab known value (replayable)
+  config.word2vec.dim = 24;
+  config.word2vec.epochs = 6;
+  SemanticCleaner cleaner(config);
+  ASSERT_TRUE(cleaner.Train(processed, {}).ok());
+
+  std::unordered_map<std::string, std::vector<std::vector<std::string>>>
+      known;
+  known["farbe"] = {{"rot"}, {"blau"}, {"gruen"}, {"weiss"}};
+  const std::vector<TaggedCandidate> candidates = {
+      Cand("farbe", {"rot"}, 5),     Cand("farbe", {"lack"}, 4),
+      Cand("farbe", {"rosette"}, 3), Cand("farbe", {"stern"}, 2),
+      Cand("farbe", {"garten"}, 2),  Cand("farbe", {"blatt"}, 1)};
+
+  CleaningStats stats;
+  const auto kept = cleaner.Filter(candidates, known, &stats);
+  std::unordered_set<std::string> kept_values;
+  for (const auto& c : kept) kept_values.insert(c.value_display);
+
+  // Naive replica: per-pair similarities, norms recomputed every call.
+  const embed::Word2Vec& model = cleaner.model();
+  std::vector<std::string> core;
+  for (const auto& tokens : known["farbe"]) {
+    const std::string merged = SemanticCleaner::MergedToken(tokens);
+    if (model.Contains(merged)) core.push_back(merged);
+  }
+  ASSERT_GE(core.size(), 3u);
+  auto naive_score = [&](const std::string& value) {
+    double log_sum = 0;
+    int n = 0;
+    for (const std::string& member : core) {
+      if (member == value) continue;
+      const double cos = model.Similarity(value, member);
+      log_sum += std::log(std::max(1e-6, (cos + 1.0) / 2.0));
+      ++n;
+    }
+    return (n > 0) ? std::exp(log_sum / n) : 1.0;
+  };
+  double cohesion = 0;
+  for (const std::string& member : core) cohesion += naive_score(member);
+  cohesion /= static_cast<double>(core.size());
+  const double bar = std::max(config.threshold,
+                              config.relative_alpha * cohesion);
+  size_t expected_removed = 0;
+  for (const auto& c : candidates) {
+    const std::string merged = SemanticCleaner::MergedToken(c.value_tokens);
+    const bool expect_keep =
+        !model.Contains(merged) || naive_score(merged) >= bar;
+    EXPECT_EQ(kept_values.count(c.value_display) > 0, expect_keep)
+        << c.value_display;
+    if (!expect_keep) ++expected_removed;
+  }
+  EXPECT_EQ(stats.semantic_removed, expected_removed);
+}
+
 // ---------------- evaluation ----------------
 
 TruthSample MakeTruth() {

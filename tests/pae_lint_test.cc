@@ -252,6 +252,47 @@ TEST(LintFile, FarAwayAccumulationIsOutsideWindow) {
 }
 
 // ---------------------------------------------------------------------
+// Rule: hand-rolled-kernel
+
+TEST(LintFile, FlagsHandRolledDot) {
+  const std::string snippet =
+      "double s = 0;\n"
+      "for (size_t i = 0; i < n; ++i) {\n"
+      "  s += static_cast<double>(a[i]) * b[i];\n"
+      "}\n";
+  const std::vector<Violation> vs = LintFile("src/lstm/foo.cc", snippet);
+  ASSERT_TRUE(HasRule(vs, "hand-rolled-kernel"));
+  EXPECT_NE(vs[0].message.find("Dot"), std::string::npos);
+}
+
+TEST(LintFile, FlagsHandRolledAxpy) {
+  const std::string snippet =
+      "for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];\n";
+  EXPECT_TRUE(HasRule(LintFile("src/embed/foo.cc", snippet),
+                      "hand-rolled-kernel"));
+}
+
+TEST(LintFile, KernelLayerItselfIsExempt) {
+  const std::string snippet =
+      "double s = 0;\n"
+      "s += static_cast<double>(a[i]) * b[i];\n"
+      "y[i] += alpha * x[i];\n";
+  EXPECT_FALSE(HasRule(LintFile("src/math/kernels.cc", snippet),
+                       "hand-rolled-kernel"));
+}
+
+TEST(LintFile, ElementwiseAdditionIsNotAKernelLoop) {
+  // No product of two indexed operands: plain accumulation, elementwise
+  // sums and scalar updates stay legal outside src/math/.
+  const std::string snippet =
+      "b[r] += dpre[r];\n"
+      "mean[k] += row[k];\n"
+      "s += w[i] * x[i];\n";  // double path: no static_cast idiom
+  EXPECT_FALSE(HasRule(LintFile("src/crf/foo.cc", snippet),
+                       "hand-rolled-kernel"));
+}
+
+// ---------------------------------------------------------------------
 // Violation metadata / allowlist
 
 TEST(LintFile, ReportsFileAndLine) {

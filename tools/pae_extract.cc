@@ -23,6 +23,7 @@
 #include "crf/crf_tagger.h"
 #include "core/corpus_io.h"
 #include "core/eval.h"
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/strings.h"
@@ -34,6 +35,9 @@ namespace {
 int WriteMetricsReport(const pae::tools::Args& args) {
   const std::string path = args.GetString("metrics-out", "");
   if (path.empty()) return 0;
+  // Stamp the SIMD dispatch decision right before snapshotting: gauges
+  // set at startup would not survive a MetricsRegistry::Reset().
+  pae::math::kernels::RecordSimdMetrics();
   const pae::util::RunReport report =
       pae::util::MetricsRegistry::Global().Snapshot();
   pae::Status status = report.WriteJsonFile(path);

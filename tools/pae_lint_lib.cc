@@ -332,6 +332,33 @@ std::vector<Violation> LintFile(std::string_view path,
     }
   }
 
+  // --- hand-rolled-kernel: dense dot/axpy loops outside the kernel
+  // layer; math/kernels.h dispatches them to SIMD with results that are
+  // bit-identical across ISAs. A private loop forks the numerics.
+  if (!StartsWith(path, "src/math/")) {
+    // The repo's float-dot idiom: acc += static_cast<double>(a[i])*b[i].
+    static const std::regex dot_re(
+        R"(\+=\s*static_cast<\s*double\s*>\s*\(\s*[A-Za-z_]\w*\s*\[[^\]]*\]\s*\)\s*\*\s*[A-Za-z_]\w*\s*\[[^\]]*\])");
+    // The axpy idiom: y[i] += alpha * x[i].
+    static const std::regex axpy_re(
+        R"([A-Za-z_]\w*\s*\[[^\]]*\]\s*\+=\s*[A-Za-z_]\w*\s*\*\s*[A-Za-z_]\w*\s*\[[^\]]*\])");
+    int line_no = 0;
+    for (std::string_view line : SplitLines(stripped)) {
+      ++line_no;
+      if (std::regex_search(line.data(), line.data() + line.size(),
+                            dot_re)) {
+        add(line_no, "hand-rolled-kernel",
+            "hand-rolled dot-product loop; use math::kernels::Dot / "
+            "MatVec (SIMD-dispatched, bit-identical across ISAs)");
+      } else if (std::regex_search(line.data(), line.data() + line.size(),
+                                   axpy_re)) {
+        add(line_no, "hand-rolled-kernel",
+            "hand-rolled axpy loop; use math::kernels::Axpy / AddOuter "
+            "(SIMD-dispatched, bit-identical across ISAs)");
+      }
+    }
+  }
+
   std::sort(out.begin(), out.end(), [](const Violation& a,
                                        const Violation& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

@@ -36,9 +36,17 @@ struct Violation {
 ///                        `x +=` shortly after — reductions accumulate
 ///                        in double (see math/vec.h) to avoid float
 ///                        cancellation drift across bootstrap cycles.
+///   hand-rolled-kernel   a hand-rolled dot (`acc +=
+///                        static_cast<double>(a[i]) * b[i]`) or axpy
+///                        (`y[i] += alpha * x[i]`) loop outside
+///                        src/math/ — math/kernels.h has the dispatched
+///                        SIMD implementations whose results are
+///                        bit-identical across ISAs; private loops fork
+///                        the numerics and forfeit the speedup.
 inline constexpr const char* kAllRules[] = {
-    "hot-path-string-map", "raw-random",    "raw-stdio",
-    "naked-assert",        "include-guard", "float-accumulator",
+    "hot-path-string-map", "raw-random",        "raw-stdio",
+    "naked-assert",        "include-guard",     "float-accumulator",
+    "hand-rolled-kernel",
 };
 
 /// Returns `content` with comments and string/char literals replaced by
