@@ -14,17 +14,21 @@
 # Pass 1 (default flags) configures build-check/ and runs every ctest
 # target (including pae_lint), then runs an instrumented pae-extract
 # pass over a small synthetic corpus and validates the emitted
-# --metrics-out JSON report (pass 1b), then reruns the full suite with
+# --metrics-out JSON report (pass 1b), drives the pae-serve daemon
+# end-to-end over its unix socket — 200 loadgen requests, one hot swap,
+# protocol shutdown — (pass 1d), then reruns the full suite with
 # PAE_SIMD=scalar (pass 1c) so the portable kernel tier — the one CI
 # hosts without AVX2 would silently fall back to — gets the same
 # coverage as the dispatched default. Pass 2 configures build-check-tsan/ with
 # -DPAE_SANITIZE=thread and runs the thread-pool + concurrency +
-# feature-pipeline binaries directly: they are the tests whose failure
-# modes are data races, and running them under TSan turns the
-# determinism assertions into race detection. Pass 3 configures
+# feature-pipeline + serve binaries directly: they are the tests whose
+# failure modes are data races, and the serve hot-swap hammer is
+# additionally repeated 100 times because the publish/drain race is the
+# daemon's central invariant. Pass 3 configures
 # build-check-asan/ with -DPAE_SANITIZE=address and runs the interner +
-# feature-pipeline binaries: the interner hands out raw string_views
-# into a hand-managed arena, exactly the kind of code ASan exists for.
+# feature-pipeline + serve binaries: the interner hands out raw
+# string_views into a hand-managed arena and the serve protocol tests
+# feed adversarial frames, exactly the kind of code ASan exists for.
 # Pass 4 configures build-check-ubsan/ with -DPAE_SANITIZE=undefined
 # (which also enables float-divide-by-zero and -fno-sanitize-recover)
 # and runs the WHOLE ctest suite: UBSan's costs are cheap enough to
@@ -69,7 +73,8 @@ echo "==> pass 1b: instrumented extraction run + metrics report"
       --seed 5 --out build-check/metrics-corpus > /dev/null
 ./build-check/tools/pae-extract --in build-check/metrics-corpus \
       --out build-check/metrics-triples.tsv --iterations 2 \
-      --metrics-out build-check/metrics-report.json > /dev/null
+      --metrics-out build-check/metrics-report.json \
+      --save-model build-check/metrics-model.crf > /dev/null
 if command -v python3 > /dev/null 2>&1; then
   python3 - build-check/metrics-report.json <<'PYEOF'
 import json, sys
@@ -97,6 +102,57 @@ else
   echo "metrics report OK (grep-checked; python3 unavailable)"
 fi
 
+echo "==> pass 1d: serve smoke (daemon + loadgen + hot swap + shutdown)"
+# End-to-end over the real wire: start the pae-serve daemon on the model
+# saved in pass 1b, drive 200 requests through pae-loadgen with one
+# mid-run hot swap, then shut the daemon down over the protocol. Driver
+# threads stay below the daemon's worker count so the swap/shutdown
+# admin connections always find a free worker (the server parks each
+# persistent connection on one pool thread).
+SMOKE_SOCK="build-check/pae-serve-smoke.sock"
+SMOKE_LOG="build-check/pae-serve-smoke.log"
+rm -f "${SMOKE_SOCK}" "${SMOKE_LOG}"
+./build-check/tools/pae-serve --socket "${SMOKE_SOCK}" \
+      --model build-check/metrics-model.crf \
+      --resources build-check/metrics-corpus --workers 4 \
+      > "${SMOKE_LOG}" 2>&1 &
+SMOKE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "pae-serve ready" "${SMOKE_LOG}" 2>/dev/null && break
+  kill -0 "${SMOKE_PID}" 2>/dev/null || {
+    echo "check.sh: pae-serve died before ready:" >&2
+    cat "${SMOKE_LOG}" >&2; exit 1; }
+  sleep 0.1
+done
+grep -q "pae-serve ready" "${SMOKE_LOG}" || {
+  echo "check.sh: pae-serve never became ready" >&2
+  kill "${SMOKE_PID}" 2>/dev/null || true; exit 1; }
+./build-check/tools/pae-loadgen --socket "${SMOKE_SOCK}" \
+      --corpus build-check/metrics-corpus --requests 200 --threads 2 \
+      --swap-at 100 --swap-model build-check/metrics-model.crf \
+      --swap-resources build-check/metrics-corpus --shutdown-after \
+      --json build-check/serve-smoke.json \
+      | tee build-check/serve-smoke.out
+grep -q "hot-swapped to generation 2" build-check/serve-smoke.out || {
+  echo "check.sh: serve smoke hot swap did not happen" >&2; exit 1; }
+grep -q "daemon shutdown acknowledged" build-check/serve-smoke.out || {
+  echo "check.sh: daemon did not acknowledge shutdown" >&2; exit 1; }
+for _ in $(seq 1 100); do
+  kill -0 "${SMOKE_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${SMOKE_PID}" 2>/dev/null; then
+  echo "check.sh: pae-serve did not exit after shutdown request" >&2
+  kill "${SMOKE_PID}"; exit 1
+fi
+wait "${SMOKE_PID}" || {
+  echo "check.sh: pae-serve exited non-zero:" >&2
+  cat "${SMOKE_LOG}" >&2; exit 1; }
+grep -q '"transport_errors": 0' build-check/serve-smoke.json || {
+  echo "check.sh: serve smoke saw transport errors" >&2
+  cat build-check/serve-smoke.json >&2; exit 1; }
+echo "serve smoke OK: 200 requests, one hot swap, clean shutdown"
+
 echo "==> pass 1c: full ctest with PAE_SIMD=scalar"
 # Same binaries, scalar kernel tier. The kernels are bit-identical
 # across tiers by contract, so every pass-1 expectation must hold
@@ -108,10 +164,18 @@ if [[ "${RUN_TSAN}" == "1" ]]; then
   cmake -B build-check-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DPAE_SANITIZE=thread > /dev/null
   cmake --build build-check-tsan -j "${JOBS}" \
-        --target thread_pool_test concurrency_test feature_pipeline_test
+        --target thread_pool_test concurrency_test feature_pipeline_test \
+        serve_test
   ./build-check-tsan/tests/thread_pool_test
   ./build-check-tsan/tests/concurrency_test
   ./build-check-tsan/tests/feature_pipeline_test
+  ./build-check-tsan/tests/serve_test
+  # The hot-swap hammer is the one test whose whole point is the
+  # publish/drain race; a single pass can get lucky, 100 consecutive
+  # passes under TSan cannot.
+  ./build-check-tsan/tests/serve_test \
+        --gtest_filter='GenerationCellTest.HotSwapHammer*' \
+        --gtest_repeat=100 --gtest_brief=1
 fi
 
 if [[ "${RUN_ASAN}" == "1" ]]; then
@@ -119,10 +183,16 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
   cmake -B build-check-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DPAE_SANITIZE=address > /dev/null
   cmake --build build-check-asan -j "${JOBS}" \
-        --target interner_test feature_pipeline_test crf_test
+        --target interner_test feature_pipeline_test crf_test serve_test \
+        serve_protocol_test
   ./build-check-asan/tests/interner_test
   ./build-check-asan/tests/feature_pipeline_test
   ./build-check-asan/tests/crf_test
+  ./build-check-asan/tests/serve_test
+  # The adversarial frame corpus (oversize length words, truncations,
+  # partial writes) is exactly the input family that turns a missing
+  # bounds check into a heap overflow; run it with ASan watching.
+  ./build-check-asan/tests/serve_protocol_test
 fi
 
 if [[ "${RUN_UBSAN}" == "1" ]]; then

@@ -86,9 +86,12 @@ Status SaveCorpus(const Corpus& corpus, const std::string& dir) {
   return WriteFile(fs::path(dir) / "pos_lexicon.tsv", pos);
 }
 
-Result<Corpus> LoadCorpus(const std::string& dir) {
-  Corpus corpus;
+namespace {
 
+/// Parses manifest.tsv into the category / language fields shared by
+/// LoadCorpus and LoadCorpusResources.
+Status LoadManifest(const std::string& dir, std::string* category,
+                    text::Language* language) {
   Result<std::string> manifest = ReadFile(fs::path(dir) / "manifest.tsv");
   if (!manifest.ok()) return manifest.status();
   std::vector<std::string> lines = NonEmptyLines(manifest.value());
@@ -99,14 +102,41 @@ Result<Corpus> LoadCorpus(const std::string& dir) {
   if (fields.size() < 2) {
     return Status::InvalidArgument(dir + ": malformed manifest.tsv");
   }
-  corpus.category = fields[0];
+  *category = fields[0];
   if (fields[1] == "ja") {
-    corpus.language = text::Language::kJa;
+    *language = text::Language::kJa;
   } else if (fields[1] == "de") {
-    corpus.language = text::Language::kDe;
+    *language = text::Language::kDe;
   } else {
     return Status::InvalidArgument(dir + ": unknown language " + fields[1]);
   }
+  return Status::Ok();
+}
+
+void LoadLexicons(const std::string& dir,
+                  std::vector<std::string>* tokenizer_lexicon,
+                  text::PosLexicon* pos_lexicon) {
+  if (Result<std::string> lexicon = ReadFile(fs::path(dir) / "lexicon.txt");
+      lexicon.ok()) {
+    *tokenizer_lexicon = NonEmptyLines(lexicon.value());
+  }
+  if (Result<std::string> pos = ReadFile(fs::path(dir) / "pos_lexicon.tsv");
+      pos.ok()) {
+    for (const std::string& line : NonEmptyLines(pos.value())) {
+      std::vector<std::string> parts = StrSplit(line, '\t');
+      if (parts.size() >= 2) {
+        pos_lexicon->word_tags[parts[0]] = parts[1];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Corpus> LoadCorpus(const std::string& dir) {
+  Corpus corpus;
+  PAE_RETURN_IF_ERROR(
+      LoadManifest(dir, &corpus.category, &corpus.language));
 
   const fs::path pages_dir = fs::path(dir) / "pages";
   if (!fs::exists(pages_dir)) {
@@ -132,20 +162,16 @@ Result<Corpus> LoadCorpus(const std::string& dir) {
       queries.ok()) {
     corpus.query_log = NonEmptyLines(queries.value());
   }
-  if (Result<std::string> lexicon = ReadFile(fs::path(dir) / "lexicon.txt");
-      lexicon.ok()) {
-    corpus.tokenizer_lexicon = NonEmptyLines(lexicon.value());
-  }
-  if (Result<std::string> pos = ReadFile(fs::path(dir) / "pos_lexicon.tsv");
-      pos.ok()) {
-    for (const std::string& line : NonEmptyLines(pos.value())) {
-      std::vector<std::string> parts = StrSplit(line, '\t');
-      if (parts.size() >= 2) {
-        corpus.pos_lexicon.word_tags[parts[0]] = parts[1];
-      }
-    }
-  }
+  LoadLexicons(dir, &corpus.tokenizer_lexicon, &corpus.pos_lexicon);
   return corpus;
+}
+
+Result<CorpusResources> LoadCorpusResources(const std::string& dir) {
+  CorpusResources resources;
+  PAE_RETURN_IF_ERROR(
+      LoadManifest(dir, &resources.category, &resources.language));
+  LoadLexicons(dir, &resources.tokenizer_lexicon, &resources.pos_lexicon);
+  return resources;
 }
 
 Status SaveTruth(const TruthSample& truth, const std::string& dir) {

@@ -26,6 +26,21 @@ namespace pae::core {
 /// Writes `corpus` under `dir` (created if needed).
 Status SaveCorpus(const Corpus& corpus, const std::string& dir);
 
+/// The corpus language resources without the pages: what a serving
+/// process needs to build an ExtractionEngine around a persisted model.
+struct CorpusResources {
+  std::string category;
+  text::Language language = text::Language::kJa;
+  std::vector<std::string> tokenizer_lexicon;
+  text::PosLexicon pos_lexicon;
+};
+
+/// Reads manifest.tsv + lexicon.txt + pos_lexicon.tsv from `dir` without
+/// touching pages/ — O(lexicon) instead of O(corpus), so a daemon can
+/// restart in milliseconds against a directory holding millions of
+/// pages.
+Result<CorpusResources> LoadCorpusResources(const std::string& dir);
+
 /// Reads a corpus previously written by SaveCorpus (or assembled by
 /// hand in the same layout).
 Result<Corpus> LoadCorpus(const std::string& dir);

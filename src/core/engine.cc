@@ -1,0 +1,195 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+#include "core/corpus_io.h"
+#include "core/normalize.h"
+#include "crf/crf_tagger.h"
+#include "html/parser.h"
+#include "text/sentence.h"
+#include "util/strings.h"
+
+namespace pae::core {
+
+std::vector<double> RequestLatencyBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-5; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2 * decade);
+    bounds.push_back(5 * decade);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+namespace {
+
+/// Live Scratch count backing the engine.scratch_live gauge. A gauge is
+/// last-write-wins, so the atomic holds the truth and every
+/// create/destroy republishes it.
+std::atomic<int64_t> g_live_scratches{0};
+
+void PublishScratchGauge() {
+  util::MetricsRegistry::Global()
+      .GetGauge("engine.scratch_live")
+      ->Set(static_cast<double>(
+          g_live_scratches.load(std::memory_order_relaxed)));
+}
+
+}  // namespace
+
+ExtractionEngine::Scratch::Scratch() {
+  util::MetricsRegistry::Global()
+      .GetCounter("engine.scratch_created")
+      ->Increment();
+  g_live_scratches.fetch_add(1, std::memory_order_relaxed);
+  PublishScratchGauge();
+}
+
+ExtractionEngine::Scratch::~Scratch() {
+  g_live_scratches.fetch_sub(1, std::memory_order_relaxed);
+  PublishScratchGauge();
+}
+
+std::unique_ptr<ExtractionEngine::Scratch> ExtractionEngine::NewScratch() {
+  return std::unique_ptr<Scratch>(new Scratch());
+}
+
+ExtractionEngine::ExtractionEngine(
+    std::shared_ptr<const text::SequenceTagger> tagger,
+    text::Language language,
+    const std::vector<std::string>& tokenizer_lexicon,
+    const text::PosLexicon& pos_lexicon, EngineOptions options)
+    : tagger_(std::move(tagger)),
+      language_(language),
+      tokenizer_(text::MakeTokenizer(language, tokenizer_lexicon)),
+      pos_tagger_(std::make_unique<text::PosTagger>(language, pos_lexicon)),
+      negation_(language),
+      options_(std::move(options)) {
+  PAE_CHECK(tagger_ != nullptr);
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  metrics.GetCounter("engine.snapshots_built")->Increment();
+  requests_counter_ = metrics.GetCounter("engine.requests");
+  triples_counter_ = metrics.GetCounter("engine.request_triples");
+  latency_histogram_ =
+      metrics.GetHistogram("engine.request.seconds", RequestLatencyBounds());
+}
+
+ExtractionEngine::~ExtractionEngine() = default;
+
+std::vector<Triple> ExtractionEngine::Extract(
+    std::string_view product_id, std::string_view html, Scratch* scratch,
+    EngineRequestStats* stats) const {
+  util::ScopedTimer timer(latency_histogram_);
+  std::unique_ptr<Scratch> owned;
+  if (scratch == nullptr) {
+    owned = NewScratch();
+    scratch = owned.get();
+  }
+  EngineRequestStats local;
+
+  // Request-sized preprocessing with snapshot-owned resources: parse the
+  // page, split sentences, tokenize + PoS-tag into reused buffers. The
+  // sentence structs keep their vector capacity across requests.
+  std::unique_ptr<html::HtmlNode> dom = html::ParseHtml(html);
+  const std::string raw_text = html::ExtractText(*dom);
+  size_t n_sentences = 0;
+  int sentence_index = 0;
+  for (const std::string& sentence : text::SplitSentences(raw_text)) {
+    std::vector<std::string> tokens = tokenizer_->Tokenize(sentence);
+    if (tokens.empty()) continue;
+    if (n_sentences == scratch->sentences_.size()) {
+      scratch->sentences_.emplace_back();
+    }
+    text::LabeledSequence& seq = scratch->sentences_[n_sentences++];
+    seq.tokens = std::move(tokens);
+    seq.pos = pos_tagger_->Tag(seq.tokens);
+    seq.labels.clear();
+    seq.sentence_index = sentence_index++;
+  }
+
+  // Tag → decode spans → filter → dedup, in the exact order
+  // ExtractWithModel visits a one-page corpus, so the two paths stay
+  // byte-identical for the same model generation.
+  scratch->pending_.clear();
+  for (size_t i = 0; i < n_sentences; ++i) {
+    const text::LabeledSequence& sentence = scratch->sentences_[i];
+    ++local.sentences;
+    if (options_.negation_filtering &&
+        negation_.IsNegated(sentence.tokens)) {
+      ++local.negation_dropped;
+      continue;
+    }
+    const text::SequenceTagger::ScoredPrediction scored =
+        tagger_->PredictScored(sentence);
+    for (const text::ValueSpan& span :
+         text::DecodeBioSpans(scored.labels)) {
+      if (options_.min_span_confidence > 0) {
+        double min_conf = 1.0;
+        for (size_t k = span.begin; k < span.end; ++k) {
+          min_conf = std::min(min_conf, scored.confidence[k]);
+        }
+        if (min_conf < options_.min_span_confidence) {
+          ++local.confidence_dropped;
+          continue;
+        }
+      }
+      ++local.spans;
+      scratch->value_tokens_.assign(
+          sentence.tokens.begin() + static_cast<long>(span.begin),
+          sentence.tokens.begin() + static_cast<long>(span.end));
+      const std::string display =
+          language_ == text::Language::kJa
+              ? StrJoin(scratch->value_tokens_, "")
+              : StrJoin(scratch->value_tokens_, " ");
+      std::string key = PairKey(span.attribute, NormalizeValue(display));
+      if (!options_.accepted_pairs.empty() &&
+          options_.accepted_pairs.count(key) == 0) {
+        continue;
+      }
+      scratch->pending_.push_back(Scratch::Pending{
+          Triple{std::string(product_id), span.attribute, display},
+          std::move(key)});
+    }
+  }
+
+  std::vector<Triple> out;
+  scratch->seen_.clear();
+  for (Scratch::Pending& p : scratch->pending_) {
+    if (!scratch->seen_.insert(p.pair_key).second) continue;
+    out.push_back(std::move(p.triple));
+  }
+  local.triples = static_cast<int64_t>(out.size());
+
+  requests_counter_->Increment();
+  triples_counter_->Add(local.triples);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Result<std::shared_ptr<const ExtractionEngine>> LoadCrfEngine(
+    const std::string& model_path, const std::string& resources_dir,
+    EngineOptions options, bool load_accepted_pairs) {
+  auto tagger = std::make_shared<crf::CrfTagger>();
+  PAE_RETURN_IF_ERROR(tagger->Load(model_path));
+
+  Result<CorpusResources> resources = LoadCorpusResources(resources_dir);
+  if (!resources.ok()) return resources.status();
+
+  if (load_accepted_pairs && options.accepted_pairs.empty()) {
+    std::ifstream pairs(model_path + ".pairs");
+    for (std::string line; std::getline(pairs, line);) {
+      if (!line.empty()) options.accepted_pairs.insert(line);
+    }
+  }
+
+  return std::shared_ptr<const ExtractionEngine>(
+      std::make_shared<ExtractionEngine>(
+          std::move(tagger), resources.value().language,
+          resources.value().tokenizer_lexicon,
+          resources.value().pos_lexicon, std::move(options)));
+}
+
+}  // namespace pae::core

@@ -1,0 +1,64 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace pae::serve {
+
+Result<Client> Client::ConnectUnixSocket(const std::string& path) {
+  Result<Fd> fd = ConnectUnix(path);
+  if (!fd.ok()) return fd.status();
+  return Client(std::move(fd.value()));
+}
+
+Result<Client> Client::ConnectTcpSocket(const std::string& host, int port) {
+  Result<Fd> fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return Client(std::move(fd.value()));
+}
+
+Result<std::string> Client::RoundTrip(const std::string& payload) {
+  PAE_RETURN_IF_ERROR(WriteFrame(fd_, payload));
+  std::string response;
+  PAE_RETURN_IF_ERROR(ReadFrame(fd_, &response));
+  return response;
+}
+
+Result<ExtractResponse> Client::Extract(std::string_view product_id,
+                                        std::string_view html) {
+  ExtractRequest request;
+  request.product_id = std::string(product_id);
+  request.html = std::string(html);
+  Result<std::string> response = RoundTrip(EncodeExtractRequest(request));
+  if (!response.ok()) return response.status();
+  return DecodeExtractResponse(response.value(), request.product_id);
+}
+
+Result<PingResponse> Client::Ping() {
+  Result<std::string> response = RoundTrip(EncodePingRequest());
+  if (!response.ok()) return response.status();
+  return DecodePingResponse(response.value());
+}
+
+Result<StatsResponse> Client::Stats() {
+  Result<std::string> response = RoundTrip(EncodeStatsRequest());
+  if (!response.ok()) return response.status();
+  return DecodeStatsResponse(response.value());
+}
+
+Result<uint64_t> Client::Publish(const std::string& model_path,
+                                 const std::string& resources_dir) {
+  PublishRequest request;
+  request.model_path = model_path;
+  request.resources_dir = resources_dir;
+  Result<std::string> response = RoundTrip(EncodePublishRequest(request));
+  if (!response.ok()) return response.status();
+  return DecodePublishResponse(response.value());
+}
+
+Status Client::Shutdown() {
+  Result<std::string> response = RoundTrip(EncodeShutdownRequest());
+  if (!response.ok()) return response.status();
+  return DecodeShutdownResponse(response.value());
+}
+
+}  // namespace pae::serve

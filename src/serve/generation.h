@@ -1,0 +1,169 @@
+#ifndef PAE_SERVE_GENERATION_H_
+#define PAE_SERVE_GENERATION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/engine.h"
+#include "util/logging.h"
+
+namespace pae::serve {
+
+/// Atomic generation pointer over immutable ExtractionEngine snapshots
+/// — the hot-swap primitive behind pae-serve, in the spirit of the
+/// epoch/publish tricks concurrent hash tables use to retire old
+/// buckets.
+///
+/// Layout: a fixed ring of kSlots slots. Generation g lives in slot
+/// g % kSlots; `current_` names the newest published generation.
+///
+/// Readers (request workers) call Acquire(): load `current_`, bump that
+/// slot's reader count, re-check `current_` — two atomic loads and one
+/// fetch_add on the fast path, no locks, no shared_ptr refcount ping-
+/// pong. The re-check closes the race with a publisher reusing the
+/// slot: a reader that lost wins nothing but a retry; it never
+/// dereferences a slot it cannot prove current. The returned Lease pins
+/// the slot (and therefore the engine) until it is destroyed, so every
+/// request is served by exactly one published generation end to end
+/// even while swaps happen mid-flight.
+///
+/// Publishers call Publish(): serialized by a mutex (swaps are rare),
+/// write the engine into slot (current_+1) % kSlots, then advance
+/// `current_`. Reusing a slot requires its reader count to drain to
+/// zero first — that wait IS the drain semantics: a publisher can run
+/// up to kSlots-1 generations ahead of the slowest in-flight request
+/// before it blocks, and old generations retire exactly when their last
+/// lease goes away.
+class GenerationCell {
+ public:
+  static constexpr size_t kSlots = 8;
+
+  GenerationCell() = default;
+  GenerationCell(const GenerationCell&) = delete;
+  GenerationCell& operator=(const GenerationCell&) = delete;
+
+  /// A pinned snapshot: engine pointer + the generation that served it.
+  /// Move-only RAII; empty() when acquired before the first publish.
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { Release(); }
+    Lease(Lease&& other) noexcept
+        : readers_(other.readers_),
+          engine_(other.engine_),
+          generation_(other.generation_) {
+      other.readers_ = nullptr;
+      other.engine_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        readers_ = other.readers_;
+        engine_ = other.engine_;
+        generation_ = other.generation_;
+        other.readers_ = nullptr;
+        other.engine_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    bool empty() const { return engine_ == nullptr; }
+    const core::ExtractionEngine* engine() const { return engine_; }
+    uint64_t generation() const { return generation_; }
+    /// Explicit early release (idempotent).
+    void Release() {
+      if (readers_ != nullptr) {
+        readers_->fetch_sub(1, std::memory_order_release);
+        readers_ = nullptr;
+        engine_ = nullptr;
+      }
+    }
+
+   private:
+    friend class GenerationCell;
+    Lease(std::atomic<int64_t>* readers,
+          const core::ExtractionEngine* engine, uint64_t generation)
+        : readers_(readers), engine_(engine), generation_(generation) {}
+
+    std::atomic<int64_t>* readers_ = nullptr;
+    const core::ExtractionEngine* engine_ = nullptr;
+    uint64_t generation_ = 0;
+  };
+
+  /// Pins the newest published generation. Lock-free: retries only when
+  /// racing a publisher that advanced past the observed generation.
+  ///
+  /// Ordering: this is the hazard-pointer shape — announce (fetch_add),
+  /// then validate (re-load current_) — and it is only sound under a
+  /// single total order: if the publisher's drain load missed our
+  /// announcement, our validation load must see the publisher's
+  /// current_ advance, or vice versa. Acquire/release alone does not
+  /// give that store-load guarantee, so every current_/readers access
+  /// here and in Publish is seq_cst (the C++ default; on x86 the
+  /// fetch_add is a locked op it needed anyway and the loads are plain
+  /// movs, so the fast path costs nothing extra).
+  Lease Acquire() const {
+    for (;;) {
+      const uint64_t gen = current_.load();
+      if (gen == 0) return Lease();
+      const Slot& slot = slots_[gen % kSlots];
+      slot.readers.fetch_add(1);
+      if (current_.load() == gen) {
+        // Slot proven current while pinned: the publisher cannot have
+        // reused it (reuse needs kSlots newer generations AND a drained
+        // reader count, and ours is > 0).
+        return Lease(&slot.readers, slot.engine.get(), gen);
+      }
+      slot.readers.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// Publishes `engine` as the next generation and returns its number
+  /// (1-based). Blocks while the slot being reused still has in-flight
+  /// leases — requests more than kSlots generations behind gate the
+  /// swap rate, never the other way around.
+  uint64_t Publish(std::shared_ptr<const core::ExtractionEngine> engine) {
+    PAE_CHECK(engine != nullptr);
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    const uint64_t next = current_.load() + 1;
+    Slot& slot = slots_[next % kSlots];
+    // Drain the slot's previous tenant (generation next - kSlots). The
+    // seq_cst load pairs with the reader's announce/validate sequence:
+    // any reader this load misses is guaranteed to fail its validation
+    // and back off without touching the slot.
+    while (slot.readers.load() != 0) {
+      std::this_thread::yield();
+    }
+    slot.engine = std::move(engine);
+    current_.store(next);
+    return next;
+  }
+
+  /// Newest published generation (0 = nothing published yet).
+  uint64_t generation() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    /// Written only by publishers, under publish_mutex_, after the
+    /// reader count drained; read by leased readers. The shared_ptr
+    /// keeps the engine alive while the slot owns the generation.
+    std::shared_ptr<const core::ExtractionEngine> engine;
+    mutable std::atomic<int64_t> readers{0};
+  };
+
+  std::atomic<uint64_t> current_{0};
+  std::array<Slot, kSlots> slots_;
+  std::mutex publish_mutex_;
+};
+
+}  // namespace pae::serve
+
+#endif  // PAE_SERVE_GENERATION_H_

@@ -1,0 +1,229 @@
+#include "serve/protocol.h"
+
+#include "util/wire.h"
+
+namespace pae::serve {
+
+namespace {
+
+using util::WireReader;
+using util::WireWriter;
+
+std::string BodylessRequest(Op op) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(op));
+  return writer.data();
+}
+
+/// Starts a response payload: envelope for an Ok response of `op`.
+WireWriter OkEnvelope(Op op) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(op) | kResponseBit);
+  writer.PutU8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.PutString("");
+  return writer;
+}
+
+}  // namespace
+
+std::string EncodeExtractRequest(const ExtractRequest& request) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(Op::kExtract));
+  writer.PutString(request.product_id);
+  writer.PutString(request.html);
+  return writer.data();
+}
+
+std::string EncodePingRequest() { return BodylessRequest(Op::kPing); }
+std::string EncodeStatsRequest() { return BodylessRequest(Op::kStats); }
+std::string EncodeShutdownRequest() {
+  return BodylessRequest(Op::kShutdown);
+}
+
+std::string EncodePublishRequest(const PublishRequest& request) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(Op::kPublish));
+  writer.PutString(request.model_path);
+  writer.PutString(request.resources_dir);
+  return writer.data();
+}
+
+std::string EncodeErrorResponse(Op op, const Status& status) {
+  WireWriter writer;
+  writer.PutU8(static_cast<uint8_t>(op) | kResponseBit);
+  writer.PutU8(static_cast<uint8_t>(status.code()));
+  writer.PutString(status.message());
+  return writer.data();
+}
+
+std::string EncodeExtractResponse(const ExtractResponse& response) {
+  WireWriter writer = OkEnvelope(Op::kExtract);
+  writer.PutU64(response.generation);
+  writer.PutU32(static_cast<uint32_t>(response.triples.size()));
+  for (const core::Triple& triple : response.triples) {
+    writer.PutString(triple.attribute);
+    writer.PutString(triple.value);
+  }
+  return writer.data();
+}
+
+std::string EncodePingResponse(const PingResponse& response) {
+  WireWriter writer = OkEnvelope(Op::kPing);
+  writer.PutU64(response.generation);
+  writer.PutString(response.model_name);
+  return writer.data();
+}
+
+std::string EncodeStatsResponse(const StatsResponse& response) {
+  WireWriter writer = OkEnvelope(Op::kStats);
+  writer.PutU64(response.generation);
+  writer.PutU64(response.requests);
+  writer.PutU64(response.protocol_errors);
+  writer.PutU64(response.connections);
+  writer.PutU64(response.hot_swaps);
+  return writer.data();
+}
+
+std::string EncodePublishResponse(uint64_t generation) {
+  WireWriter writer = OkEnvelope(Op::kPublish);
+  writer.PutU64(generation);
+  return writer.data();
+}
+
+std::string EncodeShutdownResponse() {
+  return OkEnvelope(Op::kShutdown).data();
+}
+
+Result<Request> DecodeRequest(const std::string& payload) {
+  WireReader reader(payload);
+  uint8_t op = 0;
+  if (!reader.GetU8(&op)) {
+    return Status::InvalidArgument("request too short for an opcode");
+  }
+  Request request;
+  switch (op) {
+    case static_cast<uint8_t>(Op::kExtract):
+      request.op = Op::kExtract;
+      if (!reader.GetString(&request.extract.product_id) ||
+          !reader.GetString(&request.extract.html)) {
+        return reader.status();
+      }
+      break;
+    case static_cast<uint8_t>(Op::kPing):
+      request.op = Op::kPing;
+      break;
+    case static_cast<uint8_t>(Op::kStats):
+      request.op = Op::kStats;
+      break;
+    case static_cast<uint8_t>(Op::kPublish):
+      request.op = Op::kPublish;
+      if (!reader.GetString(&request.publish.model_path) ||
+          !reader.GetString(&request.publish.resources_dir)) {
+        return reader.status();
+      }
+      break;
+    case static_cast<uint8_t>(Op::kShutdown):
+      request.op = Op::kShutdown;
+      break;
+    default:
+      return Status::InvalidArgument("unknown opcode " + std::to_string(op));
+  }
+  if (!reader.ExpectEnd()) return reader.status();
+  return request;
+}
+
+Status DecodeResponseEnvelope(const std::string& payload, Op expected_op,
+                              size_t* body_pos) {
+  WireReader reader(payload);
+  uint8_t op = 0;
+  uint8_t code = 0;
+  std::string message;
+  if (!reader.GetU8(&op) || !reader.GetU8(&code) ||
+      !reader.GetString(&message)) {
+    return Status::InvalidArgument("malformed response envelope");
+  }
+  if (op != (static_cast<uint8_t>(expected_op) | kResponseBit)) {
+    return Status::InvalidArgument("response opcode mismatch: got " +
+                                   std::to_string(op));
+  }
+  if (code != static_cast<uint8_t>(StatusCode::kOk)) {
+    if (code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+      return Status::InvalidArgument("response carries unknown status code " +
+                                     std::to_string(code));
+    }
+    return Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  *body_pos = payload.size() - reader.remaining();
+  return Status::Ok();
+}
+
+Result<ExtractResponse> DecodeExtractResponse(
+    const std::string& payload, const std::string& product_id) {
+  size_t body_pos = 0;
+  PAE_RETURN_IF_ERROR(
+      DecodeResponseEnvelope(payload, Op::kExtract, &body_pos));
+  WireReader reader(std::string_view(payload).substr(body_pos));
+  ExtractResponse response;
+  uint32_t count = 0;
+  if (!reader.GetU64(&response.generation) || !reader.GetU32(&count)) {
+    return reader.status();
+  }
+  response.triples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    core::Triple triple;
+    triple.product_id = product_id;
+    if (!reader.GetString(&triple.attribute) ||
+        !reader.GetString(&triple.value)) {
+      return reader.status();
+    }
+    response.triples.push_back(std::move(triple));
+  }
+  if (!reader.ExpectEnd()) return reader.status();
+  return response;
+}
+
+Result<PingResponse> DecodePingResponse(const std::string& payload) {
+  size_t body_pos = 0;
+  PAE_RETURN_IF_ERROR(DecodeResponseEnvelope(payload, Op::kPing, &body_pos));
+  WireReader reader(std::string_view(payload).substr(body_pos));
+  PingResponse response;
+  if (!reader.GetU64(&response.generation) ||
+      !reader.GetString(&response.model_name) || !reader.ExpectEnd()) {
+    return reader.status();
+  }
+  return response;
+}
+
+Result<StatsResponse> DecodeStatsResponse(const std::string& payload) {
+  size_t body_pos = 0;
+  PAE_RETURN_IF_ERROR(DecodeResponseEnvelope(payload, Op::kStats, &body_pos));
+  WireReader reader(std::string_view(payload).substr(body_pos));
+  StatsResponse response;
+  if (!reader.GetU64(&response.generation) ||
+      !reader.GetU64(&response.requests) ||
+      !reader.GetU64(&response.protocol_errors) ||
+      !reader.GetU64(&response.connections) ||
+      !reader.GetU64(&response.hot_swaps) || !reader.ExpectEnd()) {
+    return reader.status();
+  }
+  return response;
+}
+
+Result<uint64_t> DecodePublishResponse(const std::string& payload) {
+  size_t body_pos = 0;
+  PAE_RETURN_IF_ERROR(
+      DecodeResponseEnvelope(payload, Op::kPublish, &body_pos));
+  WireReader reader(std::string_view(payload).substr(body_pos));
+  uint64_t generation = 0;
+  if (!reader.GetU64(&generation) || !reader.ExpectEnd()) {
+    return reader.status();
+  }
+  return generation;
+}
+
+Status DecodeShutdownResponse(const std::string& payload) {
+  size_t body_pos = 0;
+  return DecodeResponseEnvelope(payload, Op::kShutdown, &body_pos);
+}
+
+}  // namespace pae::serve

@@ -1,0 +1,127 @@
+#ifndef PAE_SERVE_PROTOCOL_H_
+#define PAE_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace pae::serve {
+
+/// pae-serve wire protocol, version 1.
+///
+/// Every message is one frame (socket.h): a u32 little-endian payload
+/// length, then the payload. Payloads are WireWriter-encoded:
+///
+///   request  := u8 opcode, body
+///   response := u8 (opcode | 0x80), u8 status_code, string message,
+///               body-if-ok
+///
+/// Request bodies:
+///   kExtract  string product_id, string html
+///   kPing     (empty)
+///   kStats    (empty)
+///   kPublish  string model_path, string resources_dir
+///   kShutdown (empty)
+///
+/// Ok-response bodies:
+///   kExtract  u64 generation, u32 count, count × (string attribute,
+///             string value)
+///   kPing     u64 generation, string model_name
+///   kStats    u64 generation, u64 requests, u64 protocol_errors,
+///             u64 connections, u64 hot_swaps
+///   kPublish  u64 generation (the newly published one)
+///   kShutdown (empty)
+///
+/// Any decode failure on the server side latches that connection's
+/// error state and closes it; other connections are unaffected.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+enum class Op : uint8_t {
+  kExtract = 0x01,
+  kPing = 0x02,
+  kStats = 0x03,
+  kPublish = 0x04,
+  kShutdown = 0x05,
+};
+
+/// The response-opcode bit: response opcode = request opcode | 0x80.
+inline constexpr uint8_t kResponseBit = 0x80;
+
+struct ExtractRequest {
+  std::string product_id;
+  std::string html;
+};
+
+struct PublishRequest {
+  std::string model_path;
+  std::string resources_dir;
+};
+
+/// A decoded request (tagged by `op`).
+struct Request {
+  Op op = Op::kPing;
+  ExtractRequest extract;   // op == kExtract
+  PublishRequest publish;   // op == kPublish
+};
+
+struct ExtractResponse {
+  uint64_t generation = 0;
+  std::vector<core::Triple> triples;  // product_id echoed from the request
+};
+
+struct PingResponse {
+  uint64_t generation = 0;
+  std::string model_name;
+};
+
+struct StatsResponse {
+  uint64_t generation = 0;
+  uint64_t requests = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t connections = 0;
+  uint64_t hot_swaps = 0;
+};
+
+// ---- encoding (always succeeds for in-range strings) ----
+
+std::string EncodeExtractRequest(const ExtractRequest& request);
+std::string EncodePingRequest();
+std::string EncodeStatsRequest();
+std::string EncodePublishRequest(const PublishRequest& request);
+std::string EncodeShutdownRequest();
+
+/// An error response for `op` carrying `status`.
+std::string EncodeErrorResponse(Op op, const Status& status);
+/// Triples are sent as (attribute, value) pairs; the product id is
+/// implicit (it names the request page) and re-attached by the decoder.
+std::string EncodeExtractResponse(const ExtractResponse& response);
+std::string EncodePingResponse(const PingResponse& response);
+std::string EncodeStatsResponse(const StatsResponse& response);
+std::string EncodePublishResponse(uint64_t generation);
+std::string EncodeShutdownResponse();
+
+// ---- decoding (never trusts the payload) ----
+
+/// Decodes a request payload. Unknown opcodes, truncated bodies,
+/// oversize length words and trailing bytes all fail.
+Result<Request> DecodeRequest(const std::string& payload);
+
+/// Splits a response payload into its envelope. Returns the carried
+/// Status (Ok or the server's error); `*op` is the request opcode the
+/// response answers and `*body_reader_pos` the offset of the body.
+Status DecodeResponseEnvelope(const std::string& payload, Op expected_op,
+                              size_t* body_pos);
+
+Result<ExtractResponse> DecodeExtractResponse(const std::string& payload,
+                                              const std::string& product_id);
+Result<PingResponse> DecodePingResponse(const std::string& payload);
+Result<StatsResponse> DecodeStatsResponse(const std::string& payload);
+Result<uint64_t> DecodePublishResponse(const std::string& payload);
+Status DecodeShutdownResponse(const std::string& payload);
+
+}  // namespace pae::serve
+
+#endif  // PAE_SERVE_PROTOCOL_H_

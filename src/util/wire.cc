@@ -1,0 +1,71 @@
+#include "util/wire.h"
+
+#include <cstring>
+
+namespace pae::util {
+
+void WireWriter::PutRaw(const void* bytes, size_t size) {
+  if (!status_.ok()) return;
+  buffer_.append(static_cast<const char*>(bytes), size);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  if (!status_.ok()) return;
+  if (s.size() > kMaxSerialElements) {
+    status_ = Status::OutOfRange("wire string of " +
+                                 std::to_string(s.size()) +
+                                 " bytes exceeds kMaxSerialElements");
+    return;
+  }
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.append(s.data(), s.size());
+}
+
+void WireReader::Latch(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+bool WireReader::GetRaw(void* bytes, size_t size) {
+  if (!status_.ok()) return false;
+  if (data_.size() - pos_ < size) {
+    Latch(Status::OutOfRange("wire payload truncated: need " +
+                             std::to_string(size) + " bytes, have " +
+                             std::to_string(data_.size() - pos_)));
+    return false;
+  }
+  std::memcpy(bytes, data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool WireReader::GetString(std::string* s) {
+  uint32_t size = 0;
+  if (!GetU32(&size)) return false;
+  if (size > kMaxSerialElements) {
+    Latch(Status::OutOfRange("wire string length " + std::to_string(size) +
+                             " exceeds kMaxSerialElements"));
+    return false;
+  }
+  if (data_.size() - pos_ < size) {
+    Latch(Status::OutOfRange("wire string truncated: length word says " +
+                             std::to_string(size) + ", payload has " +
+                             std::to_string(data_.size() - pos_)));
+    return false;
+  }
+  s->assign(data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool WireReader::ExpectEnd() {
+  if (!status_.ok()) return false;
+  if (pos_ != data_.size()) {
+    Latch(Status::InvalidArgument(
+        std::to_string(data_.size() - pos_) +
+        " trailing bytes after a complete wire message"));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pae::util
