@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Model-load benchmark: legacy BinaryReader parse vs the mmap'ed .paez
+# artifact, at two scales, plus the serving hot-swap publish pass.
+#
+#   scripts/bench_model_load.sh                  # refresh BENCH_model_load.json
+#   scripts/bench_model_load.sh --out custom.json
+#
+# Three passes, merged into one JSON:
+#   1. trained model  — a real pipeline-trained CRF (~1.5k features):
+#      parse vs first-touch vs warm, bytes copied, int8 cleaning gate.
+#   2. field-scale model — synthesized at production feature counts
+#      (the bundled corpora train only ~1.5k features; deployments carry
+#      hundreds of thousands). The headline warm_speedup_vs_legacy and
+#      the zero-copy proof come from this pass.
+#   3. hot-swap publish — pae-serve on the .paez artifact, pae-loadgen
+#      publishing a new generation mid-run; the serve.publish.load_seconds
+#      histogram and the model.load.bytes_copied counter come from the
+#      server's --metrics-out report.
+#
+# Knobs (env):
+#   PAE_BENCH_PRODUCTS=120      corpus size for the trained model
+#   PAE_BENCH_FEATURES=200000   synthesized field-scale feature count
+#   PAE_BENCH_ITERATIONS=30     load repetitions per timing arm
+#   PAE_BENCH_REQUESTS=600      hot-swap pass request count
+#   PAE_BENCH_SEED=42
+#
+# Non-timing fields depend only on the seed + corpus + feature count, so
+# two runs on the same commit must agree on everything but the seconds.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_model_load.json"
+if [[ "${1:-}" == "--out" && -n "${2:-}" ]]; then
+  OUT="$2"
+fi
+
+PRODUCTS="${PAE_BENCH_PRODUCTS:-120}"
+FEATURES="${PAE_BENCH_FEATURES:-200000}"
+ITERATIONS="${PAE_BENCH_ITERATIONS:-30}"
+REQUESTS="${PAE_BENCH_REQUESTS:-600}"
+SEED="${PAE_BENCH_SEED:-42}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+BUILD=build-bench-serving
+cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${BUILD}" -j "${JOBS}" \
+      --target pae-datagen pae-extract pae-serve pae-loadgen \
+               pae-model-pack bench_model_load > /dev/null
+
+CORPUS="${BUILD}/load-corpus"
+SMALL="${BUILD}/load-trained.crf"
+LARGE="${BUILD}/load-field.crf"
+
+# ---- pass 1: real trained model ----
+./"${BUILD}"/tools/pae-datagen --category vacuum \
+      --products "${PRODUCTS}" --seed "${SEED}" --out "${CORPUS}" > /dev/null
+./"${BUILD}"/tools/pae-extract --in "${CORPUS}" \
+      --out "${BUILD}/load-triples.tsv" --iterations 2 \
+      --save-model "${SMALL}" > /dev/null
+./"${BUILD}"/tools/pae-model-pack --model "${SMALL}" \
+      --out "${SMALL%.crf}.paez" > /dev/null
+./"${BUILD}"/bench/bench_model_load --model "${SMALL}" \
+      --paez "${SMALL%.crf}.paez" --iterations "${ITERATIONS}" \
+      --json "${BUILD}/load-trained.json"
+
+# ---- pass 2: field-scale model (headline speedup) ----
+./"${BUILD}"/bench/bench_model_load --make-model "${LARGE}" \
+      --make-features "${FEATURES}" --make-seed "${SEED}"
+./"${BUILD}"/tools/pae-model-pack --model "${LARGE}" \
+      --out "${LARGE%.crf}.paez" > /dev/null
+./"${BUILD}"/bench/bench_model_load --model "${LARGE}" \
+      --paez "${LARGE%.crf}.paez" --iterations "${ITERATIONS}" \
+      --skip-int8-gate --json "${BUILD}/load-field.json"
+
+# ---- pass 3: hot-swap publish over the wire ----
+SOCKET="${BUILD}/load-bench.sock"
+rm -f "${SOCKET}"
+./"${BUILD}"/tools/pae-serve --socket "${SOCKET}" \
+      --model "${SMALL%.crf}.paez" --resources "${CORPUS}" --workers 4 \
+      --metrics-out "${BUILD}/load-serve-metrics.json" > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "${SOCKET}" ]] && break
+  sleep 0.1
+done
+# Driver threads stay below the worker count so the swap/shutdown admin
+# connections always find a free worker (each persistent connection
+# parks on one pool thread).
+./"${BUILD}"/tools/pae-loadgen --socket "${SOCKET}" --corpus "${CORPUS}" \
+      --requests "${REQUESTS}" --warmup 50 --seed "${SEED}" --threads 2 \
+      --swap-at "$((REQUESTS / 2))" --swap-model "${SMALL%.crf}.paez" \
+      --swap-resources "${CORPUS}" --shutdown-after > /dev/null
+wait "${SERVE_PID}"
+
+# ---- merge ----
+python3 - "${BUILD}/load-field.json" "${BUILD}/load-trained.json" \
+      "${BUILD}/load-serve-metrics.json" "${OUT}" <<'EOF'
+import json, sys
+field, trained, serve, out = sys.argv[1:5]
+with open(field) as f: report = json.load(f)
+with open(trained) as f: report["trained_model"] = json.load(f)
+with open(serve) as f: metrics = json.load(f)
+report["hot_swap_publish"] = {
+    "load_seconds": metrics["histograms"]["serve.publish.load_seconds"],
+    "bytes_copied": metrics["counters"].get("model.load.bytes_copied", 0),
+}
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote ${OUT}"
+python3 -c "
+import json
+r = json.load(open('${OUT}'))
+print('field-scale warm speedup: %.0fx (legacy %.1f ms vs mmap %.1f us)' % (
+    r['warm_speedup_vs_legacy'],
+    r['legacy_parse']['min_seconds'] * 1e3,
+    r['paez_warm_mmap']['min_seconds'] * 1e6))
+print('publish bytes copied: %d (labels only)' % r['hot_swap_publish']['bytes_copied'])
+"

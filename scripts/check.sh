@@ -13,10 +13,12 @@
 #
 # Pass 1 (default flags) configures build-check/ and runs every ctest
 # target (including pae_lint), then runs an instrumented pae-extract
-# pass over a small synthetic corpus and validates the emitted
-# --metrics-out JSON report (pass 1b), drives the pae-serve daemon
-# end-to-end over its unix socket — 200 loadgen requests, one hot swap,
-# protocol shutdown — (pass 1d), then reruns the full suite with
+# pass over a small synthetic corpus, validates the emitted
+# --metrics-out JSON report, and packs + deep-verifies the mmap'ed
+# .paez model artifact (pass 1b), drives the pae-serve daemon
+# end-to-end over its unix socket — 200 loadgen requests, one hot swap
+# publishing the .paez artifact, protocol shutdown — (pass 1d), then
+# reruns the full suite with
 # PAE_SIMD=scalar (pass 1c) so the portable kernel tier — the one CI
 # hosts without AVX2 would silently fall back to — gets the same
 # coverage as the dispatched default. Pass 2 configures build-check-tsan/ with
@@ -26,9 +28,10 @@
 # additionally repeated 100 times because the publish/drain race is the
 # daemon's central invariant. Pass 3 configures
 # build-check-asan/ with -DPAE_SANITIZE=address and runs the interner +
-# feature-pipeline + serve binaries: the interner hands out raw
-# string_views into a hand-managed arena and the serve protocol tests
-# feed adversarial frames, exactly the kind of code ASan exists for.
+# feature-pipeline + serve + model-artifact binaries: the interner hands
+# out raw string_views into a hand-managed arena, the serve protocol
+# tests feed adversarial frames, and the packed-artifact tests probe
+# mmap'ed tables in place — exactly the kind of code ASan exists for.
 # Pass 4 configures build-check-ubsan/ with -DPAE_SANITIZE=undefined
 # (which also enables float-divide-by-zero and -fno-sanitize-recover)
 # and runs the WHOLE ctest suite: UBSan's costs are cheap enough to
@@ -101,6 +104,12 @@ else
   done
   echo "metrics report OK (grep-checked; python3 unavailable)"
 fi
+# Pack the trained model into the mmap'ed .paez artifact and deep-verify
+# it (structure + every section checksum): the packed form feeds the
+# serve smoke below, so a packer regression fails here, not there.
+./build-check/tools/pae-model-pack --model build-check/metrics-model.crf \
+      --out build-check/metrics-model.paez
+./build-check/tools/pae-model-pack --check build-check/metrics-model.paez
 
 echo "==> pass 1d: serve smoke (daemon + loadgen + hot swap + shutdown)"
 # End-to-end over the real wire: start the pae-serve daemon on the model
@@ -127,9 +136,13 @@ done
 grep -q "pae-serve ready" "${SMOKE_LOG}" || {
   echo "check.sh: pae-serve never became ready" >&2
   kill "${SMOKE_PID}" 2>/dev/null || true; exit 1; }
+# The mid-run swap publishes the mmap'ed .paez artifact packed in pass
+# 1b — the legacy-loaded generation 1 and the zero-copy generation 2
+# must serve identical responses (the response checksum in the JSON
+# report is seed-deterministic across both).
 ./build-check/tools/pae-loadgen --socket "${SMOKE_SOCK}" \
       --corpus build-check/metrics-corpus --requests 200 --threads 2 \
-      --swap-at 100 --swap-model build-check/metrics-model.crf \
+      --swap-at 100 --swap-model build-check/metrics-model.paez \
       --swap-resources build-check/metrics-corpus --shutdown-after \
       --json build-check/serve-smoke.json \
       | tee build-check/serve-smoke.out
@@ -184,11 +197,15 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
         -DPAE_SANITIZE=address > /dev/null
   cmake --build build-check-asan -j "${JOBS}" \
         --target interner_test feature_pipeline_test crf_test serve_test \
-        serve_protocol_test
+        serve_protocol_test model_artifact_test
   ./build-check-asan/tests/interner_test
   ./build-check-asan/tests/feature_pipeline_test
   ./build-check-asan/tests/crf_test
   ./build-check-asan/tests/serve_test
+  # The packed-artifact tests run inference directly over the mmap'ed
+  # tables (guarded probes into a caller-owned mapping) — the exact
+  # surface where an off-by-one becomes an out-of-mapping read.
+  ./build-check-asan/tests/model_artifact_test
   # The adversarial frame corpus (oversize length words, truncations,
   # partial writes) is exactly the input family that turns a missing
   # bounds check into a heap overflow; run it with ASan watching.

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/corpus_io.h"
+#include "core/model_artifact.h"
 #include "core/normalize.h"
 #include "crf/crf_tagger.h"
 #include "html/parser.h"
@@ -173,7 +174,20 @@ Result<std::shared_ptr<const ExtractionEngine>> LoadCrfEngine(
     const std::string& model_path, const std::string& resources_dir,
     EngineOptions options, bool load_accepted_pairs) {
   auto tagger = std::make_shared<crf::CrfTagger>();
-  PAE_RETURN_IF_ERROR(tagger->Load(model_path));
+  if (IsPaezFile(model_path)) {
+    // Zero-copy path: map the artifact and bind views in place. The only
+    // model-sized bytes this publishes are shared file pages, which the
+    // model.load.bytes_copied counter proves (labels only).
+    Result<std::shared_ptr<const ModelArtifact>> artifact =
+        ModelArtifact::Open(model_path);
+    if (!artifact.ok()) return artifact.status();
+    Result<crf::PackedCrfModel> packed =
+        MakePackedCrfModel(std::move(artifact).value());
+    if (!packed.ok()) return packed.status();
+    PAE_RETURN_IF_ERROR(tagger->LoadPacked(std::move(packed).value()));
+  } else {
+    PAE_RETURN_IF_ERROR(tagger->Load(model_path));
+  }
 
   Result<CorpusResources> resources = LoadCorpusResources(resources_dir);
   if (!resources.ok()) return resources.status();

@@ -142,10 +142,13 @@ class ExtractionEngine {
   util::Histogram* latency_histogram_;
 };
 
-/// Loads a persisted CRF model (`model_path`, written by
-/// CrfTagger::Save) plus the corpus language resources under
+/// Loads a persisted CRF model plus the corpus language resources under
 /// `resources_dir` (manifest.tsv / lexicon.txt / pos_lexicon.tsv, the
-/// SaveCorpus layout) into a fresh engine. When
+/// SaveCorpus layout) into a fresh engine. The model format is sniffed
+/// from the file's magic: a `.paez` artifact (pae-model-pack) is mmap'ed
+/// and used in place — microsecond loads, pages shared across processes
+/// — while a legacy CrfTagger::Save file takes the copying parse path.
+/// Both yield byte-identical predictions for the same model. When
 /// `load_accepted_pairs` is true, `model_path + ".pairs"` — the known
 /// catalog values emitted next to a saved model — is read into
 /// options.accepted_pairs when present.

@@ -1,0 +1,218 @@
+#ifndef PAE_CORE_MODEL_ARTIFACT_H_
+#define PAE_CORE_MODEL_ARTIFACT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crf/crf_tagger.h"
+#include "embed/packed_embeddings.h"
+#include "embed/word2vec.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace pae::core {
+
+// =====================================================================
+// The `.paez` zero-copy model artifact (format version 1).
+//
+//   ┌──────────────────────────────┐ offset 0
+//   │ PaezHeader (64 bytes)        │ magic, version, section count,
+//   │                              │ file size, table checksum, flags
+//   ├──────────────────────────────┤ offset 64
+//   │ PaezSection × section_count  │ kind, alignment, offset, length,
+//   │ (32 bytes each)              │ payload checksum
+//   ├──────────────────────────────┤ first aligned offset
+//   │ section payloads…            │ each padded to its alignment;
+//   │                              │ weight/vector blocks are
+//   │                              │ page-aligned (4096)
+//   └──────────────────────────────┘ offset file_bytes
+//
+// Everything is offset-based — no pointers, no fixup pass — so the file
+// is mapped read-only (MAP_SHARED) and used in place: the CRF feature
+// dictionary is probed directly in the mapping
+// (util::StringTableView), the weight vector is handed to inference as
+// a span, and N processes share one physical copy of the pages.
+//
+// Versioning and compatibility: `version` is bumped on any layout
+// change; readers reject unknown versions (no silent best-effort
+// parse). Unknown section kinds are rejected too — v1 files contain
+// exactly the kinds below. Kind 14 (kLstmParams) is RESERVED for the
+// BiLSTM parameter block; reserving the id now means v1 readers fail
+// loudly on v2 files instead of mis-slicing them.
+//
+// Checksum policy: the section *table* checksum is always verified on
+// open (cheap, and it is what bounds every later read). Per-section
+// payload checksums are verified when OpenOptions.verify_checksums is
+// set — pae-model-pack does after writing, the corruption tests do,
+// and the bench's "first-touch" pass does (doubling as the page
+// warmer). The serving hot path opens with verification off: the
+// structural bounds checks below still guarantee no read ever leaves
+// the mapping, which is the safety property; payload integrity is the
+// packer's exit criterion, not a per-publish tax.
+// =====================================================================
+
+inline constexpr uint32_t kPaezMagic = 0x5A454150;  // "PAEZ" little-endian
+inline constexpr uint32_t kPaezVersion = 1;
+inline constexpr uint32_t kPaezHeaderBytes = 64;
+
+// Header flag bits.
+inline constexpr uint64_t kPaezFlagCrf = 1u << 0;
+inline constexpr uint64_t kPaezFlagEmbedF32 = 1u << 1;
+inline constexpr uint64_t kPaezFlagEmbedInt8 = 1u << 2;
+
+struct PaezHeader {
+  uint32_t magic = kPaezMagic;
+  uint32_t version = kPaezVersion;
+  uint32_t header_bytes = kPaezHeaderBytes;
+  uint32_t section_count = 0;
+  uint64_t file_bytes = 0;
+  uint64_t table_checksum = 0;  // ArtifactChecksum over the section table
+  uint64_t flags = 0;
+  uint8_t reserved[24] = {};
+};
+static_assert(sizeof(PaezHeader) == kPaezHeaderBytes,
+              "header layout is the format");
+
+/// Section kinds of format version 1.
+enum PaezSectionKind : uint32_t {
+  kCrfMeta = 1,          // PaezCrfMeta
+  kCrfLabels = 2,        // [u32 count][count × u32 len][bytes]
+  kCrfFeatureSlots = 3,  // PackedStringSlot[feature_slot_count]
+  kCrfFeatureKeys = 4,   // PackedStringKey[num_features]
+  kCrfFeatureArena = 5,  // raw key bytes
+  kCrfWeights = 6,       // double[weight_count], page-aligned
+  kEmbedMeta = 7,        // PaezEmbedMeta
+  kEmbedVocabSlots = 8,  // PackedStringSlot[vocab_slot_count]
+  kEmbedVocabKeys = 9,   // PackedStringKey[vocab_count]
+  kEmbedVocabArena = 10,  // raw word bytes
+  kEmbedVectorsF32 = 11,  // float[vocab_count × dim], page-aligned
+  kEmbedVectorsI8 = 12,   // int8[vocab_count × dim], page-aligned
+  kEmbedQuantParams = 13,  // embed::QuantParams[vocab_count]
+  /// RESERVED for the BiLSTM parameter block (embedding table, gate
+  /// weight slabs, projection). Not emitted by v1 writers; v1 readers
+  /// reject files containing it, which is the compatibility contract.
+  kLstmParams = 14,
+};
+
+struct PaezSection {
+  uint32_t kind = 0;
+  uint32_t align = 1;  // power of two; offset % align == 0
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum = 0;  // ArtifactChecksum over the payload bytes
+};
+static_assert(sizeof(PaezSection) == 32, "section layout is the format");
+
+struct PaezCrfMeta {
+  int32_t window = 0;
+  int32_t max_sentence_bucket = 0;
+  double c1 = 0;
+  double c2 = 0;
+  uint32_t num_labels = 0;
+  uint32_t num_features = 0;
+  uint64_t weight_count = 0;
+  uint64_t feature_slot_count = 0;
+};
+static_assert(sizeof(PaezCrfMeta) == 48, "crf meta layout is the format");
+
+struct PaezEmbedMeta {
+  uint32_t dim = 0;
+  uint32_t vocab_count = 0;
+  uint64_t vocab_slot_count = 0;
+  uint32_t quantized = 0;  // 0 = f32 section, 1 = int8 + quant params
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(PaezEmbedMeta) == 24, "embed meta layout is the format");
+
+/// FNV-1a 64-bit over a byte range; the artifact's only checksum.
+uint64_t ArtifactChecksum(const void* data, size_t bytes);
+
+/// True when the file starts with the PAEZ magic — the sniff the
+/// engine/tools use to route between the legacy BinaryReader parse and
+/// the mmap path. False on unreadable/short files.
+bool IsPaezFile(const std::string& path);
+
+struct PackOptions {
+  /// Write the embedding matrix as per-row affine int8 (+ QuantParams
+  /// section) instead of float32. The accuracy gate for this variant
+  /// lives in the bench/tests, not here.
+  bool quantize_embeddings = false;
+};
+
+/// Packs a trained CRF tagger (and optionally embeddings) into a
+/// `.paez` artifact at `out_path`. Deterministic: the same model bytes
+/// always produce the same file. The tagger must be legacy-loaded or
+/// freshly trained (not itself packed).
+Status PackModelArtifact(const crf::CrfTagger& tagger,
+                         const embed::Word2Vec* embeddings,
+                         const PackOptions& options,
+                         const std::string& out_path);
+
+/// A validated, mmap'ed `.paez` artifact. Open() performs the full
+/// structural validation pass (bounds, alignment, overlap, table
+/// checksum, string-table invariants, dimension cross-checks) so every
+/// later access is provably inside the mapping; view factories below
+/// then hand out zero-copy models pinned to the artifact's lifetime.
+class ModelArtifact {
+ public:
+  struct OpenOptions {
+    /// Also verify every section's payload checksum (reads the whole
+    /// file — first-touches all pages). Off on the serving hot path.
+    bool verify_checksums = false;
+  };
+
+  static Result<std::shared_ptr<const ModelArtifact>> Open(
+      const std::string& path, const OpenOptions& options);
+  static Result<std::shared_ptr<const ModelArtifact>> Open(
+      const std::string& path) {
+    return Open(path, OpenOptions());
+  }
+
+  bool has_crf() const { return (header_.flags & kPaezFlagCrf) != 0; }
+  bool has_embeddings() const {
+    return (header_.flags & (kPaezFlagEmbedF32 | kPaezFlagEmbedInt8)) != 0;
+  }
+  bool embeddings_quantized() const {
+    return (header_.flags & kPaezFlagEmbedInt8) != 0;
+  }
+
+  const PaezHeader& header() const { return header_; }
+  const std::vector<PaezSection>& sections() const { return sections_; }
+  const PaezCrfMeta& crf_meta() const { return crf_meta_; }
+  const PaezEmbedMeta& embed_meta() const { return embed_meta_; }
+  size_t file_bytes() const { return map_.size(); }
+
+  /// Section payload start, or nullptr when the kind is absent.
+  const uint8_t* SectionData(PaezSectionKind kind) const;
+  /// Section payload length in bytes (0 when absent).
+  size_t SectionLength(PaezSectionKind kind) const;
+
+ private:
+  ModelArtifact() = default;
+
+  util::MmapFile map_;
+  PaezHeader header_;
+  std::vector<PaezSection> sections_;
+  PaezCrfMeta crf_meta_;
+  PaezEmbedMeta embed_meta_;
+  std::vector<std::string> labels_;  // parsed once at Open (tiny)
+
+  friend Result<crf::PackedCrfModel> MakePackedCrfModel(
+      std::shared_ptr<const ModelArtifact> artifact);
+};
+
+/// Builds the zero-copy CRF model view: labels copied (a handful of
+/// short strings), feature table and weights referenced in place. The
+/// returned model's `owner` pins `artifact` (and its mapping).
+Result<crf::PackedCrfModel> MakePackedCrfModel(
+    std::shared_ptr<const ModelArtifact> artifact);
+
+/// Builds the zero-copy embedding view (f32 or int8 per the artifact).
+Result<embed::PackedEmbeddings> MakePackedEmbeddings(
+    std::shared_ptr<const ModelArtifact> artifact);
+
+}  // namespace pae::core
+
+#endif  // PAE_CORE_MODEL_ARTIFACT_H_

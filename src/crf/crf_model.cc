@@ -26,11 +26,14 @@ const std::string& CrfModel::LabelName(int id) const {
 }
 
 int CrfModel::AddFeature(std::string_view feature) {
+  PAE_CHECK(!packed_features_.bound())
+      << "AddFeature on a model bound to a packed (read-only) table";
   return features_.Intern(feature);
 }
 
 int CrfModel::LookupFeature(std::string_view feature) const {
-  return features_.Find(feature);
+  return packed_features_.bound() ? packed_features_.Find(feature)
+                                  : features_.Find(feature);
 }
 
 size_t CrfModel::WeightDim() const {
@@ -39,7 +42,7 @@ size_t CrfModel::WeightDim() const {
 }
 
 void CrfModel::UnigramScores(const CompiledSequence& seq,
-                             const std::vector<double>& w,
+                             std::span<const double> w,
                              std::vector<double>* scores) const {
   const size_t L = num_labels();
   const size_t T = seq.length();
@@ -59,7 +62,7 @@ void CrfModel::UnigramScores(const CompiledSequence& seq,
 
 double CrfModel::ForwardBackward(const CompiledSequence& seq,
                                  const std::vector<double>& scores,
-                                 const std::vector<double>& w,
+                                 std::span<const double> w,
                                  std::vector<double>* alpha,
                                  std::vector<double>* beta) const {
   const size_t L = num_labels();
@@ -106,7 +109,7 @@ double CrfModel::ForwardBackward(const CompiledSequence& seq,
 }
 
 double CrfModel::SequenceNll(const CompiledSequence& seq,
-                             const std::vector<double>& w,
+                             std::span<const double> w,
                              std::vector<double>* grad) const {
   const size_t L = num_labels();
   const size_t T = seq.length();
@@ -180,7 +183,7 @@ double CrfModel::SequenceNll(const CompiledSequence& seq,
 }
 
 void CrfModel::Marginals(const CompiledSequence& seq,
-                         const std::vector<double>& w,
+                         std::span<const double> w,
                          std::vector<double>* out) const {
   const size_t L = num_labels();
   const size_t T = seq.length();
@@ -194,7 +197,7 @@ void CrfModel::Marginals(const CompiledSequence& seq,
 }
 
 std::vector<int> CrfModel::Viterbi(const CompiledSequence& seq,
-                                   const std::vector<double>& w) const {
+                                   std::span<const double> w) const {
   const size_t L = num_labels();
   const size_t T = seq.length();
   if (T == 0) return {};

@@ -1,6 +1,7 @@
 #ifndef PAE_CRF_CRF_MODEL_H_
 #define PAE_CRF_CRF_MODEL_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,46 +40,81 @@ class CrfModel {
   const std::vector<std::string>& labels() const { return labels_; }
 
   /// Adds (or finds) a feature; returns its id. Ids are dense and
-  /// assigned in first-insertion order.
+  /// assigned in first-insertion order. Illegal on a model bound to a
+  /// packed feature table (the table is read-only mapped memory).
   int AddFeature(std::string_view feature);
   /// Returns the feature id or -1 (unknown features are skipped at
   /// prediction time). Heterogeneous string_view lookup: scratch-buffer
   /// callers never materialize a std::string.
   int LookupFeature(std::string_view feature) const;
-  size_t num_features() const { return features_.size(); }
+  size_t num_features() const {
+    return packed_features_.bound() ? packed_features_.size()
+                                    : features_.size();
+  }
   /// The feature string for `id`; the view stays valid for the model's
-  /// lifetime (interner arena storage never moves).
-  std::string_view FeatureName(int id) const { return features_.key(id); }
+  /// lifetime (interner arena storage never moves; a packed table's
+  /// arena lives in the caller-owned mapping).
+  std::string_view FeatureName(int id) const {
+    return packed_features_.bound() ? packed_features_.key(id)
+                                    : features_.key(id);
+  }
+
+  /// Switches the feature dictionary to a zero-copy packed table (an
+  /// mmap'ed model artifact section). The view's probe layout came from
+  /// FlatStringInterner::ExportPacked, so LookupFeature returns exactly
+  /// the ids the original interner assigned — inference over a packed
+  /// model is byte-identical to the legacy-loaded one. The caller keeps
+  /// the backing memory alive (CrfTagger::LoadPacked pins the mapping).
+  void BindPackedFeatures(util::StringTableView view) {
+    PAE_CHECK(features_.empty())
+        << "BindPackedFeatures on a model with interned features";
+    packed_features_ = view;
+  }
+  bool packed_features() const { return packed_features_.bound(); }
+
+  /// Flat export of the feature dictionary for the artifact writer
+  /// (core/model_artifact). Requires an interned (non-packed) model.
+  void ExportPackedFeatures(std::vector<util::PackedStringSlot>* slots,
+                            std::vector<util::PackedStringKey>* keys,
+                            std::string* arena) const {
+    PAE_CHECK(!packed_features_.bound())
+        << "ExportPackedFeatures on a packed model (repack from the "
+           "legacy file instead)";
+    features_.ExportPacked(slots, keys, arena);
+  }
 
   /// Total weight dimension for the current dictionaries.
   size_t WeightDim() const;
 
+  // Inference takes the weights as a span so a model can run directly
+  // over an mmap'ed weight section (zero-copy artifact) or over an
+  // owned std::vector (training) — std::vector converts implicitly.
+
   /// Computes per-position label scores: scores[t*L + y].
-  void UnigramScores(const CompiledSequence& seq,
-                     const std::vector<double>& w,
+  void UnigramScores(const CompiledSequence& seq, std::span<const double> w,
                      std::vector<double>* scores) const;
 
   /// Adds the sequence's negative log-likelihood to the return value and
   /// accumulates its gradient into `grad` (same layout as `w`).
   /// Requires gold labels.
-  double SequenceNll(const CompiledSequence& seq, const std::vector<double>& w,
+  double SequenceNll(const CompiledSequence& seq, std::span<const double> w,
                      std::vector<double>* grad) const;
 
   /// Posterior marginals p(y_t = y | x): out[t*L + y]. For testing and
   /// confidence estimation.
-  void Marginals(const CompiledSequence& seq, const std::vector<double>& w,
+  void Marginals(const CompiledSequence& seq, std::span<const double> w,
                  std::vector<double>* out) const;
 
   /// MAP label sequence via Viterbi.
   std::vector<int> Viterbi(const CompiledSequence& seq,
-                           const std::vector<double>& w) const;
+                           std::span<const double> w) const;
 
  private:
   /// Runs log-space forward–backward. alpha/beta are T×L, flattened.
   /// Returns log Z.
   double ForwardBackward(const CompiledSequence& seq,
                          const std::vector<double>& scores,
-                         const std::vector<double>& w,
+                         std::span<const double> w,
                          std::vector<double>* alpha,
                          std::vector<double>* beta) const;
 
@@ -91,6 +127,8 @@ class CrfModel {
   std::vector<std::string> labels_;
   util::FlatStringInterner label_ids_;
   util::FlatStringInterner features_;
+  /// When bound, replaces features_ for all lookups (zero-copy mode).
+  util::StringTableView packed_features_;
 };
 
 }  // namespace pae::crf

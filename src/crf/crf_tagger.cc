@@ -254,6 +254,9 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
   PAE_DCHECK_FINITE_VEC(weights_)
       << "CRF training produced non-finite weights";
   trained_ = true;
+  packed_ = false;
+  packed_owner_.reset();
+  weights_span_ = weights_;
   ++generation_;
   metrics.GetSeries("crf.features")
       ->Append(static_cast<double>(model_.num_features()));
@@ -272,7 +275,7 @@ std::vector<std::string> CrfTagger::Predict(
                                     text::kOutsideLabel);
   }
   CompiledSequence compiled = Compile(seq, /*with_labels=*/false);
-  std::vector<int> path = model_.Viterbi(compiled, weights_);
+  std::vector<int> path = model_.Viterbi(compiled, weights_span_);
   std::vector<std::string> labels;
   labels.reserve(path.size());
   for (int y : path) labels.push_back(model_.LabelName(y));
@@ -282,9 +285,9 @@ std::vector<std::string> CrfTagger::Predict(
 text::SequenceTagger::ScoredPrediction CrfTagger::ScoreCompiled(
     const CompiledSequence& compiled) const {
   ScoredPrediction out;
-  std::vector<int> path = model_.Viterbi(compiled, weights_);
+  std::vector<int> path = model_.Viterbi(compiled, weights_span_);
   std::vector<double> marginals;
-  model_.Marginals(compiled, weights_, &marginals);
+  model_.Marginals(compiled, weights_span_, &marginals);
   const size_t num_labels = model_.num_labels();
   out.labels.reserve(path.size());
   out.confidence.reserve(path.size());
@@ -328,7 +331,9 @@ constexpr uint32_t kCrfVersion = 1;
 }  // namespace
 
 size_t CrfTagger::Compact() {
-  if (!trained_) return 0;
+  // A packed tagger's dictionaries live in a read-only mapping; the
+  // artifact was compacted (or not) when it was packed.
+  if (!trained_ || packed_) return 0;
   const size_t L = model_.num_labels();
   const size_t F = model_.num_features();
 
@@ -365,6 +370,7 @@ size_t CrfTagger::Compact() {
   const size_t removed = F - kept;
   model_ = std::move(compacted);
   weights_ = std::move(new_weights);
+  weights_span_ = weights_;
   PAE_CHECK_EQ(weights_.size(), model_.WeightDim());
   ++generation_;
   return removed;
@@ -373,6 +379,11 @@ size_t CrfTagger::Compact() {
 Status CrfTagger::Save(const std::string& path) const {
   if (!trained_) {
     return Status::FailedPrecondition("CRF: saving an untrained model");
+  }
+  if (packed_) {
+    return Status::FailedPrecondition(
+        "CRF: Save on a packed (mmap) model; the .paez artifact on disk "
+        "is already the serialized form");
   }
   BinaryWriter writer(path, kCrfMagic, kCrfVersion);
   writer.WriteI32(options_.features.window);
@@ -415,9 +426,52 @@ Status CrfTagger::Load(const std::string& path) {
   if (weights.size() != model_.WeightDim()) {
     return Status::InvalidArgument("CRF: weight dimension mismatch");
   }
+  // Legacy parse: every byte of the model was copied out of the file
+  // into owned memory. The counter is the before/after evidence for the
+  // zero-copy artifact path (LoadPacked copies labels only).
+  size_t copied = weights.size() * sizeof(double);
+  for (const std::string& label : labels) copied += label.size();
+  for (const std::string& feature : features) copied += feature.size();
+  util::MetricsRegistry::Global()
+      .GetCounter("model.load.bytes_copied")
+      ->Add(static_cast<int64_t>(copied));
   weights_ = std::move(weights);
+  weights_span_ = weights_;
+  packed_ = false;
+  packed_owner_.reset();
   trained_ = true;
   ++generation_;
+  return Status::Ok();
+}
+
+Status CrfTagger::LoadPacked(PackedCrfModel packed) {
+  if (!packed.features.bound() || packed.weights.empty()) {
+    return Status::InvalidArgument("CRF: packed model has no features/weights");
+  }
+  options_.features.window = packed.window;
+  options_.features.max_sentence_bucket = packed.max_sentence_bucket;
+  options_.c1 = packed.c1;
+  options_.c2 = packed.c2;
+  model_ = CrfModel();
+  size_t copied = 0;
+  for (const std::string& label : packed.labels) {
+    model_.AddLabel(label);
+    copied += label.size();
+  }
+  model_.BindPackedFeatures(packed.features);
+  if (packed.weights.size() != model_.WeightDim()) {
+    return Status::InvalidArgument("CRF: packed weight dimension mismatch");
+  }
+  weights_.clear();
+  weights_.shrink_to_fit();
+  weights_span_ = packed.weights;
+  packed_owner_ = std::move(packed.owner);
+  packed_ = true;
+  trained_ = true;
+  ++generation_;
+  util::MetricsRegistry::Global()
+      .GetCounter("model.load.bytes_copied")
+      ->Add(static_cast<int64_t>(copied));
   return Status::Ok();
 }
 

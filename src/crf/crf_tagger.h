@@ -2,6 +2,8 @@
 #define PAE_CRF_CRF_TAGGER_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,23 @@ struct CrfOptions {
   int threads = 1;
 };
 
+/// A CRF model described by views into externally owned memory —
+/// typically sections of an mmap'ed `.paez` artifact (built by
+/// core/model_artifact). Labels are the one copied piece (a handful of
+/// short strings); the feature table and the weight vector are used in
+/// place. `owner` pins whatever backs the views (the file mapping) for
+/// the tagger's lifetime.
+struct PackedCrfModel {
+  int32_t window = 0;
+  int32_t max_sentence_bucket = 0;
+  double c1 = 0;
+  double c2 = 0;
+  std::vector<std::string> labels;
+  util::StringTableView features;
+  std::span<const double> weights;
+  std::shared_ptr<const void> owner;
+};
+
 /// Linear-chain CRF sequence tagger (the paper's primary model family).
 class CrfTagger : public text::SequenceTagger {
  public:
@@ -64,10 +83,20 @@ class CrfTagger : public text::SequenceTagger {
   uint64_t Generation() const { return generation_; }
 
   /// Persists the trained model (labels, feature dictionary, weights,
-  /// feature-template configuration) to `path`.
+  /// feature-template configuration) to `path`. FailedPrecondition on a
+  /// packed (mmap-backed) tagger — the artifact on disk already *is*
+  /// the serialized form.
   Status Save(const std::string& path) const;
-  /// Restores a model previously written by Save.
+  /// Restores a model previously written by Save (the legacy parse
+  /// path: every table is copied into freshly allocated memory).
   Status Load(const std::string& path);
+  /// Binds the tagger to a packed model without copying: the feature
+  /// table and weights stay in `packed.owner`'s memory (an mmap'ed
+  /// artifact), so "loading" costs label strings only. Predictions are
+  /// byte-identical to the Load() path for the same model.
+  Status LoadPacked(PackedCrfModel packed);
+  /// True when backed by a packed artifact (Save/Compact unavailable).
+  bool packed() const { return packed_; }
 
   /// Drops features whose weights are all exactly zero — OWL-QN's L1
   /// term produces many — shrinking the model file and the prediction
@@ -78,7 +107,12 @@ class CrfTagger : public text::SequenceTagger {
   /// Introspection for tests and diagnostics.
   const CrfOptions& options() const { return options_; }
   const CrfModel& model() const { return model_; }
+  /// The owned weight vector — empty on a packed tagger; prefer
+  /// weights_span() which is valid in both modes.
   const std::vector<double>& weights() const { return weights_; }
+  /// The weights inference runs over: the owned vector after
+  /// Train/Load/Compact, the mapped section after LoadPacked.
+  std::span<const double> weights_span() const { return weights_span_; }
   const OwlqnReport& training_report() const { return report_; }
   bool trained() const { return trained_; }
 
@@ -92,8 +126,14 @@ class CrfTagger : public text::SequenceTagger {
   CrfOptions options_;
   CrfModel model_;
   std::vector<double> weights_;
+  /// What inference actually reads; re-pointed whenever weights_ is
+  /// rebuilt, or aimed at the mapped section by LoadPacked.
+  std::span<const double> weights_span_;
+  /// Pins the mapping backing weights_span_/packed features.
+  std::shared_ptr<const void> packed_owner_;
   OwlqnReport report_;
   bool trained_ = false;
+  bool packed_ = false;
   uint64_t generation_ = 0;
 };
 

@@ -1,0 +1,65 @@
+#include "embed/packed_embeddings.h"
+
+#include <utility>
+
+#include "math/kernels.h"
+#include "util/logging.h"
+
+namespace pae::embed {
+
+PackedEmbeddings PackedEmbeddings::FromF32(
+    util::StringTableView vocab, size_t dim, const float* vectors,
+    std::shared_ptr<const void> owner) {
+  PAE_CHECK_GT(dim, 0u);
+  PackedEmbeddings p;
+  p.vocab_ = vocab;
+  p.dim_ = dim;
+  p.f32_ = vectors;
+  p.owner_ = std::move(owner);
+  return p;
+}
+
+PackedEmbeddings PackedEmbeddings::FromInt8(
+    util::StringTableView vocab, size_t dim, const int8_t* vectors,
+    const QuantParams* params, std::shared_ptr<const void> owner) {
+  PAE_CHECK_GT(dim, 0u);
+  PackedEmbeddings p;
+  p.vocab_ = vocab;
+  p.dim_ = dim;
+  p.q8_ = vectors;
+  p.params_ = params;
+  p.owner_ = std::move(owner);
+  return p;
+}
+
+double PackedEmbeddings::Similarity(const std::string& a,
+                                    const std::string& b) const {
+  const int ia = FindRow(a);
+  const int ib = FindRow(b);
+  if (ia < 0 || ib < 0) return 0.0;
+  const size_t ra = static_cast<size_t>(ia);
+  const size_t rb = static_cast<size_t>(ib);
+  if (q8_ != nullptr) {
+    const math::kernels::Q8Moments m = math::kernels::DotQ8(
+        q8_ + ra * dim_, q8_ + rb * dim_, dim_);
+    return math::kernels::CosineQ8(m, dim_, params_[ra].scale,
+                                   params_[ra].zero_point, params_[rb].scale,
+                                   params_[rb].zero_point);
+  }
+  return math::kernels::Cosine(f32_ + ra * dim_, f32_ + rb * dim_, dim_);
+}
+
+bool PackedEmbeddings::CopyRow(const std::string& word, float* out) const {
+  const int id = FindRow(word);
+  if (id < 0) return false;
+  const size_t r = static_cast<size_t>(id);
+  if (q8_ != nullptr) {
+    DequantizeRow(q8_ + r * dim_, dim_, params_[r], out);
+  } else {
+    const float* row = f32_ + r * dim_;
+    for (size_t i = 0; i < dim_; ++i) out[i] = row[i];
+  }
+  return true;
+}
+
+}  // namespace pae::embed

@@ -1,0 +1,78 @@
+#ifndef PAE_EMBED_PACKED_EMBEDDINGS_H_
+#define PAE_EMBED_PACKED_EMBEDDINGS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "embed/word2vec.h"
+#include "util/interner.h"
+
+namespace pae::embed {
+
+/// Zero-copy similarity queries over an mmap'ed embedding section of a
+/// `.paez` model artifact. The vocabulary probe table, the vectors
+/// (float32 or per-row-affine int8), and the quantization parameters
+/// all stay in the mapping — `owner` pins it. Id 0 is "<unk>" and is
+/// treated as out-of-vocabulary, matching Word2Vec::Vector.
+///
+/// The int8 path never materializes dequantized rows: Similarity
+/// computes exact integer moments with the dispatched DotQ8 kernel and
+/// applies both rows' affine parameters once in double
+/// (math::kernels::CosineQ8), so results are bit-identical across
+/// scalar/SSE2/AVX2.
+class PackedEmbeddings {
+ public:
+  PackedEmbeddings() = default;
+
+  /// Binds a float32 section. `vectors` is vocab_count × dim row-major.
+  static PackedEmbeddings FromF32(util::StringTableView vocab, size_t dim,
+                                  const float* vectors,
+                                  std::shared_ptr<const void> owner);
+
+  /// Binds an int8 section with per-row QuantParams.
+  static PackedEmbeddings FromInt8(util::StringTableView vocab, size_t dim,
+                                   const int8_t* vectors,
+                                   const QuantParams* params,
+                                   std::shared_ptr<const void> owner);
+
+  bool bound() const { return dim_ > 0; }
+  bool quantized() const { return q8_ != nullptr; }
+  size_t dim() const { return dim_; }
+  size_t vocab_size() const { return vocab_.size(); }
+
+  bool Contains(const std::string& word) const {
+    return FindRow(word) > 0;
+  }
+
+  /// Cosine similarity of two in-vocabulary words; 0 if either is OOV.
+  /// Float sections match Word2Vec::Similarity bit-for-bit. Int8
+  /// sections agree with a QuantizeInPlace()'d Word2Vec to float
+  /// rounding (the integer-moment path rounds once, the dequantized
+  /// float path once per element); the cleaning accuracy gate compares
+  /// decisions, and the artifact equivalence test bounds the delta.
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  /// Copies word's vector (dequantized when int8) into out[0, dim).
+  /// Returns false for OOV. For callers that need raw rows.
+  bool CopyRow(const std::string& word, float* out) const;
+
+ private:
+  /// Row id for `word`, or -1 when OOV (includes id 0 = "<unk>").
+  int FindRow(std::string_view word) const {
+    const int id = vocab_.Find(word);
+    return id <= 0 ? -1 : id;
+  }
+
+  util::StringTableView vocab_;
+  size_t dim_ = 0;
+  const float* f32_ = nullptr;
+  const int8_t* q8_ = nullptr;
+  const QuantParams* params_ = nullptr;
+  std::shared_ptr<const void> owner_;
+};
+
+}  // namespace pae::embed
+
+#endif  // PAE_EMBED_PACKED_EMBEDDINGS_H_

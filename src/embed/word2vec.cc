@@ -17,6 +17,34 @@ namespace {
 constexpr size_t kUnigramTableSize = 1 << 17;
 }
 
+QuantParams QuantizeRow(const float* row, size_t dim, int8_t* out) {
+  float lo = row[0];
+  float hi = row[0];
+  for (size_t i = 1; i < dim; ++i) {
+    lo = std::min(lo, row[i]);
+    hi = std::max(hi, row[i]);
+  }
+  QuantParams params;
+  params.scale = (hi > lo) ? (hi - lo) / 255.0f : 1.0f;
+  params.zero_point = static_cast<int32_t>(
+      std::lround(-128.0 - static_cast<double>(lo) / params.scale));
+  for (size_t i = 0; i < dim; ++i) {
+    const long q = std::lround(static_cast<double>(row[i]) / params.scale) +
+                   params.zero_point;
+    out[i] = static_cast<int8_t>(std::clamp<long>(q, -128, 127));
+  }
+  return params;
+}
+
+void DequantizeRow(const int8_t* q, size_t dim, QuantParams params,
+                   float* out) {
+  for (size_t i = 0; i < dim; ++i) {
+    out[i] = params.scale *
+             static_cast<float>(static_cast<int32_t>(q[i]) -
+                                params.zero_point);
+  }
+}
+
 Word2Vec::Word2Vec(Word2VecOptions options) : options_(options) {}
 
 Status Word2Vec::Train(
@@ -239,6 +267,18 @@ Status Word2Vec::Train(
   return Status::Ok();
 }
 
+void Word2Vec::QuantizeInPlace() {
+  if (!trained_) return;
+  const size_t d = dim();
+  std::vector<int8_t> q(d);
+  // Row 0 is "<unk>" and never served; quantize it anyway for symmetry.
+  for (size_t i = 0; i < vocab_.size(); ++i) {
+    float* row = in_vectors_.Row(i);
+    const QuantParams params = QuantizeRow(row, d, q.data());
+    DequantizeRow(q.data(), d, params, row);
+  }
+}
+
 const float* Word2Vec::Vector(const std::string& word) const {
   if (!trained_) return nullptr;
   int32_t id = vocab_.Lookup(word);
@@ -305,6 +345,13 @@ Status Word2Vec::Load(const std::string& path) {
     return Status::InvalidArgument("word2vec: dimension mismatch");
   }
   options_.dim = dim;
+  // Legacy parse copies the whole vocabulary and matrix into owned
+  // memory; counted for the zero-copy before/after evidence.
+  size_t copied = vectors.size() * sizeof(float);
+  for (const std::string& word : words) copied += word.size();
+  util::MetricsRegistry::Global()
+      .GetCounter("model.load.bytes_copied")
+      ->Add(static_cast<int64_t>(copied));
   vocab_ = text::Vocab();
   for (const std::string& word : words) vocab_.GetOrAdd(word);
   in_vectors_ = math::Matrix(words.size(), static_cast<size_t>(dim));

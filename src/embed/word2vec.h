@@ -1,6 +1,7 @@
 #ifndef PAE_EMBED_WORD2VEC_H_
 #define PAE_EMBED_WORD2VEC_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,21 @@
 #include "util/status.h"
 
 namespace pae::embed {
+
+/// Per-row affine int8 quantization parameters:
+/// real[i] = scale · (q[i] − zero_point), q ∈ [−128, 127].
+struct QuantParams {
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+};
+
+/// Quantizes `row[0, dim)` to int8 with a per-row affine mapping that
+/// spans [min, max] exactly. Deterministic: pure function of the row.
+QuantParams QuantizeRow(const float* row, size_t dim, int8_t* out);
+
+/// Inverse mapping: out[i] = params.scale · (q[i] − params.zero_point).
+void DequantizeRow(const int8_t* q, size_t dim, QuantParams params,
+                   float* out);
 
 /// Word2vec hyper-parameters (skip-gram with negative sampling).
 struct Word2VecOptions {
@@ -67,6 +83,18 @@ class Word2Vec {
   /// Restores embeddings previously written by Save. The loaded model
   /// answers similarity queries but cannot be trained further.
   Status Load(const std::string& path);
+
+  /// Round-trips every published vector through per-row int8 affine
+  /// quantization (QuantizeRow → DequantizeRow in place). After this,
+  /// similarity queries see exactly the values an int8 `.paez`
+  /// embedding section yields — the hook behind
+  /// SemanticCleaner::Config::quantize_int8 and the accuracy gate for
+  /// the quantized artifact variant. No-op before training.
+  void QuantizeInPlace();
+
+  /// Read access for the artifact writer (pae-model-pack).
+  const text::Vocab& vocab() const { return vocab_; }
+  const math::Matrix& vectors() const { return in_vectors_; }
 
  private:
   Word2VecOptions options_;

@@ -50,6 +50,12 @@ double SumSqScalar(const float* a, size_t n) {
   return detail::FinishSumSq(lanes, a, i, n);
 }
 
+Q8Moments DotQ8Scalar(const int8_t* a, const int8_t* b, size_t n) {
+  Q8Moments m;
+  detail::FinishDotQ8(&m, a, b, 0, n);
+  return m;
+}
+
 void AxpyScalar(float alpha, const float* x, float* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
@@ -170,8 +176,9 @@ const Dispatch& ActiveDispatch() {
 
 namespace detail {
 const KernelTable kScalarTable = {
-    DotScalar,     SumSqScalar,    AxpyScalar,          ScaleScalar,
-    MatVecScalar,  MatTVecScalar,  AddOuterScalar,      LstmGatePreactScalar,
+    DotScalar,     SumSqScalar,    DotQ8Scalar,         AxpyScalar,
+    ScaleScalar,   MatVecScalar,   MatTVecScalar,       AddOuterScalar,
+    LstmGatePreactScalar,
 };
 }  // namespace detail
 
@@ -237,6 +244,10 @@ double Dot(const float* a, const float* b, size_t n) {
 
 double SumSq(const float* a, size_t n) {
   return ActiveDispatch().table->sumsq(a, n);
+}
+
+Q8Moments DotQ8(const int8_t* a, const int8_t* b, size_t n) {
+  return ActiveDispatch().table->dotq8(a, b, n);
 }
 
 void Axpy(float alpha, const float* x, float* y, size_t n) {

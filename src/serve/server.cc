@@ -18,6 +18,8 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   swaps_counter_ = metrics.GetCounter("serve.hot_swaps");
   request_seconds_ = metrics.GetHistogram("serve.request.seconds",
                                           core::RequestLatencyBounds());
+  publish_load_seconds_ = metrics.GetHistogram("serve.publish.load_seconds",
+                                               core::RequestLatencyBounds());
 }
 
 Server::~Server() { Stop(); }
@@ -257,10 +259,15 @@ bool Server::HandleRequest(const Request& request,
       return true;
     }
     case Op::kPublish: {
-      Result<std::shared_ptr<const core::ExtractionEngine>> engine =
-          core::LoadCrfEngine(request.publish.model_path,
-                              request.publish.resources_dir,
-                              options_.publish_engine_options);
+      // Timed model-load-to-ready: the latency an operator actually
+      // waits for on a hot swap. A `.paez` artifact lands in the
+      // microsecond buckets; a legacy parse in the tens of milliseconds.
+      Result<std::shared_ptr<const core::ExtractionEngine>> engine = [&] {
+        util::ScopedTimer timer(publish_load_seconds_);
+        return core::LoadCrfEngine(request.publish.model_path,
+                                   request.publish.resources_dir,
+                                   options_.publish_engine_options);
+      }();
       if (!engine.ok()) {
         *response = EncodeErrorResponse(Op::kPublish, engine.status());
         return true;

@@ -149,6 +149,10 @@ class Server {
   util::Counter* connections_counter_;
   util::Counter* swaps_counter_;
   util::Histogram* request_seconds_;
+  /// Model-load-to-engine-ready time of kPublish hot swaps
+  /// ("serve.publish.load_seconds"): the observable difference between
+  /// the legacy parse and the mmap'ed `.paez` path.
+  util::Histogram* publish_load_seconds_;
 };
 
 }  // namespace pae::serve

@@ -47,6 +47,15 @@ class Vocab {
 
   size_t size() const { return words_.size(); }
 
+  /// Flat export for the zero-copy model artifact (see
+  /// FlatStringInterner::ExportPacked). A StringTableView over the
+  /// exported buffers resolves Lookup()-equivalent ids.
+  void ExportPacked(std::vector<util::PackedStringSlot>* slots,
+                    std::vector<util::PackedStringKey>* keys,
+                    std::string* arena) const {
+    words_.ExportPacked(slots, keys, arena);
+  }
+
  private:
   util::FlatStringInterner words_;
 };

@@ -112,4 +112,72 @@ std::string_view FlatStringInterner::key(int id) const {
   return std::string_view(ptr, len);
 }
 
+void FlatStringInterner::ExportPacked(std::vector<PackedStringSlot>* slots,
+                                      std::vector<PackedStringKey>* keys,
+                                      std::string* arena) const {
+  // The slot array is copied verbatim: its layout depends only on the
+  // key hashes and insertion order, never on where the key bytes live,
+  // so a StringTableView over the export probes exactly like Find().
+  slots->clear();
+  slots->resize(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    (*slots)[i].hash = slots_[i].hash;
+    (*slots)[i].id = slots_[i].id;
+    (*slots)[i].pad = 0;
+  }
+  // Key bytes are re-laid into one contiguous arena in id order (the
+  // live interner keeps them in chunked blocks with stable pointers —
+  // good for growth, wrong for a flat file).
+  keys->clear();
+  keys->resize(keys_.size());
+  size_t total = 0;
+  for (const auto& [ptr, len] : keys_) total += len;
+  arena->clear();
+  arena->reserve(total);
+  for (size_t id = 0; id < keys_.size(); ++id) {
+    const auto& [ptr, len] = keys_[id];
+    (*keys)[id].offset = arena->size();
+    (*keys)[id].length = len;
+    (*keys)[id].pad = 0;
+    arena->append(ptr, len);
+  }
+}
+
+Status StringTableView::Validate(const PackedStringSlot* slots,
+                                 size_t slot_count,
+                                 const PackedStringKey* keys,
+                                 size_t key_count, size_t arena_bytes) {
+  if (slot_count == 0 || (slot_count & (slot_count - 1)) != 0) {
+    return Status::InvalidArgument(
+        "string table: slot count is not a power of two");
+  }
+  if (key_count >= slot_count) {
+    // A full table would make the linear probe in Find() spin forever
+    // on a miss; the interner never exceeds 7/8 load, so a packed table
+    // without a free slot is corrupt by construction.
+    return Status::InvalidArgument(
+        "string table: no free slot (probe would spin)");
+  }
+  size_t occupied = 0;
+  for (size_t i = 0; i < slot_count; ++i) {
+    const int32_t id = slots[i].id;
+    if (id < 0) continue;
+    if (static_cast<size_t>(id) >= key_count) {
+      return Status::OutOfRange("string table: slot id out of range");
+    }
+    ++occupied;
+  }
+  if (occupied != key_count) {
+    return Status::InvalidArgument(
+        "string table: occupied slot count does not match key count");
+  }
+  for (size_t id = 0; id < key_count; ++id) {
+    const uint64_t end = keys[id].offset + keys[id].length;
+    if (end < keys[id].offset || end > arena_bytes) {
+      return Status::OutOfRange("string table: key bytes out of arena bounds");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace pae::util

@@ -8,8 +8,28 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace pae::util {
+
+/// One slot of a packed (on-disk) string table: the open-addressing
+/// probe array entry. Mirrors FlatStringInterner's Slot so a mapped
+/// table probes exactly like the in-memory one. POD, fixed 16 bytes.
+struct PackedStringSlot {
+  uint64_t hash = 0;
+  int32_t id = -1;  // -1 marks a free slot
+  uint32_t pad = 0;
+};
+static_assert(sizeof(PackedStringSlot) == 16, "slot layout is part of the format");
+
+/// One key of a packed string table: an (offset, length) reference into
+/// the table's contiguous arena. POD, fixed 16 bytes.
+struct PackedStringKey {
+  uint64_t offset = 0;  // byte offset into the arena section
+  uint32_t length = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(PackedStringKey) == 16, "key layout is part of the format");
 
 /// Open-addressing string → dense-id dictionary built for hot feature
 /// and vocabulary lookups.
@@ -65,6 +85,16 @@ class FlatStringInterner {
 
   /// Pre-sizes the slot table for `expected_keys` insertions.
   void Reserve(size_t expected_keys);
+
+  /// Deterministic flat export for the zero-copy model artifact: the
+  /// live slot table (hash + id per slot, same capacity and probe
+  /// layout), the id → (offset, length) key references, and one
+  /// contiguous arena holding every key's bytes in id order. A
+  /// StringTableView over these three buffers answers Find()/key()
+  /// identically to this interner.
+  void ExportPacked(std::vector<PackedStringSlot>* slots,
+                    std::vector<PackedStringKey>* keys,
+                    std::string* arena) const;
 
   /// 64-bit wyhash-style chunked multiply-mix with an avalanche
   /// finalizer (splitmix64-style), so short keys with shared prefixes
@@ -129,6 +159,116 @@ inline uint64_t FlatStringInterner::Hash(std::string_view key) {
   h ^= h >> 32;
   return h;
 }
+
+/// Read-only string → dense-id lookup over a packed table produced by
+/// FlatStringInterner::ExportPacked — typically three sections of an
+/// mmap'ed model artifact. Performs zero allocations: the slot array,
+/// key references and arena are used in place, so N processes mapping
+/// the same artifact share one physical copy of the feature dictionary.
+///
+/// The probe algorithm (hash, mask, linear probe, hash-then-memcmp
+/// confirm) is byte-for-byte the one in FlatStringInterner::Find, so a
+/// view over an exported table returns exactly the ids the interner
+/// would.
+///
+/// A default-constructed view is empty and answers Find() == -1.
+class StringTableView {
+ public:
+  StringTableView() = default;
+
+  /// Binds the view. The caller must have checked the O(1) shape
+  /// invariants (slot count a nonzero power of two, key_count <
+  /// slot_count); per-entry integrity is enforced lazily by the guarded
+  /// probe, or eagerly via Validate() on deep-verification paths.
+  StringTableView(const PackedStringSlot* slots, size_t slot_count,
+                  const PackedStringKey* keys, size_t key_count,
+                  const char* arena, size_t arena_bytes)
+      : slots_(slots),
+        mask_(slot_count - 1),
+        keys_(keys),
+        key_count_(key_count),
+        arena_(arena),
+        arena_bytes_(arena_bytes) {
+    PAE_DCHECK_GT(slot_count, 0u);
+    PAE_DCHECK_EQ(slot_count & (slot_count - 1), 0u);
+    PAE_DCHECK_LT(key_count, slot_count);
+  }
+
+  /// Deep validation of an untrusted packed table: slot count is a
+  /// power of two with at least one free slot (probe termination), every
+  /// slot id is -1 or a valid key index, the number of occupied slots
+  /// matches the key count, and every key reference lies inside the
+  /// arena. O(slots + keys) — run on pack, `pae-model-pack --check`, and
+  /// checksum-verified opens. The serving open skips it: the guarded
+  /// probe in Find()/key() enforces the same never-read-outside-the-
+  /// mapping guarantee per query, so binding is O(1) in the model size.
+  static Status Validate(const PackedStringSlot* slots, size_t slot_count,
+                         const PackedStringKey* keys, size_t key_count,
+                         size_t arena_bytes);
+
+  /// Returns the id for `key` or -1 if absent. Never allocates.
+  ///
+  /// The probe is guarded: the probe count is capped at the table size,
+  /// a slot id outside [0, key_count) answers like a miss, and a key
+  /// whose (offset, length) extent leaves the arena answers like a
+  /// miss. Every query is therefore memory-safe even over a corrupt
+  /// table — no read can leave [slots, keys, arena] — which is what
+  /// lets the serving open bind a mapped table after O(1) shape checks
+  /// instead of the O(table) Validate() sweep. For a well-formed table
+  /// none of the guards ever fires, so ids match FlatStringInterner
+  /// exactly.
+  int Find(std::string_view key) const {
+    if (slots_ == nullptr) return -1;
+    const uint64_t hash = FlatStringInterner::Hash(key);
+    size_t slot = hash & mask_;
+    for (size_t probes = 0; probes <= mask_; ++probes) {
+      const int32_t id = slots_[slot].id;
+      if (id < 0) return -1;
+      if (slots_[slot].hash == hash) {
+        if (static_cast<size_t>(id) >= key_count_) return -1;  // corrupt id
+        const PackedStringKey& ref = keys_[static_cast<size_t>(id)];
+        if (ref.offset > arena_bytes_ ||
+            ref.length > arena_bytes_ - ref.offset) {
+          return -1;  // corrupt extent
+        }
+        if (ref.length == key.size() &&
+            (ref.length == 0 ||
+             std::memcmp(arena_ + ref.offset, key.data(), ref.length) == 0)) {
+          return id;
+        }
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return -1;  // full table (corrupt): probe cap reached
+  }
+
+  bool Contains(std::string_view key) const { return Find(key) >= 0; }
+
+  /// The key for `id`; a view into the mapped arena, valid while the
+  /// mapping owner is alive. Same guard as Find(): a corrupt extent
+  /// yields an empty view rather than a read outside the arena.
+  std::string_view key(int id) const {
+    PAE_DCHECK_GE(id, 0);
+    PAE_DCHECK_LT(static_cast<size_t>(id), key_count_);
+    const PackedStringKey& ref = keys_[static_cast<size_t>(id)];
+    if (ref.offset > arena_bytes_ || ref.length > arena_bytes_ - ref.offset) {
+      return std::string_view();
+    }
+    return std::string_view(arena_ + ref.offset, ref.length);
+  }
+
+  size_t size() const { return key_count_; }
+  bool empty() const { return key_count_ == 0; }
+  bool bound() const { return slots_ != nullptr; }
+
+ private:
+  const PackedStringSlot* slots_ = nullptr;
+  size_t mask_ = 0;
+  const PackedStringKey* keys_ = nullptr;
+  size_t key_count_ = 0;
+  const char* arena_ = nullptr;
+  size_t arena_bytes_ = 0;
+};
 
 inline int FlatStringInterner::Find(std::string_view key) const {
   // Probe-termination invariant: the table always keeps free slots

@@ -1,0 +1,66 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pae::util {
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("mmap: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("mmap: fstat " + path + ": " + err);
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    // PROT_READ + MAP_SHARED: read-only pages backed directly by the
+    // page cache, shared across every process mapping the same file.
+    void* addr =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("mmap: map " + path + ": " + err);
+    }
+    file.data_ = static_cast<const uint8_t*>(addr);
+  }
+  // The mapping outlives the descriptor (POSIX keeps the pages alive).
+  ::close(fd);
+  return file;
+}
+
+}  // namespace pae::util

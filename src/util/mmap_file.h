@@ -1,0 +1,49 @@
+#ifndef PAE_UTIL_MMAP_FILE_H_
+#define PAE_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace pae::util {
+
+/// RAII read-only memory mapping of a whole file.
+///
+/// The mapping is `MAP_SHARED`, so every process that opens the same
+/// artifact shares one set of physical pages — N pae-serve workers on
+/// one host pay for the model's weight blocks once, and a hot-swap
+/// publish touches no model-sized memory at all (the kernel pages the
+/// file in lazily on first access).
+///
+/// Move-only; the destructor unmaps. All accessors are valid only while
+/// the object (or a shared_ptr owner holding it) is alive — the
+/// zero-copy model views hand out spans into `data()`, so they carry a
+/// `shared_ptr<const void>` owner to pin the mapping.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Empty files map successfully with
+  /// size() == 0 and data() == nullptr.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr || size_ == 0; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pae::util
+
+#endif  // PAE_UTIL_MMAP_FILE_H_

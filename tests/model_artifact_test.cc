@@ -1,0 +1,341 @@
+// The `.paez` zero-copy model artifact: pack/open round-trips,
+// byte-identical inference between the legacy parse and the mmap'ed
+// load (at 1 and 8 threads and on the scalar kernel tier), the
+// zero-copy claim proven through the model.load.bytes_copied counter,
+// and the f32/int8 packed embedding views.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/apply.h"
+#include "core/bootstrap.h"
+#include "core/model_artifact.h"
+#include "crf/crf_tagger.h"
+#include "datagen/generator.h"
+#include "embed/word2vec.h"
+#include "math/kernels.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace pae {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / ("pae_artifact_" + name)).string();
+}
+
+/// Restores the dispatched kernel tier on scope exit.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(math::kernels::Isa isa) { math::kernels::SetIsa(isa); }
+  ~ScopedIsa() { math::kernels::SetIsa(math::kernels::BestSupportedIsa()); }
+};
+
+/// One bootstrap-trained model + corpus, built once per process: the
+/// realistic fixture behind every cross-format comparison here.
+struct TrainedFixture {
+  core::ProcessedCorpus corpus;
+  std::shared_ptr<crf::CrfTagger> tagger;  // the in-memory original
+  std::string legacy_path;                 // CrfTagger::Save output
+  std::string paez_path;                   // packed artifact
+};
+
+const TrainedFixture& Fixture() {
+  static const TrainedFixture* fixture = [] {
+    auto* f = new TrainedFixture();
+    datagen::GeneratorConfig config;
+    config.num_products = 150;
+    config.seed = 42;
+    auto crawl = datagen::GenerateCategory(
+        datagen::CategoryId::kVacuumCleaner, config);
+    f->corpus = core::ProcessCorpus(crawl.corpus);
+
+    core::PipelineConfig pipeline_config;
+    pipeline_config.iterations = 1;
+    pipeline_config.crf.max_iterations = 25;
+    pipeline_config.train_final_model = true;
+    pipeline_config.seed = 7;
+    core::Pipeline pipeline(pipeline_config);
+    auto trained = pipeline.Run(f->corpus);
+    PAE_CHECK(trained.ok());
+    PAE_CHECK(trained.value().final_tagger != nullptr);
+    f->tagger = std::dynamic_pointer_cast<crf::CrfTagger>(
+        trained.value().final_tagger);
+    PAE_CHECK(f->tagger != nullptr);
+
+    f->legacy_path = TempPath("fixture.crf");
+    PAE_CHECK(f->tagger->Save(f->legacy_path).ok());
+    f->paez_path = TempPath("fixture.paez");
+    PAE_CHECK(core::PackModelArtifact(*f->tagger, nullptr,
+                                      core::PackOptions(), f->paez_path)
+                  .ok());
+    return f;
+  }();
+  return *fixture;
+}
+
+/// Opens the fixture artifact and binds a packed tagger to it.
+crf::CrfTagger LoadPackedFixture() {
+  auto artifact = core::ModelArtifact::Open(Fixture().paez_path);
+  PAE_CHECK(artifact.ok()) << artifact.status().ToString();
+  auto packed = core::MakePackedCrfModel(std::move(artifact).value());
+  PAE_CHECK(packed.ok()) << packed.status().ToString();
+  crf::CrfTagger tagger;
+  PAE_CHECK(tagger.LoadPacked(std::move(packed).value()).ok());
+  return tagger;
+}
+
+// ---------------- format round-trip ----------------
+
+TEST(ModelArtifactTest, SniffDistinguishesFormats) {
+  EXPECT_TRUE(core::IsPaezFile(Fixture().paez_path));
+  EXPECT_FALSE(core::IsPaezFile(Fixture().legacy_path));
+  EXPECT_FALSE(core::IsPaezFile(TempPath("does_not_exist.paez")));
+}
+
+TEST(ModelArtifactTest, OpenWithChecksumVerificationSucceeds) {
+  core::ModelArtifact::OpenOptions options;
+  options.verify_checksums = true;
+  auto artifact = core::ModelArtifact::Open(Fixture().paez_path, options);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  const core::ModelArtifact& a = *artifact.value();
+  EXPECT_TRUE(a.has_crf());
+  EXPECT_FALSE(a.has_embeddings());
+  const crf::CrfModel& model = Fixture().tagger->model();
+  EXPECT_EQ(a.crf_meta().num_labels, model.num_labels());
+  EXPECT_EQ(a.crf_meta().num_features, model.num_features());
+  EXPECT_EQ(a.crf_meta().weight_count,
+            Fixture().tagger->weights_span().size());
+  // Weight and vector blocks are page-aligned so the kernels see the
+  // same alignment mmap grants a fresh allocation.
+  for (const core::PaezSection& s : a.sections()) {
+    if (s.kind == core::kCrfWeights) EXPECT_EQ(s.offset % 4096, 0u);
+  }
+}
+
+TEST(ModelArtifactTest, PackingAPackedTaggerIsRefused) {
+  crf::CrfTagger packed = LoadPackedFixture();
+  EXPECT_TRUE(packed.packed());
+  const Status status = core::PackModelArtifact(
+      packed, nullptr, core::PackOptions(), TempPath("repack.paez"));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // Save is equally unavailable: the artifact on disk already is the
+  // serialized form.
+  EXPECT_EQ(packed.Save(TempPath("resave.crf")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------- cross-format equivalence ----------------
+
+TEST(ModelArtifactTest, PackedPredictionsMatchLegacyExactly) {
+  crf::CrfTagger legacy;
+  ASSERT_TRUE(legacy.Load(Fixture().legacy_path).ok());
+  crf::CrfTagger packed = LoadPackedFixture();
+
+  int compared = 0;
+  for (const auto& page : Fixture().corpus.pages) {
+    for (const auto& sentence : page.sentences) {
+      const auto a = legacy.PredictScored(sentence);
+      const auto b = packed.PredictScored(sentence);
+      EXPECT_EQ(a.labels, b.labels);
+      // Same doubles, same arithmetic: bitwise equality, not tolerance.
+      EXPECT_EQ(a.confidence, b.confidence);
+      if (++compared >= 200) return;
+    }
+  }
+}
+
+TEST(ModelArtifactTest, TriplesByteIdenticalAcrossFormatsAndThreads) {
+  crf::CrfTagger legacy;
+  ASSERT_TRUE(legacy.Load(Fixture().legacy_path).ok());
+  crf::CrfTagger packed = LoadPackedFixture();
+
+  core::ApplyOptions options;
+  options.threads = 1;
+  const std::vector<core::Triple> reference =
+      core::ExtractWithModel(legacy, Fixture().corpus, options);
+  ASSERT_FALSE(reference.empty());
+
+  for (const int threads : {1, 8}) {
+    options.threads = threads;
+    EXPECT_EQ(core::ExtractWithModel(packed, Fixture().corpus, options),
+              reference)
+        << "packed triples diverge at threads=" << threads;
+    EXPECT_EQ(core::ExtractWithModel(legacy, Fixture().corpus, options),
+              reference)
+        << "legacy triples diverge at threads=" << threads;
+  }
+
+  // And on the scalar kernel tier (the PAE_SIMD=scalar run of check.sh).
+  ScopedIsa scalar(math::kernels::Isa::kScalar);
+  options.threads = 8;
+  EXPECT_EQ(core::ExtractWithModel(packed, Fixture().corpus, options),
+            reference);
+}
+
+// ---------------- zero-copy metric proof ----------------
+
+TEST(ModelArtifactTest, PackedLoadCopiesOnlyLabelBytes) {
+  util::Counter* copied = util::MetricsRegistry::Global().GetCounter(
+      "model.load.bytes_copied");
+  const int64_t weights_bytes = static_cast<int64_t>(
+      Fixture().tagger->weights_span().size() * sizeof(double));
+
+  const int64_t before_legacy = copied->value();
+  {
+    crf::CrfTagger legacy;
+    ASSERT_TRUE(legacy.Load(Fixture().legacy_path).ok());
+  }
+  const int64_t legacy_delta = copied->value() - before_legacy;
+  EXPECT_GT(legacy_delta, weights_bytes)
+      << "legacy load must copy at least the weight block";
+
+  const int64_t before_packed = copied->value();
+  {
+    crf::CrfTagger packed = LoadPackedFixture();
+    EXPECT_FALSE(packed.weights_span().empty());
+  }
+  const int64_t packed_delta = copied->value() - before_packed;
+  // Labels are the single copied piece — a few hundred bytes against a
+  // megabyte-class model. "Zero model-sized allocations" as a counter.
+  EXPECT_LT(packed_delta, 4096);
+  EXPECT_LT(packed_delta * 100, legacy_delta)
+      << "packed load copied more than 1% of the legacy load";
+}
+
+// ---------------- packed embeddings ----------------
+
+embed::Word2Vec TrainTinyEmbeddings() {
+  embed::Word2VecOptions options;
+  options.dim = 24;
+  options.epochs = 6;
+  options.min_count = 1;
+  embed::Word2Vec model(options);
+  std::vector<std::vector<std::string>> corpus;
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    corpus.push_back({"red", rng.Bernoulli(0.5) ? "blue" : "green",
+                      "heavy", rng.Bernoulli(0.3) ? "light" : "solid",
+                      "red"});
+  }
+  PAE_CHECK(model.Train(corpus).ok());
+  return model;
+}
+
+TEST(ModelArtifactTest, PackedF32EmbeddingsMatchWord2VecExactly) {
+  embed::Word2Vec model = TrainTinyEmbeddings();
+  const std::string path = TempPath("embed_f32.paez");
+  ASSERT_TRUE(core::PackModelArtifact(*Fixture().tagger, &model,
+                                      core::PackOptions(), path)
+                  .ok());
+  core::ModelArtifact::OpenOptions verify;
+  verify.verify_checksums = true;
+  auto artifact = core::ModelArtifact::Open(path, verify);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  auto packed = core::MakePackedEmbeddings(artifact.value());
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_FALSE(packed.value().quantized());
+  EXPECT_EQ(packed.value().dim(), model.dim());
+
+  const std::vector<std::string> words = {"red", "blue", "green", "heavy",
+                                          "light", "solid"};
+  for (const auto& a : words) {
+    EXPECT_EQ(packed.value().Contains(a), model.Contains(a));
+    for (const auto& b : words) {
+      EXPECT_DOUBLE_EQ(packed.value().Similarity(a, b),
+                       model.Similarity(a, b));
+    }
+  }
+  EXPECT_FALSE(packed.value().Contains("zzz"));
+  std::remove(path.c_str());
+}
+
+TEST(ModelArtifactTest, PackedInt8EmbeddingsTrackQuantizedModel) {
+  embed::Word2Vec model = TrainTinyEmbeddings();
+  const std::string path = TempPath("embed_i8.paez");
+  core::PackOptions options;
+  options.quantize_embeddings = true;
+  ASSERT_TRUE(
+      core::PackModelArtifact(*Fixture().tagger, &model, options, path)
+          .ok());
+  auto artifact = core::ModelArtifact::Open(path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  ASSERT_TRUE(artifact.value()->embeddings_quantized());
+  auto packed = core::MakePackedEmbeddings(artifact.value());
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_TRUE(packed.value().quantized());
+
+  // The reference: the same vectors round-tripped through int8 in the
+  // float domain. The integer-moment path rounds once instead of per
+  // element, so agreement is to float rounding, not bitwise.
+  model.QuantizeInPlace();
+  const std::vector<std::string> words = {"red", "blue", "green", "heavy",
+                                          "light", "solid"};
+  for (const auto& a : words) {
+    for (const auto& b : words) {
+      EXPECT_NEAR(packed.value().Similarity(a, b), model.Similarity(a, b),
+                  1e-5)
+          << a << " ~ " << b;
+    }
+  }
+
+  // CopyRow dequantizes to exactly the round-tripped vectors.
+  std::vector<float> row(packed.value().dim());
+  ASSERT_TRUE(packed.value().CopyRow("red", row.data()));
+  const float* reference = model.Vector("red");
+  ASSERT_NE(reference, nullptr);
+  for (size_t i = 0; i < row.size(); ++i) EXPECT_EQ(row[i], reference[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelArtifactTest, Int8SimilarityBitIdenticalAcrossKernelTiers) {
+  embed::Word2Vec model = TrainTinyEmbeddings();
+  const std::string path = TempPath("embed_isa.paez");
+  core::PackOptions options;
+  options.quantize_embeddings = true;
+  ASSERT_TRUE(
+      core::PackModelArtifact(*Fixture().tagger, &model, options, path)
+          .ok());
+  auto artifact = core::ModelArtifact::Open(path);
+  ASSERT_TRUE(artifact.ok());
+  auto packed = core::MakePackedEmbeddings(artifact.value());
+  ASSERT_TRUE(packed.ok());
+
+  const std::vector<std::string> words = {"red", "blue", "green", "heavy",
+                                          "light", "solid"};
+  std::vector<double> reference;
+  {
+    ScopedIsa scalar(math::kernels::Isa::kScalar);
+    for (const auto& a : words) {
+      for (const auto& b : words) {
+        reference.push_back(packed.value().Similarity(a, b));
+      }
+    }
+  }
+  for (const math::kernels::Isa isa :
+       {math::kernels::Isa::kSse2, math::kernels::Isa::kAvx2}) {
+    if (!math::kernels::IsaSupported(isa)) continue;
+    ScopedIsa scoped(isa);
+    size_t k = 0;
+    for (const auto& a : words) {
+      for (const auto& b : words) {
+        // Exact integer moments → one shared rounding site → bitwise
+        // equality across tiers, the same discipline as the f64 kernels.
+        EXPECT_EQ(packed.value().Similarity(a, b), reference[k++])
+            << a << " ~ " << b;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pae

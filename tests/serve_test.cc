@@ -17,6 +17,7 @@
 #include "core/bootstrap.h"
 #include "core/corpus_io.h"
 #include "core/engine.h"
+#include "core/model_artifact.h"
 #include "core/normalize.h"
 #include "crf/crf_tagger.h"
 #include "datagen/generator.h"
@@ -210,6 +211,105 @@ TEST(GenerationCellTest, HotSwapHammerYieldsOnlyPublishedGenerations) {
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_GT(reads.load(), 0);
   EXPECT_EQ(cell.generation(), static_cast<uint64_t>(kGenerations));
+}
+
+// The same hammer against real CRF engines, one legacy-parsed and one
+// mmap-backed (`.paez`): publishes alternate between the two load paths
+// of the SAME model while readers run inference straight over the
+// shared mapping. Every response must be byte-identical to the
+// reference regardless of which format served it. Run under TSan in
+// check.sh's serve pass; the fixture is built once per process so
+// --gtest_repeat reuses it.
+TEST(GenerationCellTest, HotSwapHammerPackedArtifact) {
+  struct Fixture {
+    std::shared_ptr<const core::ExtractionEngine> legacy_engine;
+    std::shared_ptr<const core::ExtractionEngine> packed_engine;
+    std::vector<core::Triple> expected;
+  };
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    Rng rng(9);
+    std::vector<text::LabeledSequence> data;
+    for (int i = 0; i < 80; ++i) {
+      text::LabeledSequence seq;
+      seq.tokens = {"重量", "は", std::to_string(rng.NextInt(1, 9)), "kg",
+                    "です"};
+      seq.pos = {"NN", "PRT", "NUM", "UNIT", "VB"};
+      seq.labels = {"O", "O", "B-重量", "I-重量", "O"};
+      data.push_back(std::move(seq));
+    }
+    crf::CrfOptions options;
+    options.max_iterations = 20;
+    auto trained = std::make_shared<crf::CrfTagger>(options);
+    PAE_CHECK(trained->Train(data).ok());
+
+    const std::string model_path =
+        TestSocketPath("hammer_model.crf");  // temp-dir path helper
+    const std::string paez_path = TestSocketPath("hammer_model.paez");
+    PAE_CHECK(trained->Save(model_path).ok());
+    PAE_CHECK(core::PackModelArtifact(*trained, nullptr,
+                                      core::PackOptions(), paez_path)
+                  .ok());
+
+    auto legacy = std::make_shared<crf::CrfTagger>();
+    PAE_CHECK(legacy->Load(model_path).ok());
+    auto artifact = core::ModelArtifact::Open(paez_path);
+    PAE_CHECK(artifact.ok()) << artifact.status().ToString();
+    auto packed_model = core::MakePackedCrfModel(std::move(artifact).value());
+    PAE_CHECK(packed_model.ok());
+    auto packed = std::make_shared<crf::CrfTagger>();
+    PAE_CHECK(packed->LoadPacked(std::move(packed_model).value()).ok());
+    PAE_CHECK(packed->packed());
+
+    const std::vector<std::string> lexicon = {"重量", "kg", "です"};
+    text::PosLexicon pos;
+    pos.word_tags = {{"重量", "NN"}, {"kg", "UNIT"}, {"です", "VB"}};
+    f->legacy_engine = std::make_shared<core::ExtractionEngine>(
+        legacy, text::Language::kJa, lexicon, pos, core::EngineOptions{});
+    f->packed_engine = std::make_shared<core::ExtractionEngine>(
+        packed, text::Language::kJa, lexicon, pos, core::EngineOptions{});
+    auto scratch = core::ExtractionEngine::NewScratch();
+    f->expected = f->legacy_engine->Extract(
+        "p1", "<p>重量は7kgです。</p>", scratch.get());
+    PAE_CHECK(!f->expected.empty())
+        << "fixture page must actually extract, or the hammer is vacuous";
+    return f;
+  }();
+
+  constexpr int kSwaps = 100;
+  constexpr int kReaders = 4;
+  serve::GenerationCell cell;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> reads{0};
+  std::atomic<int64_t> mismatches{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      auto scratch = core::ExtractionEngine::NewScratch();
+      while (!done.load()) {
+        serve::GenerationCell::Lease lease = cell.Acquire();
+        if (lease.empty()) continue;
+        std::vector<core::Triple> triples = lease.engine()->Extract(
+            "p1", "<p>重量は7kgです。</p>", scratch.get());
+        if (triples != fixture->expected) mismatches.fetch_add(1);
+        reads.fetch_add(1);
+      }
+    });
+  }
+
+  for (int g = 1; g <= kSwaps; ++g) {
+    cell.Publish(g % 2 == 0 ? fixture->packed_engine
+                            : fixture->legacy_engine);
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  done.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(reads.load(), 0);
 }
 
 // ---------------------------------------------------------------------

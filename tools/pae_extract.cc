@@ -23,6 +23,7 @@
 #include "crf/crf_tagger.h"
 #include "core/corpus_io.h"
 #include "core/eval.h"
+#include "core/model_artifact.h"
 #include "math/kernels.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -106,10 +107,26 @@ int main(int argc, char** argv) {
   if (args.Has("apply-model")) {
     const std::string model_path = args.GetString("apply-model", "");
     pae::crf::CrfTagger tagger;
-    pae::Status loaded = tagger.Load(model_path);
-    if (!loaded.ok()) {
-      std::cerr << loaded.ToString() << "\n";
-      return 1;
+    if (pae::core::IsPaezFile(model_path)) {
+      auto artifact = pae::core::ModelArtifact::Open(model_path);
+      auto packed = artifact.ok()
+                        ? pae::core::MakePackedCrfModel(
+                              std::move(artifact).value())
+                        : pae::Result<pae::crf::PackedCrfModel>(
+                              artifact.status());
+      pae::Status loaded = packed.ok()
+                               ? tagger.LoadPacked(std::move(packed).value())
+                               : packed.status();
+      if (!loaded.ok()) {
+        std::cerr << loaded.ToString() << "\n";
+        return 1;
+      }
+    } else {
+      pae::Status loaded = tagger.Load(model_path);
+      if (!loaded.ok()) {
+        std::cerr << loaded.ToString() << "\n";
+        return 1;
+      }
     }
     pae::core::ApplyOptions apply;
     apply.threads = threads;

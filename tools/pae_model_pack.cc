@@ -1,0 +1,147 @@
+// CLI: pae-model-pack, the legacy-to-`.paez` artifact converter.
+// Reads a model written by CrfTagger::Save (and optionally embeddings
+// written by Word2Vec::Save), lays it out as the zero-copy mmap format
+// and verifies the written file end to end before exiting.
+//
+//   pae-model-pack --model m.crf --out m.paez
+//   pae-model-pack --model m.crf --embeddings w.w2v --int8 --out m.paez
+//   pae-model-pack --check m.paez            (validate + checksums only)
+//   pae-model-pack --info m.paez             (print the section table)
+//
+// A `m.crf.pairs` sidecar (the accepted catalog pairs) is copied to
+// `<out>.pairs` so the serving engine finds it under either name.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "args.h"
+#include "core/model_artifact.h"
+#include "crf/crf_tagger.h"
+#include "embed/word2vec.h"
+#include "util/logging.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: pae-model-pack --model m.crf [--embeddings w.w2v]\n"
+            << "                      [--int8] --out m.paez\n"
+            << "       pae-model-pack --check m.paez\n"
+            << "       pae-model-pack --info m.paez\n";
+  return 2;
+}
+
+const char* SectionKindName(uint32_t kind) {
+  switch (kind) {
+    case pae::core::kCrfMeta: return "crf-meta";
+    case pae::core::kCrfLabels: return "crf-labels";
+    case pae::core::kCrfFeatureSlots: return "crf-feature-slots";
+    case pae::core::kCrfFeatureKeys: return "crf-feature-keys";
+    case pae::core::kCrfFeatureArena: return "crf-feature-arena";
+    case pae::core::kCrfWeights: return "crf-weights";
+    case pae::core::kEmbedMeta: return "embed-meta";
+    case pae::core::kEmbedVocabSlots: return "embed-vocab-slots";
+    case pae::core::kEmbedVocabKeys: return "embed-vocab-keys";
+    case pae::core::kEmbedVocabArena: return "embed-vocab-arena";
+    case pae::core::kEmbedVectorsF32: return "embed-vectors-f32";
+    case pae::core::kEmbedVectorsI8: return "embed-vectors-i8";
+    case pae::core::kEmbedQuantParams: return "embed-quant-params";
+    case pae::core::kLstmParams: return "lstm-params";
+    default: return "?";
+  }
+}
+
+/// Full open with payload checksums — the packer's exit criterion and
+/// the whole job of --check.
+int Verify(const std::string& path, bool print_table) {
+  pae::core::ModelArtifact::OpenOptions options;
+  options.verify_checksums = true;
+  auto artifact = pae::core::ModelArtifact::Open(path, options);
+  if (!artifact.ok()) {
+    std::cerr << artifact.status().ToString() << "\n";
+    return 1;
+  }
+  const pae::core::ModelArtifact& a = *artifact.value();
+  std::cout << path << ": paez v" << a.header().version << ", "
+            << a.file_bytes() << " bytes, " << a.sections().size()
+            << " sections";
+  if (a.has_crf()) {
+    std::cout << ", crf " << a.crf_meta().num_labels << " labels / "
+              << a.crf_meta().num_features << " features / "
+              << a.crf_meta().weight_count << " weights";
+  }
+  if (a.has_embeddings()) {
+    std::cout << ", embed " << a.embed_meta().vocab_count << " x "
+              << a.embed_meta().dim
+              << (a.embeddings_quantized() ? " int8" : " f32");
+  }
+  std::cout << "\n";
+  if (print_table) {
+    for (const pae::core::PaezSection& s : a.sections()) {
+      std::cout << "  " << SectionKindName(s.kind) << " offset=" << s.offset
+                << " length=" << s.length << " align=" << s.align << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pae::tools::Args args(argc, argv);
+
+  if (args.Has("check")) return Verify(args.GetString("check", ""), false);
+  if (args.Has("info")) return Verify(args.GetString("info", ""), true);
+
+  const std::string model_path = args.GetString("model", "");
+  const std::string out_path = args.GetString("out", "");
+  if (model_path.empty() || out_path.empty()) return Usage();
+
+  pae::crf::CrfTagger tagger;
+  pae::Status loaded = tagger.Load(model_path);
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
+    return 1;
+  }
+
+  pae::embed::Word2Vec embeddings;
+  bool has_embeddings = false;
+  const std::string embeddings_path = args.GetString("embeddings", "");
+  if (!embeddings_path.empty()) {
+    pae::Status eloaded = embeddings.Load(embeddings_path);
+    if (!eloaded.ok()) {
+      std::cerr << eloaded.ToString() << "\n";
+      return 1;
+    }
+    has_embeddings = true;
+  }
+
+  pae::core::PackOptions options;
+  options.quantize_embeddings = args.Has("int8");
+  if (options.quantize_embeddings && !has_embeddings) {
+    std::cerr << "--int8 requires --embeddings\n";
+    return 2;
+  }
+
+  pae::Status packed = pae::core::PackModelArtifact(
+      tagger, has_embeddings ? &embeddings : nullptr, options, out_path);
+  if (!packed.ok()) {
+    std::cerr << packed.ToString() << "\n";
+    return 1;
+  }
+
+  // Copy the accepted-pairs sidecar so `<out>.pairs` travels with the
+  // artifact the way `<model>.pairs` travels with the legacy file.
+  std::ifstream pairs_in(model_path + ".pairs", std::ios::binary);
+  if (pairs_in) {
+    std::ofstream pairs_out(out_path + ".pairs",
+                            std::ios::binary | std::ios::trunc);
+    pairs_out << pairs_in.rdbuf();
+    if (!pairs_out) {
+      std::cerr << "failed copying " << model_path << ".pairs\n";
+      return 1;
+    }
+  }
+
+  return Verify(out_path, false);
+}

@@ -71,6 +71,12 @@ int main(int argc, char** argv) {
   }
   std::shared_ptr<const pae::core::ExtractionEngine> engine;
   if (!model_path.empty()) {
+    // Timed into the same histogram kPublish hot swaps use, so a
+    // metrics report shows the initial load next to the swaps.
+    pae::util::Histogram* load_seconds =
+        pae::util::MetricsRegistry::Global().GetHistogram(
+            "serve.publish.load_seconds", pae::core::RequestLatencyBounds());
+    pae::util::ScopedTimer load_timer(load_seconds);
     auto loaded = pae::core::LoadCrfEngine(
         model_path, resources_dir, options.publish_engine_options,
         /*load_accepted_pairs=*/!args.Has("no-pairs"));
