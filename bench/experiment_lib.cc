@@ -15,12 +15,17 @@ namespace pae::bench {
 BenchOptions BenchOptions::FromEnv(int default_products) {
   BenchOptions options;
   options.num_products = default_products;
+  // Bench drivers read their environment once on the main thread at
+  // startup, before spawning workers — no concurrent setenv exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PAE_PRODUCTS")) {
     options.num_products = std::atoi(env);
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PAE_SEED")) {
     options.seed = static_cast<uint64_t>(std::atoll(env));
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PAE_THREADS")) {
     options.threads = std::max(0, std::atoi(env));
   }
@@ -105,6 +110,8 @@ void PrintHeader(const std::string& title, const BenchOptions& options) {
 }
 
 void MaybeWriteMetricsReport() {
+  // Main-thread read after the benchmark's workers have joined.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* path = std::getenv("PAE_METRICS_OUT");
   if (path == nullptr || path[0] == '\0') return;
   // Stamp the SIMD dispatch decision right before snapshotting: gauges

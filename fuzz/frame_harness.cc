@@ -1,0 +1,78 @@
+#include "frame_harness.h"
+
+#include <sys/socket.h>
+
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/socket.h"
+
+namespace pae::fuzz {
+
+namespace {
+
+/// Cap for the socketpair leg: one blocking write must fit in the
+/// kernel socket buffer so the harness never deadlocks against itself.
+/// Linux defaults give AF_UNIX pairs >200 KiB; 64 KiB is safely below.
+constexpr size_t kMaxSocketBytes = 64u << 10;
+
+/// ReadFrame ceiling for the fuzz stream — below kMaxSocketBytes so a
+/// hostile length word is exercised as "oversized" (rejected before
+/// allocation) rather than blocking on bytes that will never arrive.
+constexpr uint32_t kFuzzFrameCap = 60000;
+
+/// Every pure decoder over one payload. These parse attacker bytes
+/// straight from the wire, so each must fail with Status, never crash.
+void ExerciseDecoders(const std::string& payload) {
+  auto request = serve::DecodeRequest(payload);
+  (void)request.ok();
+
+  for (serve::Op op : {serve::Op::kExtract, serve::Op::kPing,
+                       serve::Op::kStats, serve::Op::kPublish,
+                       serve::Op::kShutdown}) {
+    size_t body_pos = 0;
+    (void)serve::DecodeResponseEnvelope(payload, op, &body_pos);
+  }
+  (void)serve::DecodeExtractResponse(payload, "fuzz-product");
+  (void)serve::DecodePingResponse(payload);
+  (void)serve::DecodeStatsResponse(payload);
+  (void)serve::DecodePublishResponse(payload);
+  (void)serve::DecodeShutdownResponse(payload);
+}
+
+}  // namespace
+
+int FuzzFrameOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(static_cast<const char*>(
+                              static_cast<const void*>(data)),
+                          size);
+
+  // Leg 1: the bytes as one already-framed payload.
+  ExerciseDecoders(bytes);
+
+  // Leg 2: the bytes as a raw stream — length prefixes and all — pushed
+  // through a real socket so ReadFrame's corrupt-length discipline
+  // (oversize word, EOF mid-frame, EOF between frames) runs end to end.
+  if (size > kMaxSocketBytes) return 0;
+  int raw[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, raw) != 0) return 0;
+  serve::Fd reader(raw[0]);
+  {
+    serve::Fd writer(raw[1]);
+    if (!serve::WriteFull(writer, bytes.data(), bytes.size()).ok()) {
+      return 0;
+    }
+    // writer closes here: the stream ends exactly at the input's end.
+  }
+  std::string payload;
+  // A 64 KiB stream holds at most ~16K minimal frames; the bound is a
+  // backstop, not a limit hit in practice.
+  for (int i = 0; i < 1 << 14; ++i) {
+    const Status status = serve::ReadFrame(reader, &payload, kFuzzFrameCap);
+    if (!status.ok()) break;
+    (void)serve::DecodeRequest(payload);
+  }
+  return 0;
+}
+
+}  // namespace pae::fuzz

@@ -1,0 +1,20 @@
+#ifndef PAE_FUZZ_FRAME_HARNESS_H_
+#define PAE_FUZZ_FRAME_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pae::fuzz {
+
+/// Feeds `size` bytes of `data` through the serve wire protocol: first
+/// every pure payload decoder (request, response envelope, each typed
+/// response body) runs over the bytes as one payload; then the raw
+/// bytes are pushed through a socketpair and drained with ReadFrame so
+/// the length-prefix framing (corrupt length words, truncated frames,
+/// EOF mid-frame) is exercised end to end. Decode failures are the
+/// expected outcome; only crashes and sanitizer reports are findings.
+int FuzzFrameOneInput(const uint8_t* data, size_t size);
+
+}  // namespace pae::fuzz
+
+#endif  // PAE_FUZZ_FRAME_HARNESS_H_

@@ -1,0 +1,12 @@
+// libFuzzer entry point for the `.paez` artifact harness (Clang only;
+// built when PAE_FUZZER is ON). GCC builds exercise the same harness
+// through pae-fuzz-replay instead.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "paez_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return pae::fuzz::FuzzPaezOneInput(data, size);
+}

@@ -1,0 +1,22 @@
+#ifndef PAE_FUZZ_PAEZ_HARNESS_H_
+#define PAE_FUZZ_PAEZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pae::fuzz {
+
+/// Feeds `size` bytes of `data` through the `.paez` artifact open path:
+/// the bytes are written to a scratch file, opened structurally (the
+/// serving configuration, verify_checksums off), then opened again with
+/// payload checksum verification on. When either open succeeds the
+/// harness walks every accessor and builds the zero-copy CRF and
+/// embedding views, running a prediction / similarity probe so the
+/// string-table Find path executes against the (possibly hostile)
+/// mapping. Any crash, sanitizer report, or out-of-mapping read is a
+/// finding; Status errors are the expected outcome and return 0.
+int FuzzPaezOneInput(const uint8_t* data, size_t size);
+
+}  // namespace pae::fuzz
+
+#endif  // PAE_FUZZ_PAEZ_HARNESS_H_

@@ -1,0 +1,71 @@
+#include "paez_mutator.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pae::fuzz {
+
+namespace {
+
+size_t SectionEntryOffset(size_t index) {
+  return core::kPaezHeaderBytes + index * sizeof(core::PaezSection);
+}
+
+}  // namespace
+
+bool ReadPaezHeader(const std::string& file, core::PaezHeader* header) {
+  if (file.size() < sizeof(core::PaezHeader)) return false;
+  std::memcpy(header, file.data(), sizeof(core::PaezHeader));
+  return true;
+}
+
+void WritePaezHeader(std::string* file, const core::PaezHeader& header) {
+  std::memcpy(file->data(), &header, sizeof(core::PaezHeader));
+}
+
+bool ReadPaezSection(const std::string& file, size_t index,
+                     core::PaezSection* section) {
+  const size_t offset = SectionEntryOffset(index);
+  if (file.size() < offset + sizeof(core::PaezSection)) return false;
+  std::memcpy(section, file.data() + offset, sizeof(core::PaezSection));
+  return true;
+}
+
+void WritePaezSection(std::string* file, size_t index,
+                      const core::PaezSection& section) {
+  std::memcpy(file->data() + SectionEntryOffset(index), &section,
+              sizeof(core::PaezSection));
+}
+
+int FindPaezSection(const std::string& file, uint32_t kind) {
+  core::PaezHeader header;
+  if (!ReadPaezHeader(file, &header)) return -1;
+  for (size_t i = 0; i < header.section_count; ++i) {
+    core::PaezSection section;
+    if (!ReadPaezSection(file, i, &section)) return -1;
+    if (section.kind == kind) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void RestampPaezSectionChecksum(std::string* file, size_t index) {
+  core::PaezSection section;
+  if (!ReadPaezSection(*file, index, &section)) return;
+  const size_t offset = std::min<size_t>(section.offset, file->size());
+  const size_t length =
+      std::min<size_t>(section.length, file->size() - offset);
+  section.checksum = core::ArtifactChecksum(file->data() + offset, length);
+  WritePaezSection(file, index, section);
+}
+
+void RestampPaezTableChecksum(std::string* file) {
+  core::PaezHeader header;
+  if (!ReadPaezHeader(*file, &header)) return;
+  const size_t table_bytes = header.section_count * sizeof(core::PaezSection);
+  if (file->size() < core::kPaezHeaderBytes + table_bytes) return;
+  header.table_checksum = core::ArtifactChecksum(
+      file->data() + core::kPaezHeaderBytes, table_bytes);
+  WritePaezHeader(file, header);
+}
+
+}  // namespace pae::fuzz

@@ -1,0 +1,49 @@
+#ifndef PAE_FUZZ_PAEZ_MUTATOR_H_
+#define PAE_FUZZ_PAEZ_MUTATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/model_artifact.h"
+
+namespace pae::fuzz {
+
+/// Structure-aware mutation helpers over an in-memory `.paez` image.
+/// Mutations that should penetrate past the table-checksum gate must
+/// restamp the checksums they invalidate — that is the whole point of
+/// being structure-aware: a blind bit flip dies at the checksum, while
+/// a restamped mutation reaches the validation logic beyond it.
+/// Everything is memcpy-based; no aliasing casts.
+
+/// Reads the header from a file image. False when the image is shorter
+/// than a header.
+bool ReadPaezHeader(const std::string& file, core::PaezHeader* header);
+
+/// Overwrites the header in place (image must hold one).
+void WritePaezHeader(std::string* file, const core::PaezHeader& header);
+
+/// Reads section-table entry `index`. False when the image is too
+/// short for that entry.
+bool ReadPaezSection(const std::string& file, size_t index,
+                     core::PaezSection* section);
+
+/// Overwrites section-table entry `index` in place.
+void WritePaezSection(std::string* file, size_t index,
+                      const core::PaezSection& section);
+
+/// Index of the first table entry with `kind` per the header's section
+/// count, or -1 when absent.
+int FindPaezSection(const std::string& file, uint32_t kind);
+
+/// Recomputes table entry `index`'s payload checksum from the payload
+/// bytes currently in the image (clamped to the image end).
+void RestampPaezSectionChecksum(std::string* file, size_t index);
+
+/// Recomputes the header's table checksum from the section table
+/// currently in the image. Call after any table edit.
+void RestampPaezTableChecksum(std::string* file);
+
+}  // namespace pae::fuzz
+
+#endif  // PAE_FUZZ_PAEZ_MUTATOR_H_

@@ -8,6 +8,7 @@
 #   scripts/check.sh --no-tsan   # skip the TSan pass
 #   scripts/check.sh --no-asan   # skip the ASan pass
 #   scripts/check.sh --no-ubsan  # skip the UBSan pass
+#   scripts/check.sh --no-fuzz   # skip the ASan+UBSan fuzz-replay pass
 #   scripts/check.sh --tidy      # additionally run scripts/tidy.sh
 #   PAE_CHECK_JOBS=4 scripts/check.sh   # override build/test parallelism
 #
@@ -45,11 +46,13 @@ JOBS="${PAE_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 RUN_TSAN=1
 RUN_ASAN=1
 RUN_UBSAN=1
+RUN_FUZZ=1
 RUN_TIDY=0
 for arg in "$@"; do
   [[ "${arg}" == "--no-tsan" ]] && RUN_TSAN=0
   [[ "${arg}" == "--no-asan" ]] && RUN_ASAN=0
   [[ "${arg}" == "--no-ubsan" ]] && RUN_UBSAN=0
+  [[ "${arg}" == "--no-fuzz" ]] && RUN_FUZZ=0
   [[ "${arg}" == "--tidy" ]] && RUN_TIDY=1
 done
 
@@ -218,6 +221,23 @@ if [[ "${RUN_UBSAN}" == "1" ]]; then
         -DPAE_SANITIZE=undefined > /dev/null
   cmake --build build-check-ubsan -j "${JOBS}"
   ctest --test-dir build-check-ubsan --output-on-failure -j "${JOBS}"
+fi
+
+if [[ "${RUN_FUZZ}" == "1" ]]; then
+  echo "==> pass 5: ASan+UBSan fuzz-harness replay over the corpus"
+  # Both structure-aware harnesses over the committed corpus plus the
+  # mutation-sweep gtest, instrumented with the fuzzing combo: ASan for
+  # the out-of-mapping reads hostile artifacts aim for, UBSan for the
+  # arithmetic on hostile header fields. Bounded (corpus replay, not
+  # coverage search) so it fits every CI run; the coverage-guided
+  # libFuzzer targets run on the Clang leg.
+  cmake -B build-check-fuzz -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DPAE_SANITIZE=address+undefined > /dev/null
+  cmake --build build-check-fuzz -j "${JOBS}" \
+        --target pae-fuzz-replay fuzz_replay_test
+  ./build-check-fuzz/fuzz/pae-fuzz-replay --target=paez fuzz/corpus/paez
+  ./build-check-fuzz/fuzz/pae-fuzz-replay --target=frame fuzz/corpus/frame
+  ./build-check-fuzz/tests/fuzz_replay_test
 fi
 
 if [[ "${RUN_TIDY}" == "1" ]]; then

@@ -67,8 +67,9 @@ if [[ "${MODE}" == "werror" ]]; then
   EXTRA_ARGS+=("--warnings-as-errors=*")
 fi
 
-echo "==> ${CLANG_TIDY} over src/ and tools/ (${JOBS} jobs, mode: ${MODE})"
-find src tools -name '*.cc' -print0 |
+echo "==> ${CLANG_TIDY} over src/, tools/, bench/, fuzz/" \
+     "(${JOBS} jobs, mode: ${MODE})"
+find src tools bench fuzz -name '*.cc' -print0 |
   xargs -0 -n 1 -P "${JOBS}" \
     "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${EXTRA_ARGS[@]}"
 

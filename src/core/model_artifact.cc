@@ -430,15 +430,26 @@ Result<std::shared_ptr<const ModelArtifact>> ModelArtifact::Open(
     }
   }
 
-  // --- cross-checks: every view handed out later is sized here ---
-  auto require = [&](PaezSectionKind kind, size_t expected_bytes,
-                     const char* what) -> Status {
+  // --- cross-checks: every view handed out later is sized here.
+  // `count * size` is guarded against u64 wraparound: a crafted
+  // element count near 2^64 / size would otherwise multiply to a tiny
+  // expected length, let a short section pass, and hand later lookups a
+  // view claiming far more elements than the mapping holds (found by
+  // the .paez fuzz target; fuzz/corpus/paez/regression-slot-count-
+  // overflow.paez is the reproducer). No real section outgrows the
+  // file, so counts above file_bytes / size are rejected outright. ---
+  auto require = [&](PaezSectionKind kind, uint64_t element_count,
+                     uint64_t element_size, const char* what) -> Status {
     const uint8_t* data = artifact->SectionData(kind);
     if (data == nullptr) {
       return Status::InvalidArgument(std::string("paez: missing ") + what +
                                      " section in " + path);
     }
-    if (artifact->SectionLength(kind) != expected_bytes) {
+    if (element_count > file_bytes / element_size) {
+      return Status::OutOfRange(std::string("paez: ") + what +
+                                " element count exceeds the file in " + path);
+    }
+    if (artifact->SectionLength(kind) != element_count * element_size) {
       return Status::OutOfRange(std::string("paez: ") + what +
                                 " section has wrong length in " + path);
     }
@@ -446,7 +457,7 @@ Result<std::shared_ptr<const ModelArtifact>> ModelArtifact::Open(
   };
 
   if ((header.flags & kPaezFlagCrf) != 0) {
-    PAE_RETURN_IF_ERROR(require(kCrfMeta, sizeof(PaezCrfMeta), "crf meta"));
+    PAE_RETURN_IF_ERROR(require(kCrfMeta, 1, sizeof(PaezCrfMeta), "crf meta"));
     std::memcpy(&artifact->crf_meta_, artifact->SectionData(kCrfMeta),
                 sizeof(PaezCrfMeta));
     const PaezCrfMeta& meta = artifact->crf_meta_;
@@ -458,19 +469,17 @@ Result<std::shared_ptr<const ModelArtifact>> ModelArtifact::Open(
       return Status::InvalidArgument("paez: inconsistent crf meta in " + path);
     }
     PAE_RETURN_IF_ERROR(
-        require(kCrfFeatureSlots,
-                meta.feature_slot_count * sizeof(util::PackedStringSlot),
-                "crf feature slot"));
+        require(kCrfFeatureSlots, meta.feature_slot_count,
+                sizeof(util::PackedStringSlot), "crf feature slot"));
     PAE_RETURN_IF_ERROR(require(
-        kCrfFeatureKeys, features * sizeof(util::PackedStringKey),
+        kCrfFeatureKeys, features, sizeof(util::PackedStringKey),
         "crf feature key"));
     if (artifact->SectionData(kCrfFeatureArena) == nullptr) {
       return Status::InvalidArgument("paez: missing crf arena section in " +
                                      path);
     }
-    PAE_RETURN_IF_ERROR(require(kCrfWeights,
-                                meta.weight_count * sizeof(double),
-                                "crf weight"));
+    PAE_RETURN_IF_ERROR(require(kCrfWeights, meta.weight_count,
+                                sizeof(double), "crf weight"));
     PAE_RETURN_IF_ERROR(CheckTableShape(meta.feature_slot_count, features,
                                         "crf feature", path));
     if (options.verify_checksums) {
@@ -497,7 +506,7 @@ Result<std::shared_ptr<const ModelArtifact>> ModelArtifact::Open(
                                      path);
     }
     PAE_RETURN_IF_ERROR(
-        require(kEmbedMeta, sizeof(PaezEmbedMeta), "embed meta"));
+        require(kEmbedMeta, 1, sizeof(PaezEmbedMeta), "embed meta"));
     std::memcpy(&artifact->embed_meta_, artifact->SectionData(kEmbedMeta),
                 sizeof(PaezEmbedMeta));
     const PaezEmbedMeta& emeta = artifact->embed_meta_;
@@ -510,11 +519,10 @@ Result<std::shared_ptr<const ModelArtifact>> ModelArtifact::Open(
     const uint64_t vocab = emeta.vocab_count;
     const uint64_t dim = emeta.dim;
     PAE_RETURN_IF_ERROR(
-        require(kEmbedVocabSlots,
-                emeta.vocab_slot_count * sizeof(util::PackedStringSlot),
-                "embed vocab slot"));
-    PAE_RETURN_IF_ERROR(require(kEmbedVocabKeys,
-                                vocab * sizeof(util::PackedStringKey),
+        require(kEmbedVocabSlots, emeta.vocab_slot_count,
+                sizeof(util::PackedStringSlot), "embed vocab slot"));
+    PAE_RETURN_IF_ERROR(require(kEmbedVocabKeys, vocab,
+                                sizeof(util::PackedStringKey),
                                 "embed vocab key"));
     if (artifact->SectionData(kEmbedVocabArena) == nullptr) {
       return Status::InvalidArgument("paez: missing embed arena section in " +
@@ -522,14 +530,13 @@ Result<std::shared_ptr<const ModelArtifact>> ModelArtifact::Open(
     }
     if (quantized) {
       PAE_RETURN_IF_ERROR(
-          require(kEmbedVectorsI8, vocab * dim, "embed int8 vector"));
-      PAE_RETURN_IF_ERROR(require(kEmbedQuantParams,
-                                  vocab * sizeof(embed::QuantParams),
+          require(kEmbedVectorsI8, vocab * dim, 1, "embed int8 vector"));
+      PAE_RETURN_IF_ERROR(require(kEmbedQuantParams, vocab,
+                                  sizeof(embed::QuantParams),
                                   "embed quant param"));
     } else {
-      PAE_RETURN_IF_ERROR(require(kEmbedVectorsF32,
-                                  vocab * dim * sizeof(float),
-                                  "embed f32 vector"));
+      PAE_RETURN_IF_ERROR(require(kEmbedVectorsF32, vocab * dim,
+                                  sizeof(float), "embed f32 vector"));
     }
     PAE_RETURN_IF_ERROR(CheckTableShape(emeta.vocab_slot_count, vocab,
                                         "embed vocab", path));

@@ -143,6 +143,9 @@ const Dispatch* DispatchFor(Isa isa) {
 
 Isa ResolveIsa() {
   Isa isa = BestSupportedIsa();
+  // Read once, before any worker thread exists (this runs under the
+  // dispatch-table initializer), so getenv cannot race a setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PAE_SIMD")) {
     Isa requested;
     if (!ParseIsa(env, &requested)) {

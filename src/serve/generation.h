@@ -5,11 +5,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "core/engine.h"
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pae::serve {
 
@@ -110,11 +111,11 @@ class GenerationCell {
   /// movs, so the fast path costs nothing extra).
   Lease Acquire() const {
     for (;;) {
-      const uint64_t gen = current_.load();
+      const uint64_t gen = current_.load(std::memory_order_seq_cst);
       if (gen == 0) return Lease();
       const Slot& slot = slots_[gen % kSlots];
-      slot.readers.fetch_add(1);
-      if (current_.load() == gen) {
+      slot.readers.fetch_add(1, std::memory_order_seq_cst);
+      if (current_.load(std::memory_order_seq_cst) == gen) {
         // Slot proven current while pinned: the publisher cannot have
         // reused it (reuse needs kSlots newer generations AND a drained
         // reader count, and ours is > 0).
@@ -128,20 +129,21 @@ class GenerationCell {
   /// (1-based). Blocks while the slot being reused still has in-flight
   /// leases — requests more than kSlots generations behind gate the
   /// swap rate, never the other way around.
-  uint64_t Publish(std::shared_ptr<const core::ExtractionEngine> engine) {
+  uint64_t Publish(std::shared_ptr<const core::ExtractionEngine> engine)
+      PAE_EXCLUDES(publish_mutex_) {
     PAE_CHECK(engine != nullptr);
-    std::lock_guard<std::mutex> lock(publish_mutex_);
-    const uint64_t next = current_.load() + 1;
+    util::MutexLock lock(publish_mutex_);
+    const uint64_t next = current_.load(std::memory_order_seq_cst) + 1;
     Slot& slot = slots_[next % kSlots];
     // Drain the slot's previous tenant (generation next - kSlots). The
     // seq_cst load pairs with the reader's announce/validate sequence:
     // any reader this load misses is guaranteed to fail its validation
     // and back off without touching the slot.
-    while (slot.readers.load() != 0) {
+    while (slot.readers.load(std::memory_order_seq_cst) != 0) {
       std::this_thread::yield();
     }
     slot.engine = std::move(engine);
-    current_.store(next);
+    current_.store(next, std::memory_order_seq_cst);
     return next;
   }
 
@@ -155,13 +157,17 @@ class GenerationCell {
     /// Written only by publishers, under publish_mutex_, after the
     /// reader count drained; read by leased readers. The shared_ptr
     /// keeps the engine alive while the slot owns the generation.
+    /// Deliberately NOT PAE_GUARDED_BY(publish_mutex_): the read side
+    /// is lock-free by design — its safety argument is the
+    /// announce/validate protocol above, which the static analysis
+    /// cannot express; the hammer test under TSan is its enforcement.
     std::shared_ptr<const core::ExtractionEngine> engine;
     mutable std::atomic<int64_t> readers{0};
   };
 
   std::atomic<uint64_t> current_{0};
   std::array<Slot, kSlots> slots_;
-  std::mutex publish_mutex_;
+  util::Mutex publish_mutex_;
 };
 
 }  // namespace pae::serve

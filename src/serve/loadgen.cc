@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "core/engine.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace pae::serve {
 
@@ -145,7 +145,7 @@ Result<LoadgenReport> RunLoadgen(
     clients.push_back(std::move(client.value()));
   }
 
-  std::mutex merge_mutex;
+  util::Mutex merge_mutex;
   LoadgenReport report;
   report.bounds = bounds;
   report.bucket_counts.assign(bounds.size() + 1, 0);
@@ -220,17 +220,21 @@ Result<LoadgenReport> RunLoadgen(
           tally.max_seconds = std::max(tally.max_seconds, seconds);
           int64_t expected = 0;
           measured_start_ns.compare_exchange_strong(
-              expected, std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            sent_at - start)
-                            .count());
+              expected,
+              std::chrono::duration_cast<std::chrono::nanoseconds>(sent_at -
+                                                                   start)
+                  .count(),
+              std::memory_order_seq_cst);
         }
-        const int64_t done = completed.fetch_add(1) + 1;
+        const int64_t done =
+            completed.fetch_add(1, std::memory_order_seq_cst) + 1;
         if (options.swap_at >= 0 && swap_hook != nullptr &&
-            done >= options.swap_at && !swap_fired.exchange(true)) {
+            done >= options.swap_at &&
+            !swap_fired.exchange(true, std::memory_order_seq_cst)) {
           swap_hook();
         }
       }
-      std::lock_guard<std::mutex> lock(merge_mutex);
+      util::MutexLock lock(merge_mutex);
       report.requests_sent += tally.sent;
       report.ok_responses += tally.ok;
       report.error_responses += tally.errors;
@@ -256,7 +260,8 @@ Result<LoadgenReport> RunLoadgen(
   const double total_elapsed =
       std::chrono::duration<double>(end - start).count();
   const double measured_offset =
-      static_cast<double>(measured_start_ns.load()) * 1e-9;
+      static_cast<double>(measured_start_ns.load(std::memory_order_seq_cst)) *
+      1e-9;
   report.elapsed_seconds =
       options.warmup_requests > 0
           ? std::max(total_elapsed - measured_offset, 1e-9)

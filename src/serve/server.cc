@@ -25,7 +25,7 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
-  if (running_.load()) {
+  if (running_.load(std::memory_order_seq_cst)) {
     return Status::FailedPrecondition("server already started");
   }
   const bool unix_listener = !options_.unix_path.empty();
@@ -44,8 +44,8 @@ Status Server::Start() {
   if (!listener.ok()) return listener.status();
   listener_ = std::move(listener.value());
 
-  stopping_.store(false);
-  running_.store(true);
+  stopping_.store(false, std::memory_order_seq_cst);
+  running_.store(true, std::memory_order_seq_cst);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
@@ -63,23 +63,25 @@ Status Server::Start() {
 
 void Server::RequestStop() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stopping_.exchange(true)) return;
+    util::MutexLock lock(queue_mutex_);
+    if (stopping_.exchange(true, std::memory_order_seq_cst)) return;
     // Wake workers parked in read(): half-close every in-flight
     // connection so their next read sees EOF.
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   listener_.ShutdownBoth();
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void Server::WaitUntilStopRequested() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_cv_.wait(lock, [this] { return stopping_.load(); });
+  util::MutexLock lock(queue_mutex_);
+  while (!stopping_.load(std::memory_order_seq_cst)) {
+    queue_cv_.Wait(queue_mutex_);
+  }
 }
 
 void Server::Stop() {
-  if (!running_.load()) return;
+  if (!running_.load(std::memory_order_seq_cst)) return;
   RequestStop();
   if (accept_thread_.joinable()) accept_thread_.join();
   for (std::thread& worker : workers_) {
@@ -87,22 +89,27 @@ void Server::Stop() {
   }
   workers_.clear();
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     pending_.clear();  // Fd destructors close unserved connections
   }
   listener_ = Fd();
-  running_.store(false);
-  PAE_LOG(INFO) << "pae-serve stopped after " << requests_.load()
-                << " requests on " << connections_.load() << " connections ("
-                << hot_swaps_.load() << " hot swaps, "
-                << protocol_errors_.load() << " protocol errors)";
+  running_.store(false, std::memory_order_seq_cst);
+  PAE_LOG(INFO) << "pae-serve stopped after "
+                << requests_.load(std::memory_order_relaxed)
+                << " requests on "
+                << connections_.load(std::memory_order_relaxed)
+                << " connections ("
+                << hot_swaps_.load(std::memory_order_relaxed)
+                << " hot swaps, "
+                << protocol_errors_.load(std::memory_order_relaxed)
+                << " protocol errors)";
 }
 
 uint64_t Server::Publish(
     std::shared_ptr<const core::ExtractionEngine> engine) {
   const uint64_t generation = generations_.Publish(std::move(engine));
   if (generation > 1) {
-    hot_swaps_.fetch_add(1);
+    hot_swaps_.fetch_add(1, std::memory_order_relaxed);
     swaps_counter_->Increment();
   }
   PAE_LOG(INFO) << "pae-serve published generation " << generation;
@@ -111,10 +118,10 @@ uint64_t Server::Publish(
 
 Server::Stats Server::stats() const {
   Stats stats;
-  stats.connections = connections_.load();
-  stats.requests = requests_.load();
-  stats.protocol_errors = protocol_errors_.load();
-  stats.hot_swaps = hot_swaps_.load();
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.hot_swaps = hot_swaps_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -122,23 +129,23 @@ void Server::AcceptLoop() {
   // Poll with a short timeout so a stop request is noticed even when the
   // listener shutdown races the poll registration.
   constexpr int kAcceptTimeoutMs = 50;
-  while (!stopping_.load()) {
+  while (!stopping_.load(std::memory_order_seq_cst)) {
     Result<Fd> accepted = AcceptWithTimeout(listener_, kAcceptTimeoutMs);
     if (!accepted.ok()) {
-      if (!stopping_.load()) {
+      if (!stopping_.load(std::memory_order_seq_cst)) {
         PAE_LOG(WARNING) << "accept failed: "
                          << accepted.status().ToString();
       }
       continue;
     }
     if (!accepted.value().valid()) continue;  // poll timeout
-    connections_.fetch_add(1);
+    connections_.fetch_add(1, std::memory_order_relaxed);
     connections_counter_->Increment();
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       pending_.push_back(std::move(accepted.value()));
     }
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
 }
 
@@ -150,11 +157,12 @@ void Server::WorkerLoop() {
   for (;;) {
     Fd fd;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load() || !pending_.empty();
-      });
-      if (stopping_.load()) return;
+      util::MutexLock lock(queue_mutex_);
+      while (!stopping_.load(std::memory_order_seq_cst) &&
+             pending_.empty()) {
+        queue_cv_.Wait(queue_mutex_);
+      }
+      if (stopping_.load(std::memory_order_seq_cst)) return;
       fd = std::move(pending_.front());
       pending_.pop_front();
       active_fds_.push_back(fd.get());
@@ -162,7 +170,7 @@ void Server::WorkerLoop() {
     const int raw_fd = fd.get();
     const bool keep_running = ServeConnection(std::move(fd), scratch.get());
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       active_fds_.erase(
           std::remove(active_fds_.begin(), active_fds_.end(), raw_fd),
           active_fds_.end());
@@ -177,14 +185,14 @@ void Server::WorkerLoop() {
 bool Server::ServeConnection(Fd fd,
                              core::ExtractionEngine::Scratch* scratch) {
   std::string payload;
-  while (!stopping_.load()) {
+  while (!stopping_.load(std::memory_order_seq_cst)) {
     const Status read = ReadFrame(fd, &payload, options_.max_frame_bytes);
     if (!read.ok()) {
       // A clean EOF before the first byte of a frame is the normal end
       // of a connection; anything else (truncated frame, oversize length
       // word) latches this connection's protocol error.
       if (read.code() != StatusCode::kNotFound) {
-        protocol_errors_.fetch_add(1);
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         errors_counter_->Increment();
         PAE_LOG(WARNING) << "closing connection: " << read.ToString();
       }
@@ -193,7 +201,7 @@ bool Server::ServeConnection(Fd fd,
 
     Result<Request> request = DecodeRequest(payload);
     if (!request.ok()) {
-      protocol_errors_.fetch_add(1);
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       errors_counter_->Increment();
       // Best effort: name the opcode the client tried to use (the first
       // payload byte) so it can match the error to its request, then
@@ -207,7 +215,7 @@ bool Server::ServeConnection(Fd fd,
       return true;
     }
 
-    requests_.fetch_add(1);
+    requests_.fetch_add(1, std::memory_order_relaxed);
     requests_counter_->Increment();
     std::string response;
     const bool keep_running =
@@ -251,10 +259,11 @@ bool Server::HandleRequest(const Request& request,
     case Op::kStats: {
       StatsResponse stats;
       stats.generation = generations_.generation();
-      stats.requests = requests_.load();
-      stats.protocol_errors = protocol_errors_.load();
-      stats.connections = connections_.load();
-      stats.hot_swaps = hot_swaps_.load();
+      stats.requests = requests_.load(std::memory_order_relaxed);
+      stats.protocol_errors =
+          protocol_errors_.load(std::memory_order_relaxed);
+      stats.connections = connections_.load(std::memory_order_relaxed);
+      stats.hot_swaps = hot_swaps_.load(std::memory_order_relaxed);
       *response = EncodeStatsResponse(stats);
       return true;
     }

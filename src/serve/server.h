@@ -2,11 +2,9 @@
 #define PAE_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,7 +14,9 @@
 #include "serve/protocol.h"
 #include "serve/socket.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace pae::serve {
 
@@ -85,10 +85,12 @@ class Server {
   void WaitUntilStopRequested();
 
   /// True from Start() until Stop() / a kShutdown request.
-  bool running() const { return running_.load(); }
+  bool running() const { return running_.load(std::memory_order_seq_cst); }
 
   /// True once a stop was requested (threads may still be draining).
-  bool stop_requested() const { return stopping_.load(); }
+  bool stop_requested() const {
+    return stopping_.load(std::memory_order_seq_cst);
+  }
 
   /// Publishes a new engine generation (also available on the wire via
   /// kPublish). Returns the new generation number.
@@ -131,13 +133,13 @@ class Server {
   std::vector<std::thread> workers_;
 
   /// Accepted connections waiting for a worker.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Fd> pending_;
+  util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;
+  std::deque<Fd> pending_ PAE_GUARDED_BY(queue_mutex_);
 
   /// Connections currently being served, so Stop() can unblock workers
-  /// parked in read(). Guarded by queue_mutex_.
-  std::vector<int> active_fds_;
+  /// parked in read().
+  std::vector<int> active_fds_ PAE_GUARDED_BY(queue_mutex_);
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};

@@ -11,12 +11,16 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/strings.h"
+
 namespace pae::serve {
 
 namespace {
 
 Status ErrnoStatus(const std::string& what) {
-  return Status::Internal(what + ": " + std::strerror(errno));
+  // ErrnoString, not std::strerror: worker threads report socket
+  // errors concurrently, and strerror's static buffer is a data race.
+  return Status::Internal(what + ": " + ErrnoString(errno));
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ Histogram::Histogram(std::vector<double> bounds,
 
 void Histogram::Observe(double v) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   ++counts_[bucket];
@@ -41,32 +41,32 @@ void Histogram::Observe(double v) {
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return max_;
 }
 
 std::vector<uint64_t> Histogram::bucket_counts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counts_;
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = min_ = max_ = 0;
@@ -78,28 +78,28 @@ void Histogram::Reset() {
 
 void Series::Append(double v) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   values_.push_back(v);
 }
 
 void Series::Extend(const std::vector<double>& values) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   values_.insert(values_.end(), values.begin(), values.end());
 }
 
 std::vector<double> Series::values() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return values_;
 }
 
 size_t Series::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return values_.size();
 }
 
 void Series::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   values_.clear();
 }
 
@@ -160,7 +160,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrNull(std::string_view name,
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* entry = FindOrNull(name, Kind::kCounter)) {
     return entry->counter.get();
   }
@@ -172,7 +172,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* entry = FindOrNull(name, Kind::kGauge)) {
     return entry->gauge.get();
   }
@@ -189,7 +189,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* entry = FindOrNull(name, Kind::kHistogram)) {
     return entry->histogram.get();
   }
@@ -201,7 +201,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 Series* MetricsRegistry::GetSeries(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* entry = FindOrNull(name, Kind::kSeries)) {
     return entry->series.get();
   }
@@ -213,7 +213,7 @@ Series* MetricsRegistry::GetSeries(std::string_view name) {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, entry] : metrics_) {
     switch (entry.kind) {
       case Kind::kCounter:
@@ -234,7 +234,7 @@ void MetricsRegistry::Reset() {
 
 RunReport MetricsRegistry::Snapshot() const {
   RunReport report;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, entry] : metrics_) {
     switch (entry.kind) {
       case Kind::kCounter:

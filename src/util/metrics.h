@@ -6,13 +6,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace pae::util {
 
@@ -83,13 +84,13 @@ class Histogram {
   Histogram(std::vector<double> bounds, const std::atomic<bool>* enabled);
   void Reset();
 
-  mutable std::mutex mutex_;
-  std::vector<double> bounds_;        // ascending upper bounds
-  std::vector<uint64_t> counts_;      // bounds_.size() + 1 slots
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  mutable Mutex mutex_;
+  std::vector<double> bounds_;  // ascending upper bounds, set once in ctor
+  std::vector<uint64_t> counts_ PAE_GUARDED_BY(mutex_);  // bounds+1 slots
+  uint64_t count_ PAE_GUARDED_BY(mutex_) = 0;
+  double sum_ PAE_GUARDED_BY(mutex_) = 0;
+  double min_ PAE_GUARDED_BY(mutex_) = 0;
+  double max_ PAE_GUARDED_BY(mutex_) = 0;
   const std::atomic<bool>* enabled_;
 };
 
@@ -108,8 +109,8 @@ class Series {
   explicit Series(const std::atomic<bool>* enabled) : enabled_(enabled) {}
   void Reset();
 
-  mutable std::mutex mutex_;
-  std::vector<double> values_;
+  mutable Mutex mutex_;
+  std::vector<double> values_ PAE_GUARDED_BY(mutex_);
   const std::atomic<bool>* enabled_;
 };
 
@@ -225,11 +226,13 @@ class MetricsRegistry {
     std::unique_ptr<Series> series;
   };
 
-  Entry* FindOrNull(std::string_view name, Kind kind);
+  Entry* FindOrNull(std::string_view name, Kind kind)
+      PAE_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::atomic<bool> enabled_{true};
-  std::map<std::string, Entry, std::less<>> metrics_;
+  std::map<std::string, Entry, std::less<>> metrics_
+      PAE_GUARDED_BY(mutex_);
 };
 
 }  // namespace pae::util

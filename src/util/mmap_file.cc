@@ -6,8 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <utility>
+
+#include "util/strings.h"
 
 namespace pae::util {
 
@@ -36,13 +37,21 @@ Result<MmapFile> MmapFile::Open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::NotFound("mmap: cannot open " + path + ": " +
-                            std::strerror(errno));
+                            ErrnoString(errno));
   }
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = ErrnoString(errno);
     ::close(fd);
     return Status::Internal("mmap: fstat " + path + ": " + err);
+  }
+  // Directories open fine but map with surprising errnos (or not at
+  // all); FIFOs and devices would block or lie about st_size. Only
+  // regular files have the "st_size bytes, mappable" contract.
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("mmap: " + path +
+                                   " is not a regular file");
   }
   MmapFile file;
   file.size_ = static_cast<size_t>(st.st_size);
@@ -52,7 +61,7 @@ Result<MmapFile> MmapFile::Open(const std::string& path) {
     void* addr =
         ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
     if (addr == MAP_FAILED) {
-      const std::string err = std::strerror(errno);
+      const std::string err = ErrnoString(errno);
       ::close(fd);
       return Status::Internal("mmap: map " + path + ": " + err);
     }

@@ -1,5 +1,7 @@
 #include "util/strings.h"
 
+#include <string.h>
+
 #include <cctype>
 #include <cstdio>
 
@@ -84,6 +86,26 @@ std::string FormatDouble(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
   return buf;
+}
+
+namespace {
+
+// strerror_r has two incompatible signatures (POSIX returns int, GNU
+// returns char*); overload dispatch picks the right unpacking for
+// whichever one the libc provides without a feature-macro guess.
+[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* StrerrorResult(const char* msg,
+                                            const char* /*buf*/) {
+  return msg != nullptr ? msg : "unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoString(int errno_value) {
+  char buf[256] = {};
+  return StrerrorResult(::strerror_r(errno_value, buf, sizeof(buf)), buf);
 }
 
 }  // namespace pae

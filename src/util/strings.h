@@ -33,6 +33,12 @@ std::string StrReplaceAll(std::string_view s, std::string_view from,
 /// Formats `value` with `digits` decimal places ("12.34").
 std::string FormatDouble(double value, int digits);
 
+/// Thread-safe strerror: formats `errno_value` via strerror_r into an
+/// owned string. std::strerror returns a pointer into static storage
+/// and races against concurrent callers — every errno-to-text path in
+/// the tree goes through this instead.
+std::string ErrnoString(int errno_value);
+
 }  // namespace pae
 
 #endif  // PAE_UTIL_STRINGS_H_

@@ -1,0 +1,92 @@
+#ifndef PAE_UTIL_THREAD_ANNOTATIONS_H_
+#define PAE_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes, spelled the way this project
+// uses them. Under Clang with -Wthread-safety these turn lock-discipline
+// violations (touching PAE_GUARDED_BY state without the mutex, releasing
+// a mutex twice, calling a PAE_REQUIRES function unlocked) into
+// compile-time diagnostics; the CI clang leg builds with
+// -Wthread-safety -Werror so they fail the build. On every other
+// compiler the macros expand to nothing, so GCC builds are unaffected.
+//
+// The vocabulary (mirrors the official clang attribute set):
+//
+//   PAE_CAPABILITY(name)      class is a lockable capability (pae::util::Mutex)
+//   PAE_SCOPED_CAPABILITY     RAII class that acquires in its constructor
+//                             and releases in its destructor (MutexLock)
+//   PAE_GUARDED_BY(mu)        field may only be read/written holding `mu`
+//   PAE_PT_GUARDED_BY(mu)     pointee guarded by `mu` (pointer itself free)
+//   PAE_REQUIRES(mu)          caller must hold `mu` to call this function
+//   PAE_ACQUIRE(mu)           function acquires `mu` and does not release
+//   PAE_RELEASE(mu)           function releases `mu`
+//   PAE_TRY_ACQUIRE(ok, mu)   acquires `mu` iff the return value is `ok`
+//   PAE_EXCLUDES(mu)          caller must NOT already hold `mu` (deadlock
+//                             guard on self-locking public APIs)
+//   PAE_ASSERT_CAPABILITY(mu) runtime assertion that `mu` is held
+//   PAE_RETURN_CAPABILITY(mu) function returns a reference to `mu`
+//   PAE_NO_THREAD_SAFETY_ANALYSIS
+//                             opt a function out (last resort; say why)
+//
+// Use the pae::util::Mutex / MutexLock / CondVar wrappers (util/mutex.h)
+// instead of std::mutex — the std types carry no annotations, so the
+// analysis is blind to them (and pae_lint's raw-mutex rule rejects them
+// outside src/util/).
+
+#if defined(__clang__) && !defined(SWIG)
+#define PAE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define PAE_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op on non-Clang
+#endif
+
+#define PAE_CAPABILITY(x) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define PAE_SCOPED_CAPABILITY \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define PAE_GUARDED_BY(x) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PAE_PT_GUARDED_BY(x) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define PAE_ACQUIRED_BEFORE(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define PAE_ACQUIRED_AFTER(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define PAE_REQUIRES(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define PAE_REQUIRES_SHARED(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define PAE_ACQUIRE(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define PAE_ACQUIRE_SHARED(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define PAE_RELEASE(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define PAE_RELEASE_SHARED(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define PAE_TRY_ACQUIRE(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define PAE_EXCLUDES(...) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define PAE_ASSERT_CAPABILITY(x) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define PAE_RETURN_CAPABILITY(x) \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define PAE_NO_THREAD_SAFETY_ANALYSIS \
+  PAE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // PAE_UTIL_THREAD_ANNOTATIONS_H_

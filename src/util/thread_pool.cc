@@ -54,10 +54,10 @@ ThreadPool::ThreadPool(int threads) : num_threads_(std::max(1, threads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -93,18 +93,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     RunChunks(job.get());
   } else {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       job_ = job;
       ++epoch_;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     RunChunks(job.get());  // the caller is a worker too
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_.wait(lock, [&] {
-        return job->chunks_done.load(std::memory_order_acquire) ==
-               job->num_chunks;
-      });
+      MutexLock lock(mutex_);
+      while (job->chunks_done.load(std::memory_order_acquire) !=
+             job->num_chunks) {
+        done_.Wait(mutex_);
+      }
       if (job_ == job) job_.reset();
     }
   }
@@ -119,7 +119,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     counters.idle_nanos->Add(
         std::max<int64_t>(0, wall * num_threads_ - busy));
   }
-  if (job->error) std::rethrow_exception(job->error);
+  // Every chunk has joined, so the error fields are quiescent; the lock
+  // is uncontended and keeps the annotated discipline airtight.
+  std::exception_ptr error;
+  {
+    MutexLock lock(job->error_mutex);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::RunChunks(Job* job) {
@@ -134,7 +141,7 @@ void ThreadPool::RunChunks(Job* job) {
     try {
       for (size_t i = lo; i < hi; ++i) (*job->fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job->error_mutex);
+      MutexLock lock(job->error_mutex);
       if (c < job->error_chunk) {
         job->error_chunk = c;
         job->error = std::current_exception();
@@ -145,8 +152,8 @@ void ThreadPool::RunChunks(Job* job) {
     if (done == job->num_chunks) {
       // Lock before notifying so the caller cannot check the predicate
       // between our increment and our notify and then sleep forever.
-      { std::lock_guard<std::mutex> lock(mutex_); }
-      done_.notify_all();
+      { MutexLock lock(mutex_); }
+      done_.NotifyAll();
     }
   }
   if (record) {
@@ -159,10 +166,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && epoch_ != seen_epoch);
-      });
+      MutexLock lock(mutex_);
+      while (!stop_ && (job_ == nullptr || epoch_ == seen_epoch)) {
+        wake_.Wait(mutex_);
+      }
       if (stop_) return;
       job = job_;
       seen_epoch = epoch_;

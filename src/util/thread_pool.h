@@ -2,15 +2,16 @@
 #define PAE_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pae::util {
 
@@ -44,7 +45,8 @@ class ThreadPool {
   /// throwing chunk is rethrown here — a deterministic choice, unlike
   /// "first to throw wins".
   void ParallelFor(size_t begin, size_t end, size_t grain,
-                   const std::function<void(size_t)>& fn);
+                   const std::function<void(size_t)>& fn)
+      PAE_EXCLUDES(mutex_);
 
   /// Hardware concurrency with a floor of 1 (hardware_concurrency may
   /// legally return 0).
@@ -65,9 +67,11 @@ class ThreadPool {
     const std::function<void(size_t)>* fn = nullptr;
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> chunks_done{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-    size_t error_chunk = SIZE_MAX;
+    Mutex error_mutex;
+    /// Lowest-chunk exception wins; both fields move under error_mutex
+    /// (read back on the caller thread only after every chunk joined).
+    std::exception_ptr error PAE_GUARDED_BY(error_mutex);
+    size_t error_chunk PAE_GUARDED_BY(error_mutex) = SIZE_MAX;
     /// Total nanoseconds threads spent inside RunChunks for this job;
     /// feeds the threadpool.busy_nanos utilization counter.
     std::atomic<int64_t> busy_nanos{0};
@@ -81,12 +85,12 @@ class ThreadPool {
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable wake_;  // workers: a new job (or stop) arrived
-  std::condition_variable done_;  // caller: all chunks of the job finished
-  std::shared_ptr<Job> job_;      // guarded by mutex_
-  uint64_t epoch_ = 0;            // job generation, guarded by mutex_
-  bool stop_ = false;             // guarded by mutex_
+  Mutex mutex_;
+  CondVar wake_;  // workers: a new job (or stop) arrived
+  CondVar done_;  // caller: all chunks of the job finished
+  std::shared_ptr<Job> job_ PAE_GUARDED_BY(mutex_);
+  uint64_t epoch_ PAE_GUARDED_BY(mutex_) = 0;  // job generation
+  bool stop_ PAE_GUARDED_BY(mutex_) = false;
 };
 
 /// Number of shards an ordered reduction splits `n` items into: one

@@ -218,7 +218,7 @@ TEST(ConcurrencyTest, StressManyTinyLoops) {
   for (int round = 0; round < 2000; ++round) {
     pool.ParallelFor(0, 5, 1, [&](size_t i) { total += i + 1; });
   }
-  EXPECT_EQ(total.load(), 2000u * 15u);
+  EXPECT_EQ(total.load(std::memory_order_seq_cst), 2000u * 15u);
 }
 
 TEST(ConcurrencyTest, StressManyTinyPools) {
@@ -226,7 +226,7 @@ TEST(ConcurrencyTest, StressManyTinyPools) {
     util::ThreadPool pool(3);
     std::atomic<uint64_t> sum{0};
     pool.ParallelFor(0, 16, 2, [&](size_t i) { sum += i; });
-    ASSERT_EQ(sum.load(), 120u) << "round " << round;
+    ASSERT_EQ(sum.load(std::memory_order_seq_cst), 120u) << "round " << round;
   }
 }
 

@@ -159,6 +159,17 @@ TEST(LintFile, LoggingCcIsExempt) {
       "raw-stdio"));
 }
 
+TEST(LintFile, CliFrontEndsMayUseStdio) {
+  // tools/ and bench/ print their output (tables, JSON, usage) to
+  // stdout by design; the rule polices library code under src/ only.
+  EXPECT_FALSE(HasRule(
+      LintFile("tools/pae_extract.cc", "std::cout << report;\n"),
+      "raw-stdio"));
+  EXPECT_FALSE(HasRule(
+      LintFile("bench/table23_runner.cc", "std::cerr << usage;\n"),
+      "raw-stdio"));
+}
+
 // ---------------------------------------------------------------------
 // Rule: naked-assert
 
@@ -290,6 +301,176 @@ TEST(LintFile, ElementwiseAdditionIsNotAKernelLoop) {
       "s += w[i] * x[i];\n";  // double path: no static_cast idiom
   EXPECT_FALSE(HasRule(LintFile("src/crf/foo.cc", snippet),
                        "hand-rolled-kernel"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: raw-mutex
+
+TEST(LintFile, FlagsRawMutexOutsideUtil) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc", "std::mutex mu;\n"), "raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/crf/foo.cc",
+               "std::lock_guard<std::mutex> lock(mu);\n"),
+      "raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintFile("tests/foo_test.cc",
+               "std::unique_lock<std::mutex> lock(mu);\n"),
+      "raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc", "std::condition_variable cv;\n"),
+      "raw-mutex"));
+}
+
+TEST(LintFile, WrapperImplementationIsExempt) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/util/mutex.h", "std::mutex mu_;\n"), "raw-mutex"));
+}
+
+TEST(LintFile, AnnotatedWrapperIsFine) {
+  const std::string snippet =
+      "util::Mutex mu_;\n"
+      "util::MutexLock lock(mu_);\n"
+      "util::CondVar cv_;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/foo.cc", snippet), "raw-mutex"));
+}
+
+TEST(LintFile, MutexIncludeAloneIsFine) {
+  // Including <mutex> without declaring std types is legal (the wrapper
+  // header does it); only the std:: type usages are flagged.
+  EXPECT_FALSE(HasRule(
+      LintFile("src/serve/foo.cc", "#include <mutex>\n"), "raw-mutex"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: atomic-memory-order
+
+TEST(LintFile, FlagsImplicitOrderAtomicOps) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc", "bool v = stop_.load();\n"),
+      "atomic-memory-order"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc", "stop_.store(true);\n"),
+      "atomic-memory-order"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc", "count_.fetch_add(1);\n"),
+      "atomic-memory-order"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc", "bool was = flag_->exchange(true);\n"),
+      "atomic-memory-order"));
+}
+
+TEST(LintFile, ExplicitOrderIsFine) {
+  const std::string snippet =
+      "bool v = stop_.load(std::memory_order_seq_cst);\n"
+      "count_.fetch_add(1, std::memory_order_relaxed);\n"
+      "done_.store(true, std::memory_order_release);\n"
+      "v_.compare_exchange_strong(e, d, std::memory_order_seq_cst);\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/foo.cc", snippet),
+                       "atomic-memory-order"));
+}
+
+TEST(LintFile, MultilineExplicitOrderIsFine) {
+  // The order argument may land on a later line than the call token.
+  const std::string snippet =
+      "start_ns.compare_exchange_strong(\n"
+      "    expected, Now(),\n"
+      "    std::memory_order_seq_cst);\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/foo.cc", snippet),
+                       "atomic-memory-order"));
+}
+
+TEST(LintFile, NonMemberLoadStoreIsFine) {
+  // Free functions and plain identifiers named load/store are not
+  // atomic member calls.
+  const std::string snippet =
+      "auto m = load(path);\n"
+      "int store = 3;\n"
+      "Result<Model> r = Load(path);\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/foo.cc", snippet),
+                       "atomic-memory-order"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: detached-thread
+
+TEST(LintFile, FlagsDetachedThread) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc",
+               "std::thread([] { Work(); }).detach();\n"),
+      "detached-thread"));
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc", "worker->detach();\n"),
+      "detached-thread"));
+}
+
+TEST(LintFile, JoinedThreadIsFine) {
+  const std::string snippet =
+      "std::thread t([] { Work(); });\n"
+      "t.join();\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/foo.cc", snippet),
+                       "detached-thread"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: unguarded-mutable
+
+TEST(LintFile, FlagsUnguardedMutableMember) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.h",
+               "#ifndef PAE_SERVE_FOO_H_\n"
+               "mutable std::vector<int> cache_;\n#endif\n"),
+      "unguarded-mutable"));
+}
+
+TEST(LintFile, GuardedMutableIsFine) {
+  const std::string snippet =
+      "mutable std::vector<int> cache_ PAE_GUARDED_BY(mutex_);\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/foo.cc", snippet),
+                       "unguarded-mutable"));
+}
+
+TEST(LintFile, MutableAtomicAndMutexAreFine) {
+  const std::string snippet =
+      "mutable std::atomic<int64_t> readers{0};\n"
+      "mutable Mutex mutex_;\n"
+      "mutable util::Mutex other_mutex_;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/foo.cc", snippet),
+                       "unguarded-mutable"));
+}
+
+TEST(LintFile, LambdaMutableQualifierIsFine) {
+  const std::string snippet =
+      "auto gen = [&, next = size_t{0}]() mutable { return next++; };\n";
+  EXPECT_FALSE(HasRule(LintFile("src/crf/foo.cc", snippet),
+                       "unguarded-mutable"));
+}
+
+// ---------------------------------------------------------------------
+// Rule: mmap-reinterpret-cast
+
+TEST(LintFile, FlagsReinterpretCast) {
+  EXPECT_TRUE(HasRule(
+      LintFile("src/serve/foo.cc",
+               "auto* h = reinterpret_cast<const Header*>(data);\n"),
+      "mmap-reinterpret-cast"));
+}
+
+TEST(LintFile, ArtifactAndMmapFilesAreExempt) {
+  const std::string snippet =
+      "auto* h = reinterpret_cast<const PaezHeader*>(bytes);\n";
+  EXPECT_FALSE(HasRule(LintFile("src/core/model_artifact.cc", snippet),
+                       "mmap-reinterpret-cast"));
+  EXPECT_FALSE(HasRule(LintFile("src/util/mmap_file.cc", snippet),
+                       "mmap-reinterpret-cast"));
+}
+
+TEST(LintFile, MemcpyInsteadOfCastIsFine) {
+  const std::string snippet =
+      "PaezHeader h;\n"
+      "std::memcpy(&h, data, sizeof(h));\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/foo.cc", snippet),
+                       "mmap-reinterpret-cast"));
 }
 
 // ---------------------------------------------------------------------

@@ -182,19 +182,21 @@ TEST(GenerationCellTest, HotSwapHammerYieldsOnlyPublishedGenerations) {
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&] {
       auto scratch = core::ExtractionEngine::NewScratch();
-      while (!done.load()) {
+      while (!done.load(std::memory_order_seq_cst)) {
         serve::GenerationCell::Lease lease = cell.Acquire();
         if (lease.empty()) continue;
         const uint64_t generation = lease.generation();
         if (generation < 1 ||
             generation > static_cast<uint64_t>(kGenerations)) {
-          mismatches.fetch_add(1);
+          mismatches.fetch_add(1, std::memory_order_seq_cst);
           continue;
         }
         std::vector<core::Triple> triples =
             lease.engine()->Extract("p1", kPageHtml, scratch.get());
-        if (triples != expected[generation]) mismatches.fetch_add(1);
-        reads.fetch_add(1);
+        if (triples != expected[generation]) {
+          mismatches.fetch_add(1, std::memory_order_seq_cst);
+        }
+        reads.fetch_add(1, std::memory_order_seq_cst);
       }
     });
   }
@@ -205,11 +207,11 @@ TEST(GenerationCellTest, HotSwapHammerYieldsOnlyPublishedGenerations) {
   }
   // Let readers observe the final generation before stopping.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  done.store(true);
+  done.store(true, std::memory_order_seq_cst);
   for (std::thread& reader : readers) reader.join();
 
-  EXPECT_EQ(mismatches.load(), 0);
-  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(mismatches.load(std::memory_order_seq_cst), 0);
+  EXPECT_GT(reads.load(std::memory_order_seq_cst), 0);
   EXPECT_EQ(cell.generation(), static_cast<uint64_t>(kGenerations));
 }
 
@@ -288,13 +290,15 @@ TEST(GenerationCellTest, HotSwapHammerPackedArtifact) {
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&] {
       auto scratch = core::ExtractionEngine::NewScratch();
-      while (!done.load()) {
+      while (!done.load(std::memory_order_seq_cst)) {
         serve::GenerationCell::Lease lease = cell.Acquire();
         if (lease.empty()) continue;
         std::vector<core::Triple> triples = lease.engine()->Extract(
             "p1", "<p>重量は7kgです。</p>", scratch.get());
-        if (triples != fixture->expected) mismatches.fetch_add(1);
-        reads.fetch_add(1);
+        if (triples != fixture->expected) {
+          mismatches.fetch_add(1, std::memory_order_seq_cst);
+        }
+        reads.fetch_add(1, std::memory_order_seq_cst);
       }
     });
   }
@@ -305,11 +309,11 @@ TEST(GenerationCellTest, HotSwapHammerPackedArtifact) {
     std::this_thread::yield();
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  done.store(true);
+  done.store(true, std::memory_order_seq_cst);
   for (std::thread& reader : readers) reader.join();
 
-  EXPECT_EQ(mismatches.load(), 0);
-  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(mismatches.load(std::memory_order_seq_cst), 0);
+  EXPECT_GT(reads.load(std::memory_order_seq_cst), 0);
 }
 
 // ---------------------------------------------------------------------
@@ -612,12 +616,12 @@ TEST(LoadgenTest, SwapHookFiresExactlyOnceAtThreshold) {
   options.threads = 2;
   options.swap_at = 100;
   auto report = RunLoadgen(options, products, connect, [&] {
-    swaps.fetch_add(1);
+    swaps.fetch_add(1, std::memory_order_seq_cst);
     server.Publish(MakeStubEngine("色2"));
   });
   server.Stop();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_EQ(swaps.load(), 1);
+  EXPECT_EQ(swaps.load(std::memory_order_seq_cst), 1);
   EXPECT_EQ(report.value().generation_min, 1u);
   EXPECT_EQ(report.value().generation_max, 2u);
 }

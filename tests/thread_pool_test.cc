@@ -50,7 +50,7 @@ TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
   std::atomic<int> calls{0};
   pool.ParallelFor(0, 0, 1, [&](size_t) { ++calls; });
   pool.ParallelFor(5, 5, 3, [&](size_t) { ++calls; });
-  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(calls.load(std::memory_order_seq_cst), 0);
 }
 
 TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
@@ -61,7 +61,7 @@ TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
       for (auto& v : visits) v = 0;
       pool.ParallelFor(0, n, grain, [&](size_t i) { ++visits[i]; });
       for (size_t i = 0; i < n; ++i) {
-        ASSERT_EQ(visits[i].load(), 1)
+        ASSERT_EQ(visits[i].load(std::memory_order_seq_cst), 1)
             << "index " << i << " n=" << n << " grain=" << grain;
       }
     }
@@ -74,7 +74,8 @@ TEST(ThreadPoolTest, NonZeroBeginOffset) {
   for (auto& v : visits) v = 0;
   pool.ParallelFor(7, 20, 3, [&](size_t i) { ++visits[i]; });
   for (size_t i = 0; i < 20; ++i) {
-    EXPECT_EQ(visits[i].load(), i >= 7 ? 1 : 0) << "index " << i;
+    EXPECT_EQ(visits[i].load(std::memory_order_seq_cst), i >= 7 ? 1 : 0)
+        << "index " << i;
   }
 }
 
@@ -82,7 +83,7 @@ TEST(ThreadPoolTest, RangeSmallerThanWorkerCount) {
   ThreadPool pool(8);
   std::atomic<uint64_t> sum{0};
   pool.ParallelFor(0, 3, 1, [&](size_t i) { sum += i + 1; });
-  EXPECT_EQ(sum.load(), 6u);
+  EXPECT_EQ(sum.load(std::memory_order_seq_cst), 6u);
 }
 
 TEST(ThreadPoolTest, GrainZeroBehavesAsOne) {
@@ -90,14 +91,16 @@ TEST(ThreadPoolTest, GrainZeroBehavesAsOne) {
   std::vector<std::atomic<int>> visits(10);
   for (auto& v : visits) v = 0;
   pool.ParallelFor(0, 10, 0, [&](size_t i) { ++visits[i]; });
-  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(visits[i].load(), 1);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(visits[i].load(std::memory_order_seq_cst), 1);
+  }
 }
 
 TEST(ThreadPoolTest, GrainLargerThanRangeRunsInline) {
   ThreadPool pool(4);
   std::atomic<int> calls{0};
   pool.ParallelFor(0, 5, 100, [&](size_t) { ++calls; });
-  EXPECT_EQ(calls.load(), 5);
+  EXPECT_EQ(calls.load(std::memory_order_seq_cst), 5);
 }
 
 TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
@@ -112,7 +115,7 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
   for (int round = 0; round < 50; ++round) {
     std::atomic<uint64_t> sum{0};
     pool.ParallelFor(0, 100, 3, [&](size_t i) { sum += i; });
-    ASSERT_EQ(sum.load(), 4950u) << "round " << round;
+    ASSERT_EQ(sum.load(std::memory_order_seq_cst), 4950u) << "round " << round;
   }
 }
 
@@ -155,7 +158,9 @@ TEST(ThreadPoolTest, AllChunksRunEvenWhenOneThrows) {
                                   if (i == 0) throw std::logic_error("x");
                                 }),
                std::logic_error);
-  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(visits[i].load(), 1);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(visits[i].load(std::memory_order_seq_cst), 1);
+  }
 }
 
 TEST(ThreadPoolTest, PoolUsableAfterException) {
@@ -165,7 +170,7 @@ TEST(ThreadPoolTest, PoolUsableAfterException) {
       std::runtime_error);
   std::atomic<uint64_t> sum{0};
   pool.ParallelFor(0, 10, 1, [&](size_t i) { sum += i; });
-  EXPECT_EQ(sum.load(), 45u);
+  EXPECT_EQ(sum.load(std::memory_order_seq_cst), 45u);
 }
 
 TEST(ThreadPoolTest, InlinePathPropagatesExceptionsToo) {

@@ -1,12 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/mmap_file.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -295,6 +304,88 @@ TEST(TablePrinterTest, EmptyTitleOmitted) {
   std::ostringstream os;
   t.Print(os);
   EXPECT_EQ(os.str().find("=="), std::string::npos);
+}
+
+// ---------------- ErrnoString ----------------
+
+TEST(ErrnoStringTest, KnownErrnoFormats) {
+  const std::string msg = ErrnoString(ENOENT);
+  EXPECT_FALSE(msg.empty());
+  // Exact text is libc's business, but ENOENT universally mentions the
+  // file or directory.
+  EXPECT_NE(msg.find("file"), std::string::npos) << msg;
+}
+
+TEST(ErrnoStringTest, DistinctErrnosDistinctMessages) {
+  EXPECT_NE(ErrnoString(ENOENT), ErrnoString(EACCES));
+}
+
+// ---------------- MmapFile error paths ----------------
+//
+// Every branch must come back as a clean Status — no crash, no leak
+// (the ASan legs run this binary), no half-constructed mapping.
+
+std::string MmapTempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("pae_mmap_" + name))
+      .string();
+}
+
+TEST(MmapFileTest, NonexistentFileIsNotFound) {
+  auto result = util::MmapFile::Open(MmapTempPath("does_not_exist.bin"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MmapFileTest, EmptyFileMapsWithZeroSize) {
+  const std::string path = MmapTempPath("empty.bin");
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  auto result = util::MmapFile::Open(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 0u);
+  EXPECT_EQ(result.value().data(), nullptr);
+  EXPECT_TRUE(result.value().mapped());
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, DirectoryIsInvalidArgument) {
+  auto result = util::MmapFile::Open(
+      std::filesystem::temp_directory_path().string());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("not a regular file"),
+            std::string::npos);
+}
+
+TEST(MmapFileTest, UnreadableFileIsNotFound) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root ignores file modes; cannot provoke EACCES";
+  }
+  const std::string path = MmapTempPath("unreadable.bin");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "secret";
+  }
+  ASSERT_EQ(::chmod(path.c_str(), 0), 0);
+  auto result = util::MmapFile::Open(path);
+  EXPECT_FALSE(result.ok());
+  ::chmod(path.c_str(), 0600);
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, RegularFileRoundTrips) {
+  const std::string path = MmapTempPath("round_trip.bin");
+  const std::string payload = "paez bytes \x01\x02\x03";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << payload;
+  }
+  auto result = util::MmapFile::Open(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), payload.size());
+  EXPECT_EQ(std::memcmp(result.value().data(), payload.data(),
+                        payload.size()),
+            0);
+  std::remove(path.c_str());
 }
 
 }  // namespace

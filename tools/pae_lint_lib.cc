@@ -71,6 +71,45 @@ size_t SkipSpaces(std::string_view s, size_t i) {
   return i;
 }
 
+/// Index of the last non-whitespace character before `i`, or npos.
+size_t PrevNonSpace(std::string_view s, size_t i) {
+  while (i > 0) {
+    --i;
+    if (s[i] != ' ' && s[i] != '\t' && s[i] != '\n' && s[i] != '\r') {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// True when the token starting at `i` is reached via `.` or `->`
+/// (i.e. it is a member call on some object).
+bool IsMemberAccess(std::string_view s, size_t i) {
+  const size_t p = PrevNonSpace(s, i);
+  if (p == std::string_view::npos) return false;
+  if (s[p] == '.') return true;
+  return s[p] == '>' && p > 0 && s[p - 1] == '-';
+}
+
+/// Given `open` at a '(' in `s`, returns the index one past the
+/// matching ')' and stores the argument text in `*args`. Returns npos
+/// when the parenthesis never closes.
+size_t MatchParen(std::string_view s, size_t open, std::string_view* args) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        *args = s.substr(open + 1, i - open - 1);
+        return i + 1;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
 }  // namespace
 
 std::string Violation::ToString() const {
@@ -247,8 +286,10 @@ std::vector<Violation> LintFile(std::string_view path,
   }
 
   // --- raw-stdio: library code logs through PAE_LOG so severity
-  // filtering and benchmark quieting keep working.
-  if (path != "src/util/logging.cc") {
+  // filtering and benchmark quieting keep working. Scoped to src/: the
+  // CLI front-ends under tools/ and bench/ write their output (tables,
+  // JSON, usage) to stdout/stderr by design.
+  if (StartsWith(path, "src/") && path != "src/util/logging.cc") {
     for (const char* tok : {"cout", "cerr"}) {
       ForEachToken(stripped, tok, [&](int line, size_t i) {
         if (i < 2 || stripped.compare(i - 2, 2, "::") != 0) return;
@@ -357,6 +398,91 @@ std::vector<Violation> LintFile(std::string_view path,
             "(SIMD-dispatched, bit-identical across ISAs)");
       }
     }
+  }
+
+  // --- raw-mutex: only the annotated pae::util wrappers are visible to
+  // Clang's -Wthread-safety analysis; raw std synchronization types
+  // escape it entirely. src/util/ hosts the wrappers themselves.
+  if (!StartsWith(path, "src/util/")) {
+    for (const char* tok :
+         {"mutex", "lock_guard", "unique_lock", "condition_variable"}) {
+      ForEachToken(stripped, tok, [&](int line, size_t i) {
+        if (i < 5 || stripped.compare(i - 5, 5, "std::") != 0) return;
+        add(line, "raw-mutex",
+            std::string("std::") + tok +
+                " is invisible to -Wthread-safety; use util::Mutex / "
+                "MutexLock / CondVar (util/mutex.h)");
+      });
+    }
+  }
+
+  // --- atomic-memory-order: the implicit seq_cst default hides the
+  // ordering decision. Spelling the order states the contract and makes
+  // deliberate relaxations greppable.
+  {
+    for (const char* tok :
+         {"load", "store", "fetch_add", "fetch_sub", "fetch_and",
+          "fetch_or", "fetch_xor", "exchange", "compare_exchange_strong",
+          "compare_exchange_weak"}) {
+      ForEachToken(stripped, tok, [&](int line, size_t i) {
+        if (!IsMemberAccess(stripped, i)) return;
+        const size_t open =
+            SkipSpaces(stripped, i + std::string_view(tok).size());
+        if (open >= stripped.size() || stripped[open] != '(') return;
+        std::string_view args;
+        if (MatchParen(stripped, open, &args) == std::string_view::npos) {
+          return;
+        }
+        if (args.find("memory_order") != std::string_view::npos) return;
+        add(line, "atomic-memory-order",
+            std::string(".") + tok +
+                "() without an explicit std::memory_order; state the "
+                "ordering contract (seq_cst included) at the call site");
+      });
+    }
+  }
+
+  // --- detached-thread: a detached thread outlives its state's owner
+  // and turns shutdown into a race; every thread in this tree joins.
+  ForEachToken(stripped, "detach", [&](int line, size_t i) {
+    if (!IsMemberAccess(stripped, i)) return;
+    const size_t open = SkipSpaces(stripped, i + 6);
+    if (open >= stripped.size() || stripped[open] != '(') return;
+    add(line, "detached-thread",
+        ".detach() orphans the thread past its owner's lifetime; keep "
+        "the handle and join it on shutdown");
+  });
+
+  // --- unguarded-mutable: `mutable` means "written under const", which
+  // on shared objects means written concurrently. Atomics and Mutexes
+  // synchronize themselves; anything else must name its lock in a
+  // PAE_GUARDED_BY so the analysis can check it. A `mutable` right
+  // after a lambda parameter list is the (unrelated) lambda qualifier.
+  ForEachToken(stripped, "mutable", [&](int line, size_t i) {
+    const size_t p = PrevNonSpace(stripped, i);
+    if (p != std::string_view::npos && stripped[p] == ')') return;
+    const size_t semi = stripped.find(';', i);
+    if (semi == std::string::npos) return;
+    const std::string_view decl =
+        std::string_view(stripped).substr(i, semi - i);
+    if (decl.find("PAE_GUARDED_BY") != std::string_view::npos) return;
+    if (decl.find("atomic") != std::string_view::npos) return;
+    if (decl.find("Mutex") != std::string_view::npos) return;
+    add(line, "unguarded-mutable",
+        "mutable member is neither atomic, nor a Mutex, nor "
+        "PAE_GUARDED_BY(some mutex); name the lock that protects it");
+  });
+
+  // --- mmap-reinterpret-cast: reinterpreting mapped bytes is the whole
+  // job of exactly two files; everywhere else the cast is an aliasing
+  // hazard that belongs behind a typed helper or std::memcpy.
+  if (path != "src/core/model_artifact.cc" &&
+      path != "src/util/mmap_file.cc") {
+    ForEachToken(stripped, "reinterpret_cast", [&](int line, size_t) {
+      add(line, "mmap-reinterpret-cast",
+          "reinterpret_cast outside core/model_artifact.cc and "
+          "util/mmap_file.cc; use a typed accessor or std::memcpy");
+    });
   }
 
   std::sort(out.begin(), out.end(), [](const Violation& a,

@@ -25,8 +25,10 @@ struct Violation {
 ///   raw-random           rand()/srand()/std::random_device anywhere but
 ///                        util/rng.h — all randomness flows through the
 ///                        seeded pae::Rng so experiments reproduce.
-///   raw-stdio            std::cout/std::cerr outside util/logging.cc —
-///                        library code logs through PAE_LOG.
+///   raw-stdio            std::cout/std::cerr in src/ outside
+///                        util/logging.cc — library code logs through
+///                        PAE_LOG. CLI front-ends (tools/, bench/)
+///                        write to stdout by design and are exempt.
 ///   naked-assert         assert( in src/ — use PAE_DCHECK, which logs
 ///                        file:line through util/logging instead of
 ///                        dying silently under NDEBUG.
@@ -43,10 +45,40 @@ struct Violation {
 ///                        SIMD implementations whose results are
 ///                        bit-identical across ISAs; private loops fork
 ///                        the numerics and forfeit the speedup.
+///   raw-mutex            std::mutex / std::lock_guard /
+///                        std::unique_lock / std::condition_variable
+///                        outside src/util/ — concurrency goes through
+///                        pae::util::Mutex / MutexLock / CondVar
+///                        (util/mutex.h), whose annotations let Clang's
+///                        -Wthread-safety prove the lock discipline;
+///                        raw std types are invisible to the analysis.
+///   atomic-memory-order  an atomic load/store/RMW call without an
+///                        explicit std::memory_order argument — the
+///                        implicit seq_cst default hides the ordering
+///                        decision; spelling it forces the author (and
+///                        the reviewer) to state the contract, and makes
+///                        deliberate relaxations greppable.
+///   detached-thread      std::thread{...}.detach() — detached threads
+///                        outlive their state's owner and turn shutdown
+///                        into a race; every thread in the tree joins.
+///   unguarded-mutable    a `mutable` member that is neither an atomic,
+///                        nor a Mutex, nor named in a PAE_GUARDED_BY
+///                        annotation — `mutable` means "written under
+///                        const", which on shared objects means written
+///                        concurrently; the analysis must be told which
+///                        lock protects it.
+///   mmap-reinterpret-cast
+///                        reinterpret_cast outside the two files whose
+///                        whole job is reinterpreting mapped bytes
+///                        (core/model_artifact.cc, util/mmap_file.cc) —
+///                        everywhere else the cast is an aliasing
+///                        hazard that belongs behind a typed helper or
+///                        std::memcpy.
 inline constexpr const char* kAllRules[] = {
     "hot-path-string-map", "raw-random",        "raw-stdio",
     "naked-assert",        "include-guard",     "float-accumulator",
-    "hand-rolled-kernel",
+    "hand-rolled-kernel",  "raw-mutex",         "atomic-memory-order",
+    "detached-thread",     "unguarded-mutable", "mmap-reinterpret-cast",
 };
 
 /// Returns `content` with comments and string/char literals replaced by
