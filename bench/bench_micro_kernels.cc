@@ -642,6 +642,75 @@ void BM_SimdLstmStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SimdLstmStep)->ArgName("isa")->Arg(0)->Arg(1)->Arg(2);
 
+void BM_SimdMatMul(benchmark::State& state) {
+  // The batched GEMM tier against a [256×256] weight panel; args are
+  // (isa, batch). items/s counts output columns, so the per-column cost
+  // at batch 8/32 against batch 1 is the batching win directly.
+  math::kernels::Isa prev;
+  if (!EnterIsa(state, &prev)) return;
+  constexpr size_t kRows = 256;
+  constexpr size_t kK = 256;
+  const size_t batch = static_cast<size_t>(state.range(1));
+  Rng rng(13);
+  std::vector<float> m(kRows * kK), x(batch * kK), bias(kRows);
+  std::vector<float> out(batch * kRows);
+  FillGaussian(&rng, &m);
+  FillGaussian(&rng, &x);
+  FillGaussian(&rng, &bias);
+  for (auto _ : state) {
+    math::kernels::MatMul(m.data(), kRows, kK, x.data(), batch, bias.data(),
+                          out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  math::kernels::SetIsa(prev);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SimdMatMul)
+    ->ArgNames({"isa", "batch"})
+    ->Args({0, 1})->Args({0, 8})->Args({0, 32})
+    ->Args({1, 1})->Args({1, 8})->Args({1, 32})
+    ->Args({2, 1})->Args({2, 8})->Args({2, 32});
+
+void BM_SimdLstmLayer(benchmark::State& state) {
+  // A full LSTM layer pass over a batch of equal-length sequences: one
+  // batched gate GEMM per timestep. Args are (isa, hidden, batch) with
+  // input_dim = 3H/4 (the tagger's D:H ratio). h=64 is the model's
+  // word-layer shape, where the libm gate activations bound the step;
+  // h=384 is the serving-scale shape where the [4H×D] weight pair
+  // (~4 MB) no longer fits L2 and re-streaming it per sequence is the
+  // cost batching amortises. items/s counts sequences, so batch 32 vs
+  // batch 1 at the same isa/hidden is the batching speedup directly.
+  // (The determinism contract keeps the gate activations on scalar
+  // libm, so at h=64 they bound the step and cap the batching win;
+  // the GEMM-bound h=384 rows show the full effect.)
+  math::kernels::Isa prev;
+  if (!EnterIsa(state, &prev)) return;
+  const size_t hidden = static_cast<size_t>(state.range(1));
+  const size_t input_dim = hidden * 3 / 4;
+  constexpr size_t kSteps = 15;
+  const size_t batch = static_cast<size_t>(state.range(2));
+  Rng rng(14);
+  lstm::LstmParams params(input_dim, hidden);
+  params.Init(&rng);
+  std::vector<float> inputs(kSteps * batch * input_dim);
+  FillGaussian(&rng, &inputs);
+  lstm::LstmBatchTrace trace;
+  for (auto _ : state) {
+    lstm::LstmForwardBatch(params, inputs.data(), kSteps, batch, &trace);
+    benchmark::DoNotOptimize(trace.h.data());
+  }
+  math::kernels::SetIsa(prev);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SimdLstmLayer)
+    ->ArgNames({"isa", "hidden", "batch"})
+    ->Args({0, 64, 1})->Args({0, 64, 8})->Args({0, 64, 32})
+    ->Args({1, 64, 1})->Args({1, 64, 8})->Args({1, 64, 32})
+    ->Args({2, 64, 1})->Args({2, 64, 8})->Args({2, 64, 32})
+    ->Args({0, 384, 1})->Args({0, 384, 8})->Args({0, 384, 32})
+    ->Args({1, 384, 1})->Args({1, 384, 8})->Args({1, 384, 32})
+    ->Args({2, 384, 1})->Args({2, 384, 8})->Args({2, 384, 32});
+
 }  // namespace
 }  // namespace pae
 

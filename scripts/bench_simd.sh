@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the SIMD kernel-layer microbenchmarks (Dot, MatVec, the word2vec
-# negative-sampling step and the fused LSTM timestep, each at every ISA
-# tier the host supports) and writes the google-benchmark JSON report to
-# BENCH_simd_kernels.json in the repository root.
+# negative-sampling step, the fused LSTM timestep, the batched MatMul
+# GEMM and the batched LSTM-layer pass — each at every ISA tier the host
+# supports, the batched ones additionally at B ∈ {1, 8, 32}) and writes
+# the google-benchmark JSON report to BENCH_simd_kernels.json in the
+# repository root.
 #
 #   scripts/bench_simd.sh [build-dir]   # default: build-bench
 #

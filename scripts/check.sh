@@ -174,6 +174,12 @@ echo "==> pass 1c: full ctest with PAE_SIMD=scalar"
 # across tiers by contract, so every pass-1 expectation must hold
 # unchanged here; a divergence means a tier broke the lane discipline.
 PAE_SIMD=scalar ctest --test-dir build-check --output-on-failure -j "${JOBS}"
+# The batched-BiLSTM determinism gate, explicitly and by name: training
+# and decode must be byte-identical at B ∈ {1, 8, 32} (and across
+# thread counts) on the scalar tier too, not just on the dispatched
+# default the full suite above already covered.
+PAE_SIMD=scalar ./build-check/tests/lstm_test \
+      --gtest_filter='BiLstmTaggerTest.TrainingByteIdenticalAcrossBatchSizes:BiLstmTaggerTest.DecodeByteIdenticalAcrossBatchSizesAndThreads'
 
 if [[ "${RUN_TSAN}" == "1" ]]; then
   echo "==> pass 2: ThreadSanitizer build + concurrency binaries"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
 
 #include "math/kernels.h"
 #include "math/vec.h"
@@ -9,14 +11,31 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/serial.h"
+#include "util/thread_pool.h"
 
 namespace pae::lstm {
 
-struct BiLstmTagger::TokenTrace {
-  LstmTrace char_fwd;
-  LstmTrace char_bwd;
-  std::vector<int> char_ids;
-  std::vector<float> repr_full;  // [h_word_fwd; h_word_bwd; word_emb]
+/// One panel of tokens whose char sequences all have length `len`,
+/// processed by the char BiLSTM as a batch of `tokens.size()` columns.
+struct BiLstmTagger::CharBatch {
+  size_t len = 0;
+  std::vector<size_t> tokens;  // global token ids (n = s*T + t), ascending
+  LstmBatchTrace fwd;          // chars in reading order
+  LstmBatchTrace bwd;          // chars reversed
+};
+
+/// Forward activations of S equal-length sentences; token n = s*T + t.
+struct BiLstmTagger::SentenceBatch {
+  size_t S = 0;
+  size_t T = 0;
+  std::vector<CharBatch> char_batches;
+  /// token → (index into char_batches, column in that panel);
+  /// first == SIZE_MAX for tokens with no characters.
+  std::vector<std::pair<size_t, size_t>> char_loc;
+  std::vector<float> word_inputs;  // [T][S][2*char_hidden], post dropout
+  LstmBatchTrace word_fwd, word_bwd;
+  std::vector<float> repr;    // [S*T][2*word_hidden + word_dim]
+  std::vector<float> logits;  // [S*T][L]
 };
 
 BiLstmTagger::BiLstmTagger(BiLstmOptions options) : options_(options) {}
@@ -32,95 +51,133 @@ std::vector<std::string> BiLstmTagger::TokenChars(const std::string& token) {
   return chars;
 }
 
-void BiLstmTagger::CharRepr(const std::vector<int>& char_ids,
-                            LstmTrace* fwd_trace, LstmTrace* bwd_trace,
-                            std::vector<float>* repr) const {
+void BiLstmTagger::RunCharBatches(
+    const std::vector<std::vector<int>>& char_ids, SentenceBatch* sb) const {
   const size_t dc = static_cast<size_t>(options_.char_dim);
-  const size_t hc = static_cast<size_t>(options_.char_hidden);
-  std::vector<std::vector<float>> inputs(char_ids.size());
-  for (size_t k = 0; k < char_ids.size(); ++k) {
-    const float* row = char_emb_.Row(static_cast<size_t>(char_ids[k]));
-    inputs[k].assign(row, row + dc);
-  }
-  LstmForward(char_fwd_, inputs, fwd_trace);
-  std::reverse(inputs.begin(), inputs.end());
-  LstmForward(char_bwd_, inputs, bwd_trace);
+  const size_t n_tokens = char_ids.size();
+  const size_t cap =
+      options_.batch_size < 1 ? 1 : static_cast<size_t>(options_.batch_size);
 
-  repr->assign(2 * hc, 0.0f);
-  if (!char_ids.empty()) {
-    const auto& hf = fwd_trace->h.back();
-    const auto& hb = bwd_trace->h.back();
-    std::copy(hf.begin(), hf.end(), repr->begin());
-    std::copy(hb.begin(), hb.end(), repr->begin() + static_cast<long>(hc));
+  sb->char_batches.clear();
+  sb->char_loc.assign(n_tokens, {SIZE_MAX, 0});
+
+  // Bucket tokens by exact char count (no padding, no masking); the
+  // std::map keeps bucket order a pure function of the input lengths.
+  std::map<size_t, std::vector<size_t>> by_len;
+  for (size_t n = 0; n < n_tokens; ++n) {
+    if (!char_ids[n].empty()) by_len[char_ids[n].size()].push_back(n);
+  }
+
+  std::vector<float> flat_fwd, flat_bwd;
+  for (const auto& [len, toks] : by_len) {
+    for (size_t j = 0; j < toks.size(); j += cap) {
+      const size_t B = std::min(cap, toks.size() - j);
+      CharBatch cb;
+      cb.len = len;
+      cb.tokens.assign(toks.begin() + static_cast<long>(j),
+                       toks.begin() + static_cast<long>(j + B));
+      flat_fwd.assign(len * B * dc, 0.0f);
+      flat_bwd.assign(len * B * dc, 0.0f);
+      for (size_t b = 0; b < B; ++b) {
+        const std::vector<int>& ids = char_ids[cb.tokens[b]];
+        for (size_t k = 0; k < len; ++k) {
+          const float* row = char_emb_.Row(static_cast<size_t>(ids[k]));
+          std::copy(row, row + dc, flat_fwd.begin() + ((k * B + b) * dc));
+          std::copy(row, row + dc,
+                    flat_bwd.begin() + (((len - 1 - k) * B + b) * dc));
+        }
+      }
+      LstmForwardBatch(char_fwd_, flat_fwd.data(), len, B, &cb.fwd);
+      LstmForwardBatch(char_bwd_, flat_bwd.data(), len, B, &cb.bwd);
+      for (size_t b = 0; b < B; ++b) {
+        sb->char_loc[cb.tokens[b]] = {sb->char_batches.size(), b};
+      }
+      sb->char_batches.push_back(std::move(cb));
+    }
   }
 }
 
-void BiLstmTagger::Forward(
+void BiLstmTagger::ForwardBatch(
     const std::vector<int>& word_ids,
     const std::vector<std::vector<int>>& char_ids,
     const std::vector<std::vector<float>>& dropout_masks, bool training,
-    std::vector<std::vector<float>>* logits, std::vector<TokenTrace>* traces,
-    std::vector<LstmTrace>* word_fwd_trace,
-    std::vector<LstmTrace>* word_bwd_trace,
-    std::vector<std::vector<float>>* word_inputs) const {
-  const size_t T = word_ids.size();
+    size_t num_sentences, size_t num_tokens, SentenceBatch* sb) const {
+  const size_t S = num_sentences;
+  const size_t T = num_tokens;
   const size_t hc = static_cast<size_t>(options_.char_hidden);
   const size_t hw = static_cast<size_t>(options_.word_hidden);
   const size_t dw = static_cast<size_t>(options_.word_dim);
   const size_t L = labels_.size();
-
-  if (traces != nullptr) traces->resize(T);
-  word_inputs->assign(T, {});
-
-  std::vector<TokenTrace> local_traces;
-  if (traces == nullptr) local_traces.resize(T);
-  std::vector<TokenTrace>& tt = (traces != nullptr) ? *traces : local_traces;
-
-  for (size_t t = 0; t < T; ++t) {
-    tt[t].char_ids = char_ids[t];
-    std::vector<float> repr;
-    CharRepr(char_ids[t], &tt[t].char_fwd, &tt[t].char_bwd, &repr);
-    if (training) {
-      PAE_DCHECK_EQ(dropout_masks[t].size(), repr.size());
-      for (size_t k = 0; k < repr.size(); ++k) repr[k] *= dropout_masks[t][k];
-    }
-    (*word_inputs)[t] = std::move(repr);
-  }
+  const size_t repr_dim = 2 * hw + dw;
+  PAE_DCHECK_EQ(word_ids.size(), S * T);
+  PAE_DCHECK_EQ(char_ids.size(), S * T);
 
   // Gate-dimension contract: the char-BiLSTM representation feeding the
   // word LSTMs must match their input width (2*char_hidden), and the
   // output layer must span [h_fwd; h_bwd; word_emb].
   PAE_DCHECK_EQ(word_fwd_.input_dim, 2 * hc);
   PAE_DCHECK_EQ(word_bwd_.input_dim, 2 * hc);
-  PAE_DCHECK_EQ(out_w_.cols(), 2 * hw + dw);
+  PAE_DCHECK_EQ(out_w_.cols(), repr_dim);
   PAE_DCHECK_EQ(out_w_.rows(), L);
 
-  // Word-level BiLSTM.
-  word_fwd_trace->resize(1);
-  word_bwd_trace->resize(1);
-  LstmForward(word_fwd_, *word_inputs, &(*word_fwd_trace)[0]);
-  std::vector<std::vector<float>> reversed(word_inputs->rbegin(),
-                                           word_inputs->rend());
-  LstmForward(word_bwd_, reversed, &(*word_bwd_trace)[0]);
+  sb->S = S;
+  sb->T = T;
+  RunCharBatches(char_ids, sb);
 
-  logits->assign(T, std::vector<float>(L, 0.0f));
-  for (size_t t = 0; t < T; ++t) {
-    std::vector<float>& repr_full = tt[t].repr_full;
-    repr_full.assign(2 * hw + dw, 0.0f);
-    const auto& hf = (*word_fwd_trace)[0].h[t];
-    const auto& hb = (*word_bwd_trace)[0].h[T - 1 - t];
-    std::copy(hf.begin(), hf.end(), repr_full.begin());
-    std::copy(hb.begin(), hb.end(), repr_full.begin() + static_cast<long>(hw));
-    const float* emb = word_emb_.Row(static_cast<size_t>(word_ids[t]));
-    std::copy(emb, emb + dw, repr_full.begin() + static_cast<long>(2 * hw));
-
-    std::vector<float>& out = (*logits)[t];
-    for (size_t y = 0; y < L; ++y) {
-      out[y] = static_cast<float>(
-          out_b_[y] + math::kernels::Dot(out_w_.Row(y), repr_full.data(),
-                                         repr_full.size()));
+  // Word-LSTM inputs, time-major [T][S][2hc]: each token's slot is the
+  // concatenated final char-BiLSTM hidden states (zeros for char-less
+  // tokens), scaled by its inverted-dropout mask during training.
+  sb->word_inputs.assign(T * S * 2 * hc, 0.0f);
+  for (size_t s = 0; s < S; ++s) {
+    for (size_t t = 0; t < T; ++t) {
+      const size_t n = s * T + t;
+      float* dst = sb->word_inputs.data() + (t * S + s) * 2 * hc;
+      const auto [bi, col] = sb->char_loc[n];
+      if (bi != SIZE_MAX) {
+        const CharBatch& cb = sb->char_batches[bi];
+        const float* hf = cb.fwd.H(cb.len - 1) + col * hc;
+        const float* hb = cb.bwd.H(cb.len - 1) + col * hc;
+        std::copy(hf, hf + hc, dst);
+        std::copy(hb, hb + hc, dst + hc);
+      }
+      if (training) {
+        PAE_DCHECK_EQ(dropout_masks[n].size(), 2 * hc);
+        for (size_t k = 0; k < 2 * hc; ++k) dst[k] *= dropout_masks[n][k];
+      }
     }
   }
+
+  // Word-level BiLSTM: one batched GEMM pair per timestep over all S
+  // sentences.
+  LstmForwardBatch(word_fwd_, sb->word_inputs.data(), T, S, &sb->word_fwd);
+  std::vector<float> reversed(T * S * 2 * hc);
+  for (size_t t = 0; t < T; ++t) {
+    std::copy(sb->word_inputs.begin() + static_cast<long>((T - 1 - t) * S *
+                                                          2 * hc),
+              sb->word_inputs.begin() + static_cast<long>((T - t) * S * 2 *
+                                                          hc),
+              reversed.begin() + static_cast<long>(t * S * 2 * hc));
+  }
+  LstmForwardBatch(word_bwd_, reversed.data(), T, S, &sb->word_bwd);
+
+  // Output layer: stack every token's [h_fwd; h_bwd; word_emb] repr and
+  // produce all S·T logit rows with a single bias-fused GEMM.
+  sb->repr.assign(S * T * repr_dim, 0.0f);
+  for (size_t s = 0; s < S; ++s) {
+    for (size_t t = 0; t < T; ++t) {
+      const size_t n = s * T + t;
+      float* row = sb->repr.data() + n * repr_dim;
+      const float* hf = sb->word_fwd.H(t) + s * hw;
+      const float* hb = sb->word_bwd.H(T - 1 - t) + s * hw;
+      std::copy(hf, hf + hw, row);
+      std::copy(hb, hb + hw, row + hw);
+      const float* emb = word_emb_.Row(static_cast<size_t>(word_ids[n]));
+      std::copy(emb, emb + dw, row + 2 * hw);
+    }
+  }
+  sb->logits.assign(S * T * L, 0.0f);
+  math::kernels::MatMul(out_w_.data().data(), L, repr_dim, sb->repr.data(),
+                        S * T, out_b_.data(), sb->logits.data());
 }
 
 Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
@@ -194,6 +251,9 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   const float keep = 1.0f - options_.dropout;
+  util::Counter* nonfinite_skips =
+      metrics.GetCounter("lstm.train.nonfinite_grad_skips");
+  int64_t sgd_step = 0;
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     rng.Shuffle(&order);
@@ -233,22 +293,22 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
         }
       }
 
-      std::vector<std::vector<float>> logits;
-      std::vector<TokenTrace> traces;
-      std::vector<LstmTrace> word_fwd_trace, word_bwd_trace;
-      std::vector<std::vector<float>> word_inputs;
-      Forward(word_ids, char_ids, masks, /*training=*/true, &logits, &traces,
-              &word_fwd_trace, &word_bwd_trace, &word_inputs);
+      SentenceBatch sb;
+      ForwardBatch(word_ids, char_ids, masks, /*training=*/true,
+                   /*num_sentences=*/1, T, &sb);
 
       // Loss and ∂L/∂logits.
-      std::vector<std::vector<float>> dlogits(T);
+      std::vector<float> dlogits(T * L);
+      std::vector<float> p(L);
       for (size_t t = 0; t < T; ++t) {
-        std::vector<float> p = logits[t];
+        p.assign(sb.logits.begin() + static_cast<long>(t * L),
+                 sb.logits.begin() + static_cast<long>((t + 1) * L));
         math::SoftmaxInPlace(&p);
         epoch_loss -= std::log(std::max(p[static_cast<size_t>(gold[t])],
                                         1e-12f));
         p[static_cast<size_t>(gold[t])] -= 1.0f;
-        dlogits[t] = std::move(p);
+        std::copy(p.begin(), p.end(), dlogits.begin() + static_cast<long>(
+                                          t * L));
       }
       epoch_tokens += T;
 
@@ -262,72 +322,120 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
       g_word_emb.clear();
       g_char_emb.clear();
 
-      std::vector<std::vector<float>> dh_word_fwd(
-          T, std::vector<float>(hw, 0.0f));
-      std::vector<std::vector<float>> dh_word_bwd(
-          T, std::vector<float>(hw, 0.0f));
+      // d repr = out_w^T · dlogits for all T tokens in one batched
+      // transpose product (per-token results bit-equal to MatTVec).
+      std::vector<float> drepr(T * repr_dim, 0.0f);
+      math::kernels::MatTVecBatch(out_w_.data().data(), L, repr_dim,
+                                  dlogits.data(), T, drepr.data());
+
+      std::vector<float> dh_word_fwd(T * hw, 0.0f);
+      std::vector<float> dh_word_bwd(T * hw, 0.0f);
 
       for (size_t t = 0; t < T; ++t) {
-        const auto& repr_full = traces[t].repr_full;
-        const auto& dl = dlogits[t];
-        // Output layer gradients.
-        g_out_w.AddOuter(1.0f, dl, repr_full);
+        const float* dl = dlogits.data() + t * L;
+        const float* dr = drepr.data() + t * repr_dim;
+        // Output layer gradients (shared buffer — keep token order).
+        math::kernels::AddOuter(1.0f, dl, sb.repr.data() + t * repr_dim,
+                                g_out_w.data().data(), L, repr_dim);
         for (size_t y = 0; y < L; ++y) g_out_b[y] += dl[y];
-        // d repr_full = out_w^T * dlogits.
-        std::vector<float> drepr(repr_dim, 0.0f);
-        out_w_.MatTVec(dl, &drepr);
-        // Split: word fwd h, word bwd h, word embedding.
-        for (size_t k = 0; k < hw; ++k) dh_word_fwd[t][k] += drepr[k];
+        // Split d repr: word fwd h, word bwd h, word embedding.
+        for (size_t k = 0; k < hw; ++k) dh_word_fwd[t * hw + k] += dr[k];
         for (size_t k = 0; k < hw; ++k) {
-          dh_word_bwd[T - 1 - t][k] += drepr[hw + k];
+          dh_word_bwd[(T - 1 - t) * hw + k] += dr[hw + k];
         }
         auto [emb_it, unused] = g_word_emb.try_emplace(
             word_ids[t], std::vector<float>(dw, 0.0f));
         for (size_t k = 0; k < dw; ++k) {
-          emb_it->second[k] += drepr[2 * hw + k];
+          emb_it->second[k] += dr[2 * hw + k];
         }
       }
 
       // Word BiLSTM backward → gradients into the (dropped) inputs.
-      std::vector<std::vector<float>> dx_fwd, dx_bwd;
-      LstmBackward(word_fwd_, word_fwd_trace[0], dh_word_fwd, &g_word_fwd,
-                   &dx_fwd);
-      LstmBackward(word_bwd_, word_bwd_trace[0], dh_word_bwd, &g_word_bwd,
-                   &dx_bwd);
+      std::vector<float> dpre_wf(T * 4 * hw), dpre_wb(T * 4 * hw);
+      std::vector<float> dx_fwd(T * 2 * hc), dx_bwd(T * 2 * hc);
+      LstmBackwardBatch(word_fwd_, sb.word_fwd, dh_word_fwd.data(),
+                        dpre_wf.data(), dx_fwd.data());
+      LstmBackwardBatch(word_bwd_, sb.word_bwd, dh_word_bwd.data(),
+                        dpre_wb.data(), dx_bwd.data());
+      LstmAccumulateGrads(sb.word_fwd, dpre_wf.data(), 0, &g_word_fwd);
+      LstmAccumulateGrads(sb.word_bwd, dpre_wb.data(), 0, &g_word_bwd);
 
+      // Gradient into each token's char-BiLSTM output (through dropout).
+      std::vector<float> dinput(T * 2 * hc, 0.0f);
       for (size_t t = 0; t < T; ++t) {
-        std::vector<float> dinput(2 * hc, 0.0f);
         for (size_t k = 0; k < 2 * hc; ++k) {
-          dinput[k] = dx_fwd[t][k] + dx_bwd[T - 1 - t][k];
-          dinput[k] *= masks[t][k];  // through the dropout
+          dinput[t * 2 * hc + k] =
+              (dx_fwd[t * 2 * hc + k] + dx_bwd[(T - 1 - t) * 2 * hc + k]) *
+              masks[t][k];
         }
-        // Char BiLSTM backward: gradient arrives only at the final
-        // hidden state of each direction.
-        const size_t n_chars = traces[t].char_ids.size();
-        if (n_chars == 0) continue;
-        std::vector<std::vector<float>> dh_cf(n_chars,
-                                              std::vector<float>(hc, 0.0f));
-        std::vector<std::vector<float>> dh_cb(n_chars,
-                                              std::vector<float>(hc, 0.0f));
-        for (size_t k = 0; k < hc; ++k) {
-          dh_cf[n_chars - 1][k] = dinput[k];
-          dh_cb[n_chars - 1][k] = dinput[hc + k];
+      }
+
+      // Char BiLSTM backward, one batched pass per panel: gradient
+      // arrives only at the final hidden state of each direction.
+      const size_t n_batches = sb.char_batches.size();
+      std::vector<std::vector<float>> dpre_cf(n_batches), dpre_cb(n_batches);
+      std::vector<std::vector<float>> dxc_f(n_batches), dxc_b(n_batches);
+      std::vector<float> dh_c;
+      for (size_t bi = 0; bi < n_batches; ++bi) {
+        const CharBatch& cb = sb.char_batches[bi];
+        const size_t B = cb.tokens.size();
+        dpre_cf[bi].resize(cb.len * B * 4 * hc);
+        dpre_cb[bi].resize(cb.len * B * 4 * hc);
+        dxc_f[bi].resize(cb.len * B * dc);
+        dxc_b[bi].resize(cb.len * B * dc);
+        dh_c.assign(cb.len * B * hc, 0.0f);
+        for (size_t b = 0; b < B; ++b) {
+          const float* din = dinput.data() + cb.tokens[b] * 2 * hc;
+          std::copy(din, din + hc,
+                    dh_c.begin() + static_cast<long>(((cb.len - 1) * B + b) *
+                                                     hc));
         }
-        std::vector<std::vector<float>> dxc_f, dxc_b;
-        LstmBackward(char_fwd_, traces[t].char_fwd, dh_cf, &g_char_fwd,
-                     &dxc_f);
-        LstmBackward(char_bwd_, traces[t].char_bwd, dh_cb, &g_char_bwd,
-                     &dxc_b);
+        LstmBackwardBatch(char_fwd_, cb.fwd, dh_c.data(), dpre_cf[bi].data(),
+                          dxc_f[bi].data());
+        dh_c.assign(cb.len * B * hc, 0.0f);
+        for (size_t b = 0; b < B; ++b) {
+          const float* din = dinput.data() + cb.tokens[b] * 2 * hc + hc;
+          std::copy(din, din + hc,
+                    dh_c.begin() + static_cast<long>(((cb.len - 1) * B + b) *
+                                                     hc));
+        }
+        LstmBackwardBatch(char_bwd_, cb.bwd, dh_c.data(), dpre_cb[bi].data(),
+                          dxc_b[bi].data());
+      }
+
+      // Replay parameter/embedding accumulation in canonical token
+      // order (ascending t), exactly as the unbatched loop did — float
+      // accumulation into shared buffers is order-sensitive, and this
+      // keeps training byte-identical for every batch_size.
+      for (size_t t = 0; t < T; ++t) {
+        const auto [bi, col] = sb.char_loc[t];
+        if (bi == SIZE_MAX) continue;  // token without characters
+        const CharBatch& cb = sb.char_batches[bi];
+        const size_t B = cb.tokens.size();
+        const size_t n_chars = cb.len;
+        LstmAccumulateGrads(cb.fwd, dpre_cf[bi].data(), col, &g_char_fwd);
+        LstmAccumulateGrads(cb.bwd, dpre_cb[bi].data(), col, &g_char_bwd);
         for (size_t k = 0; k < n_chars; ++k) {
           auto [it_f, unused2] = g_char_emb.try_emplace(
-              traces[t].char_ids[k], std::vector<float>(dc, 0.0f));
+              char_ids[t][k], std::vector<float>(dc, 0.0f));
+          const float* df = dxc_f[bi].data() + (k * B + col) * dc;
+          const float* db =
+              dxc_b[bi].data() + ((n_chars - 1 - k) * B + col) * dc;
           for (size_t d = 0; d < dc; ++d) {
             // Forward direction saw char k at step k; backward at
             // step n-1-k.
-            it_f->second[d] += dxc_f[k][d] + dxc_b[n_chars - 1 - k][d];
+            it_f->second[d] += df[d] + db[d];
           }
         }
       }
+
+      // Test hook: deterministically fake the NaN-gradient failure the
+      // clipping guard must catch.
+      if (options_.inject_nonfinite_grad_at >= 0 &&
+          sgd_step == options_.inject_nonfinite_grad_at) {
+        g_out_b[0] = std::numeric_limits<float>::quiet_NaN();
+      }
+      ++sgd_step;
 
       // Global-norm gradient clipping.
       double sq = g_char_fwd.SquaredNorm() + g_char_bwd.SquaredNorm() +
@@ -341,9 +449,14 @@ Status BiLstmTagger::Train(const std::vector<text::LabeledSequence>& data) {
         sq += math::kernels::SumSq(g.data(), g.size());
       }
       double norm = std::sqrt(sq);
-      // A non-finite gradient norm means clipping silently rescales to
-      // NaN and the next SGD step destroys the model.
-      PAE_DCHECK_FINITE(norm) << "BiLSTM: non-finite gradient norm";
+      // A non-finite norm would sail through the `norm > clip_norm`
+      // comparison (NaN compares false), apply the poisoned gradients
+      // at full scale, and destroy the model. Skip the step instead and
+      // leave an auditable trace in the metrics.
+      if (!std::isfinite(norm)) {
+        nonfinite_skips->Increment();
+        continue;
+      }
       float scale = 1.0f;
       if (norm > options_.clip_norm && norm > 0) {
         scale = static_cast<float>(options_.clip_norm / norm);
@@ -382,38 +495,89 @@ std::vector<std::string> BiLstmTagger::Predict(
 
 text::SequenceTagger::ScoredPrediction BiLstmTagger::PredictScored(
     const text::LabeledSequence& seq) const {
-  const size_t T = seq.tokens.size();
-  ScoredPrediction out;
-  if (!trained_ || T == 0) {
-    out.labels.assign(T, text::kOutsideLabel);
-    out.confidence.assign(T, 1.0);
-    return out;
-  }
-  std::vector<int> word_ids(T);
-  std::vector<std::vector<int>> char_ids(T);
-  for (size_t t = 0; t < T; ++t) {
-    word_ids[t] = word_vocab_.Lookup(seq.tokens[t]);
-    for (const auto& ch : TokenChars(seq.tokens[t])) {
-      char_ids[t].push_back(char_vocab_.Lookup(ch));
-    }
-  }
-  std::vector<std::vector<float>> logits;
-  std::vector<LstmTrace> word_fwd_trace, word_bwd_trace;
-  std::vector<std::vector<float>> word_inputs;
-  Forward(word_ids, char_ids, {}, /*training=*/false, &logits, nullptr,
-          &word_fwd_trace, &word_bwd_trace, &word_inputs);
+  return PredictScoredBatch({seq})[0];
+}
 
-  out.labels.resize(T);
-  out.confidence.resize(T);
-  for (size_t t = 0; t < T; ++t) {
-    std::vector<float> probs = logits[t];
-    math::SoftmaxInPlace(&probs);
-    size_t best = 0;
-    for (size_t y = 1; y < labels_.size(); ++y) {
-      if (probs[y] > probs[best]) best = y;
+std::vector<text::SequenceTagger::ScoredPrediction>
+BiLstmTagger::PredictScoredBatch(
+    const std::vector<text::LabeledSequence>& seqs,
+    util::ThreadPool* pool) const {
+  const size_t L = labels_.size();
+  std::vector<ScoredPrediction> out(seqs.size());
+
+  // Group decodable sentences by exact token count; each group is cut
+  // into panels of ≤ batch_size sentences that share one forward pass.
+  std::map<size_t, std::vector<size_t>> by_len;
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    const size_t T = seqs[i].tokens.size();
+    if (!trained_ || T == 0) {
+      out[i].labels.assign(T, text::kOutsideLabel);
+      out[i].confidence.assign(T, 1.0);
+    } else {
+      by_len[T].push_back(i);
     }
-    out.labels[t] = labels_[best];
-    out.confidence[t] = probs[best];
+  }
+
+  struct Panel {
+    size_t T = 0;
+    std::vector<size_t> seq_ids;
+  };
+  std::vector<Panel> panels;
+  const size_t cap =
+      options_.batch_size < 1 ? 1 : static_cast<size_t>(options_.batch_size);
+  for (const auto& [T, ids] : by_len) {
+    for (size_t j = 0; j < ids.size(); j += cap) {
+      Panel panel;
+      panel.T = T;
+      panel.seq_ids.assign(
+          ids.begin() + static_cast<long>(j),
+          ids.begin() + static_cast<long>(std::min(j + cap, ids.size())));
+      panels.push_back(std::move(panel));
+    }
+  }
+
+  // Each panel writes only its own sentences' output slots, so panels
+  // are independent: results are byte-identical for any thread count.
+  auto run_panel = [&](size_t pi) {
+    const Panel& panel = panels[pi];
+    const size_t S = panel.seq_ids.size();
+    const size_t T = panel.T;
+    std::vector<int> word_ids(S * T);
+    std::vector<std::vector<int>> char_ids(S * T);
+    for (size_t s = 0; s < S; ++s) {
+      const auto& seq = seqs[panel.seq_ids[s]];
+      for (size_t t = 0; t < T; ++t) {
+        word_ids[s * T + t] = word_vocab_.Lookup(seq.tokens[t]);
+        for (const auto& ch : TokenChars(seq.tokens[t])) {
+          char_ids[s * T + t].push_back(char_vocab_.Lookup(ch));
+        }
+      }
+    }
+    SentenceBatch sb;
+    ForwardBatch(word_ids, char_ids, {}, /*training=*/false, S, T, &sb);
+    for (size_t s = 0; s < S; ++s) {
+      ScoredPrediction& pred = out[panel.seq_ids[s]];
+      pred.labels.resize(T);
+      pred.confidence.resize(T);
+      std::vector<float> probs(L);
+      for (size_t t = 0; t < T; ++t) {
+        const size_t n = s * T + t;
+        probs.assign(sb.logits.begin() + static_cast<long>(n * L),
+                     sb.logits.begin() + static_cast<long>((n + 1) * L));
+        math::SoftmaxInPlace(&probs);
+        size_t best = 0;
+        for (size_t y = 1; y < L; ++y) {
+          if (probs[y] > probs[best]) best = y;
+        }
+        pred.labels[t] = labels_[best];
+        pred.confidence[t] = probs[best];
+      }
+    }
+  };
+  if (pool != nullptr && panels.size() > 1) {
+    pool->ParallelFor(0, panels.size(), /*grain=*/1, run_panel);
+  } else {
+    for (size_t pi = 0; pi < panels.size(); ++pi) run_panel(pi);
   }
   return out;
 }

@@ -11,6 +11,10 @@
 #include "text/vocab.h"
 #include "util/rng.h"
 
+namespace pae::util {
+class ThreadPool;
+}  // namespace pae::util
+
 namespace pae::lstm {
 
 /// Hyper-parameters of the BiLSTM tagger. The epoch count is the
@@ -28,6 +32,16 @@ struct BiLstmOptions {
   /// unknown-word embedding gets trained.
   float unk_replace_prob = 0.3f;
   uint64_t seed = 42;
+  /// Max sequences per batched GEMM panel (char-LSTM buckets and decode
+  /// groups). Purely a memory/throughput trade: every value ≥ 1 yields
+  /// byte-identical training and predictions, because the batched
+  /// kernels compute each output element with the same fixed-lane
+  /// arithmetic as the single-vector path.
+  int batch_size = 32;
+  /// Test hook: poison one output-bias gradient with a quiet NaN just
+  /// before clipping at this global SGD step (-1 = never). Exercises
+  /// the non-finite-gradient-norm skip path deterministically.
+  int64_t inject_nonfinite_grad_at = -1;
 };
 
 /// Bidirectional-LSTM sequence tagger in the NeuroNER configuration the
@@ -46,6 +60,13 @@ class BiLstmTagger : public text::SequenceTagger {
   /// Argmax labels with softmax posteriors as confidences.
   ScoredPrediction PredictScored(
       const text::LabeledSequence& seq) const override;
+  /// Batched decode: groups equal-length sentences into panels of up to
+  /// options.batch_size and runs one GEMM per timestep per panel; panels
+  /// fan out over `pool` when given. Output i is byte-identical to
+  /// PredictScored(seqs[i]) for every batch size and thread count.
+  std::vector<ScoredPrediction> PredictScoredBatch(
+      const std::vector<text::LabeledSequence>& seqs,
+      util::ThreadPool* pool = nullptr) const;
   std::string Name() const override { return "bilstm"; }
 
   /// Persists the trained network (vocabularies, labels, all weight
@@ -62,25 +83,27 @@ class BiLstmTagger : public text::SequenceTagger {
   bool trained() const { return trained_; }
 
  private:
-  struct TokenTrace;  // per-token forward activations (training)
+  struct CharBatch;      // one equal-char-length panel of tokens
+  struct SentenceBatch;  // forward state of S equal-length sentences
 
   /// Splits a token into character-unit strings (code points).
   static std::vector<std::string> TokenChars(const std::string& token);
 
-  /// Computes the char-BiLSTM representation of one token.
-  void CharRepr(const std::vector<int>& char_ids, LstmTrace* fwd_trace,
-                LstmTrace* bwd_trace, std::vector<float>* repr) const;
+  /// Buckets tokens by exact character count, chunks each bucket into
+  /// panels of ≤ options.batch_size, and runs the char BiLSTM once per
+  /// panel (one batched GEMM per char position). Fills sb->char_batches
+  /// and the token → (panel, column) map sb->char_loc.
+  void RunCharBatches(const std::vector<std::vector<int>>& char_ids,
+                      SentenceBatch* sb) const;
 
-  /// Forward pass over a sentence. Returns per-token logits; fills the
-  /// traces needed for backprop when `training` is true.
-  void Forward(const std::vector<int>& word_ids,
-               const std::vector<std::vector<int>>& char_ids,
-               const std::vector<std::vector<float>>& dropout_masks,
-               bool training, std::vector<std::vector<float>>* logits,
-               std::vector<TokenTrace>* traces,
-               std::vector<LstmTrace>* word_fwd_trace,
-               std::vector<LstmTrace>* word_bwd_trace,
-               std::vector<std::vector<float>>* word_inputs) const;
+  /// Forward pass over S same-length sentences (token n = s*T + t).
+  /// `dropout_masks` (one [2*char_hidden] mask per token) applies only
+  /// when `training`. Fills the activations backprop needs.
+  void ForwardBatch(const std::vector<int>& word_ids,
+                    const std::vector<std::vector<int>>& char_ids,
+                    const std::vector<std::vector<float>>& dropout_masks,
+                    bool training, size_t num_sentences, size_t num_tokens,
+                    SentenceBatch* sb) const;
 
   BiLstmOptions options_;
   text::Vocab word_vocab_;

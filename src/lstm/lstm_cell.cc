@@ -35,108 +35,225 @@ void LstmParams::SetZero() {
   std::fill(b.begin(), b.end(), 0.0f);
 }
 
-void LstmForward(const LstmParams& params,
-                 const std::vector<std::vector<float>>& inputs,
-                 LstmTrace* trace) {
+void LstmForwardBatch(const LstmParams& params, const float* inputs,
+                      size_t steps, size_t batch, LstmBatchTrace* trace) {
   const size_t H = params.hidden_dim;
-  const size_t T = inputs.size();
+  const size_t D = params.input_dim;
   // Gate-dimension contract: the stacked [i; f; o; g] parameter rows
   // must all be 4H wide or the pre-activation split below misaligns.
   PAE_DCHECK_EQ(params.wx.rows(), 4 * H);
   PAE_DCHECK_EQ(params.wh.rows(), 4 * H);
   PAE_DCHECK_EQ(params.wh.cols(), H);
   PAE_DCHECK_EQ(params.b.size(), 4 * H);
-  trace->x = inputs;
-  trace->i.assign(T, std::vector<float>(H));
-  trace->f.assign(T, std::vector<float>(H));
-  trace->o.assign(T, std::vector<float>(H));
-  trace->g.assign(T, std::vector<float>(H));
-  trace->c.assign(T, std::vector<float>(H));
-  trace->h.assign(T, std::vector<float>(H));
+  trace->steps = steps;
+  trace->batch = batch;
+  trace->hidden = H;
+  trace->input_dim = D;
+  trace->x.assign(inputs, inputs + steps * batch * D);
+  const size_t slab = batch * H;
+  trace->i.assign(steps * slab, 0.0f);
+  trace->f.assign(steps * slab, 0.0f);
+  trace->o.assign(steps * slab, 0.0f);
+  trace->g.assign(steps * slab, 0.0f);
+  trace->c.assign(steps * slab, 0.0f);
+  trace->h.assign(steps * slab, 0.0f);
+  if (steps == 0 || batch == 0) return;
 
-  std::vector<float> pre(4 * H);
-  std::vector<float> h_prev(H, 0.0f), c_prev(H, 0.0f);
+  std::vector<float> pre(batch * 4 * H);
+  std::vector<float> zeros(slab, 0.0f);  // h/c at t = -1
 
-  for (size_t t = 0; t < T; ++t) {
-    PAE_DCHECK_EQ(inputs[t].size(), params.input_dim);
-    // pre = Wx * x_t + Wh * h_{t-1} + b, fused over the packed [4H x D]
-    // and [4H x H] gate blocks — one dispatched kernel per timestep.
-    math::kernels::LstmGatePreact(params.wx.data().data(),
-                                  params.wh.data().data(), params.b.data(),
-                                  inputs[t].data(), h_prev.data(), H,
-                                  params.input_dim, pre.data());
-    auto& it = trace->i[t];
-    auto& ft = trace->f[t];
-    auto& ot = trace->o[t];
-    auto& gt = trace->g[t];
-    auto& ct = trace->c[t];
-    auto& ht = trace->h[t];
-    math::kernels::LstmActivateGates(pre.data(), c_prev.data(), H, it.data(),
-                                     ft.data(), ot.data(), gt.data(),
-                                     ct.data(), ht.data());
-    h_prev = ht;
-    c_prev = ct;
+  for (size_t t = 0; t < steps; ++t) {
+    const float* h_prev =
+        (t == 0) ? zeros.data() : trace->h.data() + (t - 1) * slab;
+    const float* c_prev =
+        (t == 0) ? zeros.data() : trace->c.data() + (t - 1) * slab;
+    // pre_b = Wx·x_b + Wh·h_prev_b + bias for the whole batch: one
+    // [4H×D]·[D×B] + [4H×H]·[H×B] GEMM pair per timestep.
+    math::kernels::LstmGatePreactBatch(
+        params.wx.data().data(), params.wh.data().data(), params.b.data(),
+        trace->x.data() + t * batch * D, h_prev, H, D, batch, pre.data());
+    float* it = trace->i.data() + t * slab;
+    float* ft = trace->f.data() + t * slab;
+    float* ot = trace->o.data() + t * slab;
+    float* gt = trace->g.data() + t * slab;
+    float* ct = trace->c.data() + t * slab;
+    float* ht = trace->h.data() + t * slab;
+    for (size_t b = 0; b < batch; ++b) {
+      math::kernels::LstmActivateGates(pre.data() + b * 4 * H, c_prev + b * H,
+                                       H, it + b * H, ft + b * H, ot + b * H,
+                                       gt + b * H, ct + b * H, ht + b * H);
+    }
   }
+}
+
+void LstmBackwardBatch(const LstmParams& params, const LstmBatchTrace& trace,
+                       const float* dh, float* dpre, float* dx) {
+  const size_t H = trace.hidden;
+  const size_t D = trace.input_dim;
+  const size_t B = trace.batch;
+  const size_t T = trace.steps;
+  const size_t g4 = 4 * H;
+  PAE_DCHECK_EQ(params.hidden_dim, H);
+  PAE_DCHECK_EQ(params.input_dim, D);
+  if (T == 0 || B == 0) return;
+  const size_t slab = B * H;
+
+  std::vector<float> dh_next(slab, 0.0f);  // ∂L/∂h_t flowing from t+1
+  std::vector<float> dc_next(slab, 0.0f);  // ∂L/∂c_t flowing from t+1
+
+  for (size_t t = T; t-- > 0;) {
+    const float* it = trace.i.data() + t * slab;
+    const float* ft = trace.f.data() + t * slab;
+    const float* ot = trace.o.data() + t * slab;
+    const float* gt = trace.g.data() + t * slab;
+    const float* ct = trace.c.data() + t * slab;
+    const float* c_prev = (t > 0) ? trace.c.data() + (t - 1) * slab : nullptr;
+    float* dpre_t = dpre + t * B * g4;
+
+    for (size_t b = 0; b < B; ++b) {
+      const float* ib = it + b * H;
+      const float* fb = ft + b * H;
+      const float* ob = ot + b * H;
+      const float* gb = gt + b * H;
+      const float* cb = ct + b * H;
+      const float* dhb = dh + t * slab + b * H;
+      float* dnb = dh_next.data() + b * H;
+      float* dcb = dc_next.data() + b * H;
+      float* dp = dpre_t + b * g4;
+      for (size_t k = 0; k < H; ++k) {
+        const float dht = dhb[k] + dnb[k];
+        const float tanh_c = std::tanh(cb[k]);
+        const float dct = dht * ob[k] * (1.0f - tanh_c * tanh_c) + dcb[k];
+        const float cp = (c_prev != nullptr) ? c_prev[b * H + k] : 0.0f;
+        const float di = dct * gb[k];
+        const float df = dct * cp;
+        const float dout = dht * tanh_c;
+        const float dg = dct * ib[k];
+        dp[k] = di * ib[k] * (1.0f - ib[k]);
+        dp[H + k] = df * fb[k] * (1.0f - fb[k]);
+        dp[2 * H + k] = dout * ob[k] * (1.0f - ob[k]);
+        dp[3 * H + k] = dg * (1.0f - gb[k] * gb[k]);
+        dcb[k] = dct * fb[k];
+      }
+    }
+
+    // Input gradients: batched transpose product, weight rows streamed
+    // once for all B sequences.
+    if (dx != nullptr) {
+      float* dx_t = dx + t * B * D;
+      std::fill(dx_t, dx_t + B * D, 0.0f);
+      math::kernels::MatTVecBatch(params.wx.data().data(), g4, D, dpre_t, B,
+                                  dx_t);
+    }
+    // Gradient to h_{t-1}.
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    math::kernels::MatTVecBatch(params.wh.data().data(), g4, H, dpre_t, B,
+                                dh_next.data());
+  }
+}
+
+void LstmAccumulateGrads(const LstmBatchTrace& trace, const float* dpre,
+                         size_t b, LstmParams* grad) {
+  const size_t H = trace.hidden;
+  const size_t D = trace.input_dim;
+  const size_t B = trace.batch;
+  const size_t T = trace.steps;
+  const size_t g4 = 4 * H;
+  PAE_DCHECK_EQ(grad->wx.rows(), g4);
+  PAE_DCHECK_EQ(grad->b.size(), g4);
+  PAE_DCHECK_LT(b, B);
+  for (size_t t = T; t-- > 0;) {
+    const float* dp = dpre + (t * B + b) * g4;
+    const float* xb = trace.x.data() + (t * B + b) * D;
+    math::kernels::AddOuter(1.0f, dp, xb, grad->wx.data().data(), g4, D);
+    if (t > 0) {
+      const float* hb = trace.h.data() + ((t - 1) * B + b) * H;
+      math::kernels::AddOuter(1.0f, dp, hb, grad->wh.data().data(), g4, H);
+    }
+    for (size_t r = 0; r < g4; ++r) grad->b[r] += dp[r];
+  }
+}
+
+// The vector-of-vectors API wraps the batch core at B = 1 so there is a
+// single timestep implementation; per-element the arithmetic (and thus
+// every bit of output) is unchanged from the historical per-step path.
+
+void LstmForward(const LstmParams& params,
+                 const std::vector<std::vector<float>>& inputs,
+                 LstmTrace* trace) {
+  const size_t H = params.hidden_dim;
+  const size_t D = params.input_dim;
+  const size_t T = inputs.size();
+  std::vector<float> flat(T * D);
+  for (size_t t = 0; t < T; ++t) {
+    PAE_DCHECK_EQ(inputs[t].size(), D);
+    std::copy(inputs[t].begin(), inputs[t].end(), flat.begin() + t * D);
+  }
+  LstmBatchTrace bt;
+  LstmForwardBatch(params, flat.data(), T, 1, &bt);
+  trace->x = inputs;
+  auto unpack = [T](const std::vector<float>& src, size_t width,
+                    std::vector<std::vector<float>>* dst) {
+    dst->assign(T, std::vector<float>(width));
+    for (size_t t = 0; t < T; ++t) {
+      std::copy(src.begin() + t * width, src.begin() + (t + 1) * width,
+                (*dst)[t].begin());
+    }
+  };
+  unpack(bt.i, H, &trace->i);
+  unpack(bt.f, H, &trace->f);
+  unpack(bt.o, H, &trace->o);
+  unpack(bt.g, H, &trace->g);
+  unpack(bt.c, H, &trace->c);
+  unpack(bt.h, H, &trace->h);
 }
 
 void LstmBackward(const LstmParams& params, const LstmTrace& trace,
                   const std::vector<std::vector<float>>& dh, LstmParams* grad,
                   std::vector<std::vector<float>>* dx) {
   const size_t H = params.hidden_dim;
+  const size_t D = params.input_dim;
   const size_t T = trace.x.size();
   PAE_DCHECK_EQ(dh.size(), T);
   PAE_DCHECK_EQ(grad->wx.rows(), 4 * H);
   PAE_DCHECK_EQ(grad->b.size(), 4 * H);
   if (dx != nullptr) {
-    dx->assign(T, std::vector<float>(params.input_dim, 0.0f));
+    dx->assign(T, std::vector<float>(D, 0.0f));
   }
   if (T == 0) return;
 
-  std::vector<float> dh_next(H, 0.0f);  // ∂L/∂h_t flowing from t+1
-  std::vector<float> dc_next(H, 0.0f);  // ∂L/∂c_t flowing from t+1
-  std::vector<float> dpre(4 * H);
-  std::vector<float> dx_t(params.input_dim);
-  std::vector<float> dh_prev(H);
-
-  for (size_t t = T; t-- > 0;) {
-    const auto& it = trace.i[t];
-    const auto& ft = trace.f[t];
-    const auto& ot = trace.o[t];
-    const auto& gt = trace.g[t];
-    const auto& ct = trace.c[t];
-    const std::vector<float>* c_prev = (t > 0) ? &trace.c[t - 1] : nullptr;
-
-    for (size_t k = 0; k < H; ++k) {
-      const float dht = dh[t][k] + dh_next[k];
-      const float tanh_c = std::tanh(ct[k]);
-      const float dct = dht * ot[k] * (1.0f - tanh_c * tanh_c) + dc_next[k];
-      const float cp = (c_prev != nullptr) ? (*c_prev)[k] : 0.0f;
-      const float di = dct * gt[k];
-      const float df = dct * cp;
-      const float dout = dht * tanh_c;
-      const float dg = dct * it[k];
-      dpre[k] = di * it[k] * (1.0f - it[k]);
-      dpre[H + k] = df * ft[k] * (1.0f - ft[k]);
-      dpre[2 * H + k] = dout * ot[k] * (1.0f - ot[k]);
-      dpre[3 * H + k] = dg * (1.0f - gt[k] * gt[k]);
-      dc_next[k] = dct * ft[k];
+  LstmBatchTrace bt;
+  bt.steps = T;
+  bt.batch = 1;
+  bt.hidden = H;
+  bt.input_dim = D;
+  auto pack = [T](const std::vector<std::vector<float>>& src, size_t width,
+                  std::vector<float>* dst) {
+    dst->resize(T * width);
+    for (size_t t = 0; t < T; ++t) {
+      std::copy(src[t].begin(), src[t].end(), dst->begin() + t * width);
     }
+  };
+  pack(trace.x, D, &bt.x);
+  pack(trace.i, H, &bt.i);
+  pack(trace.f, H, &bt.f);
+  pack(trace.o, H, &bt.o);
+  pack(trace.g, H, &bt.g);
+  pack(trace.c, H, &bt.c);
+  pack(trace.h, H, &bt.h);
+  std::vector<float> dh_flat;
+  pack(dh, H, &dh_flat);
 
-    // Parameter gradients.
-    grad->wx.AddOuter(1.0f, dpre, trace.x[t]);
-    if (t > 0) {
-      grad->wh.AddOuter(1.0f, dpre, trace.h[t - 1]);
+  std::vector<float> dpre(T * 4 * H);
+  std::vector<float> dx_flat(dx != nullptr ? T * D : 0);
+  LstmBackwardBatch(params, bt, dh_flat.data(), dpre.data(),
+                    dx != nullptr ? dx_flat.data() : nullptr);
+  LstmAccumulateGrads(bt, dpre.data(), 0, grad);
+  if (dx != nullptr) {
+    for (size_t t = 0; t < T; ++t) {
+      std::copy(dx_flat.begin() + t * D, dx_flat.begin() + (t + 1) * D,
+                (*dx)[t].begin());
     }
-    for (size_t r = 0; r < 4 * H; ++r) grad->b[r] += dpre[r];
-
-    // Input gradient.
-    if (dx != nullptr) {
-      params.wx.MatTVec(dpre, &dx_t);
-      (*dx)[t] = dx_t;
-    }
-    // Gradient to h_{t-1}.
-    params.wh.MatTVec(dpre, &dh_prev);
-    dh_next = dh_prev;
   }
 }
 

@@ -49,6 +49,25 @@ struct LstmTrace {
   std::vector<std::vector<float>> h;  // hidden states (outputs)
 };
 
+/// Activations of a batch of B equal-length sequences, stored time-major:
+/// slab t holds the B per-sequence vectors contiguously, so sequence b's
+/// values at step t start at (t·batch + b)·width. This is exactly the
+/// [B × width] panel layout the batched GEMM kernels consume, so one
+/// timestep is one kernel call for the whole batch.
+struct LstmBatchTrace {
+  size_t steps = 0;
+  size_t batch = 0;
+  size_t hidden = 0;
+  size_t input_dim = 0;
+  std::vector<float> x;                 // [steps][batch][input_dim]
+  std::vector<float> i, f, o, g;        // [steps][batch][hidden]
+  std::vector<float> c, h;              // [steps][batch][hidden]
+
+  const float* X(size_t t) const { return x.data() + t * batch * input_dim; }
+  const float* H(size_t t) const { return h.data() + t * batch * hidden; }
+  const float* C(size_t t) const { return c.data() + t * batch * hidden; }
+};
+
 /// Runs the LSTM over `inputs` (processing order), recording activations.
 void LstmForward(const LstmParams& params,
                  const std::vector<std::vector<float>>& inputs,
@@ -60,6 +79,34 @@ void LstmForward(const LstmParams& params,
 void LstmBackward(const LstmParams& params, const LstmTrace& trace,
                   const std::vector<std::vector<float>>& dh, LstmParams* grad,
                   std::vector<std::vector<float>>* dx);
+
+/// Runs the LSTM over a batch of `batch` equal-length sequences packed
+/// time-major in `inputs` ([steps × batch × input_dim]): one batched
+/// gate-preactivation GEMM per timestep. Every per-element computation
+/// is identical to the single-sequence path, so each sequence's
+/// activations are bit-equal to running LstmForward on it alone —
+/// independent of batch width.
+void LstmForwardBatch(const LstmParams& params, const float* inputs,
+                      size_t steps, size_t batch, LstmBatchTrace* trace);
+
+/// Batched backward over a recorded batch trace. `dh` is ∂L/∂h packed
+/// like the trace ([steps × batch × hidden]). Writes the gate
+/// pre-activation gradients to `dpre` ([steps × batch × 4H]) and, when
+/// non-null, input gradients to `dx` ([steps × batch × input_dim]).
+/// Parameter-gradient accumulation is deliberately NOT done here: float
+/// accumulation into shared gradient buffers is order-sensitive, so
+/// callers replay it per sequence in canonical order via
+/// LstmAccumulateGrads — which is what keeps batched training
+/// byte-identical to sequential training.
+void LstmBackwardBatch(const LstmParams& params, const LstmBatchTrace& trace,
+                       const float* dh, float* dpre, float* dx);
+
+/// Accumulates sequence `b`'s parameter gradients from a batched
+/// backward into `grad`, sweeping timesteps in descending order with the
+/// same AddOuter/bias-add sequence as the single-sequence LstmBackward —
+/// bit-identical replay of the unbatched accumulation.
+void LstmAccumulateGrads(const LstmBatchTrace& trace, const float* dpre,
+                         size_t b, LstmParams* grad);
 
 }  // namespace pae::lstm
 

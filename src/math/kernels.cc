@@ -86,6 +86,48 @@ void LstmGatePreactScalar(const float* wx, const float* wh, const float* bias,
                              DotScalar);
 }
 
+/// Column-block micro-kernel: four 8-lane dots of one row against the
+/// four K-vectors at x, x+k, x+2k, x+3k, sharing one pass over the row
+/// and reading the pre-widened panel `xd` (same values as x — see
+/// kernels_detail.h). Per column the lane arithmetic is exactly
+/// DotScalar's.
+void DotCols4Scalar(const float* a, const float* x, const double* xd,
+                    size_t k, double* out) {
+  double lanes[4][8] = {};
+  size_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double av = static_cast<double>(a[i + j]);
+      lanes[0][j] += av * xd[i + j];
+      lanes[1][j] += av * xd[k + i + j];
+      lanes[2][j] += av * xd[2 * k + i + j];
+      lanes[3][j] += av * xd[3 * k + i + j];
+    }
+  }
+  for (size_t c = 0; c < 4; ++c) {
+    out[c] = detail::FinishDot(lanes[c], a, x + c * k, i, k);
+  }
+}
+
+void MatMulScalar(const float* m, size_t rows, size_t k, const float* x,
+                  size_t batch, const float* bias, float* out) {
+  detail::MatMulImpl<4>(m, rows, k, x, batch, bias, out, DotScalar,
+                        DotCols4Scalar);
+}
+
+void MatTVecBatchScalar(const float* m, size_t rows, size_t cols,
+                        const float* x, size_t batch, float* out) {
+  detail::MatTVecBatchImpl(m, rows, cols, x, batch, out, AxpyScalar);
+}
+
+void LstmGatePreactBatchScalar(const float* wx, const float* wh,
+                               const float* bias, const float* xs,
+                               const float* hs, size_t hidden,
+                               size_t input_dim, size_t batch, float* pre) {
+  detail::LstmGatePreactBatchImpl<4>(wx, wh, bias, xs, hs, hidden, input_dim,
+                                     batch, pre, DotScalar, DotCols4Scalar);
+}
+
 // ---- cpuid feature probe ----
 
 #if defined(PAE_KERNELS_HAVE_AVX2)
@@ -181,7 +223,8 @@ namespace detail {
 const KernelTable kScalarTable = {
     DotScalar,     SumSqScalar,    DotQ8Scalar,         AxpyScalar,
     ScaleScalar,   MatVecScalar,   MatTVecScalar,       AddOuterScalar,
-    LstmGatePreactScalar,
+    LstmGatePreactScalar,          MatMulScalar,        MatTVecBatchScalar,
+    LstmGatePreactBatchScalar,
 };
 }  // namespace detail
 
@@ -281,6 +324,23 @@ void LstmGatePreact(const float* wx, const float* wh, const float* b,
                     size_t input_dim, float* pre) {
   ActiveDispatch().table->gate_preact(wx, wh, b, x, h_prev, hidden, input_dim,
                                       pre);
+}
+
+void MatMul(const float* m, size_t rows, size_t k, const float* x,
+            size_t batch, const float* bias, float* out) {
+  ActiveDispatch().table->matmul(m, rows, k, x, batch, bias, out);
+}
+
+void MatTVecBatch(const float* m, size_t rows, size_t cols, const float* x,
+                  size_t batch, float* out) {
+  ActiveDispatch().table->mattvec_batch(m, rows, cols, x, batch, out);
+}
+
+void LstmGatePreactBatch(const float* wx, const float* wh, const float* b,
+                         const float* xs, const float* hs, size_t hidden,
+                         size_t input_dim, size_t batch, float* pre) {
+  ActiveDispatch().table->gate_preact_batch(wx, wh, b, xs, hs, hidden,
+                                            input_dim, batch, pre);
 }
 
 void LstmActivateGates(const float* pre, const float* c_prev, size_t hidden,

@@ -161,6 +161,31 @@ void AddOuter(float alpha, const float* a, const float* b, float* m,
               size_t rows, size_t cols);
 
 // ---------------------------------------------------------------------
+// Batched GEMM tier. `x` packs `batch` contiguous K-vectors row-major
+// ([batch × k]); `out` is row-major [batch × rows] so each batch
+// element's result vector stays contiguous. Every output element is
+// computed with the exact fixed-8-lane Dot above — blocking and cache
+// tiling only reorder *which* element is computed when, never the
+// arithmetic inside one element — so MatMul is bit-identical to `batch`
+// MatVec calls at every tier, tile size and batch width.
+// ---------------------------------------------------------------------
+
+/// out[b·rows + r] = float(bias[r] + m_row_r · x_b)   (bias != nullptr)
+///                 = float(m_row_r · x_b)             (bias == nullptr)
+/// The biased form rounds once, matching the fused LstmGatePreact and
+/// the tagger's output-layer contract (double bias + double dot).
+void MatMul(const float* m, size_t rows, size_t k, const float* x,
+            size_t batch, const float* bias, float* out);
+
+/// Batched MatTVec: out_b[c] += x_b[r]·m[r,c] for each r ascending, with
+/// the same x_b[r] == 0 row skip. `x` is [batch × rows], `out` is
+/// [batch × cols] (caller zeroes). Rows are the outer loop so one
+/// weight-row load serves every batch element; per element the axpy
+/// order is r-ascending — identical to per-vector MatTVec.
+void MatTVecBatch(const float* m, size_t rows, size_t cols, const float* x,
+                  size_t batch, float* out);
+
+// ---------------------------------------------------------------------
 // Fused LSTM step kernels.
 // ---------------------------------------------------------------------
 
@@ -172,6 +197,16 @@ void AddOuter(float alpha, const float* a, const float* b, float* m,
 void LstmGatePreact(const float* wx, const float* wh, const float* b,
                     const float* x, const float* h_prev, size_t hidden,
                     size_t input_dim, float* pre);
+
+/// Batched LstmGatePreact over B sequences at one timestep: one
+/// [4H×D]·[D×B] + [4H×H]·[H×B] GEMM pair per gate block.
+///   pre[b·4H + r] = float(b[r] + wx_row_r · x_b + wh_row_r · h_prev_b)
+/// `xs` is [batch × input_dim], `hs` is [batch × hidden], `pre` is
+/// [batch × 4H]. Bit-identical to `batch` LstmGatePreact calls (same
+/// per-element 8-lane dots, same single rounding).
+void LstmGatePreactBatch(const float* wx, const float* wh, const float* b,
+                         const float* xs, const float* hs, size_t hidden,
+                         size_t input_dim, size_t batch, float* pre);
 
 /// Fused gate activation for one timestep. Gate order in `pre` is
 /// [i; f; o; g] (4H entries). Writes the four gate activations, the new

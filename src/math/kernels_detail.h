@@ -12,8 +12,10 @@
 // the tail through the same scalar code as the fallback, and reduces
 // with the same tree — which is why avx2/sse2/scalar agree to the bit.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "math/kernels.h"  // Q8Moments
 
@@ -88,6 +90,125 @@ inline void LstmGatePreactImpl(const float* wx, const float* wh,
   }
 }
 
+// ---- Batched GEMM loops ----
+//
+// Each tier provides a column-block micro-kernel
+//   dot_cols(a, x, xd, k, out)
+// computing kColBlock 8-lane dot products of one matrix row `a` against
+// the kColBlock consecutive K-vectors packed at x, x+k, ... — sharing
+// the converted a-row registers across columns. `xd` is the same panel
+// pre-widened to double by the caller (xd[c·k + i] == double(x[c·k + i]),
+// an exact conversion): the column data is reused by every row, so
+// converting it once per panel removes the float→double work from the
+// inner loop entirely — the shuffle-port cvt chain is what dominates
+// the unbatched dot. The float panel is still passed for the FinishDot
+// tail. Each column's result must be bit-equal to the tier's
+// single-vector dot (same lanes, same tree, same FinishDot tail); the
+// templates below then guarantee every output element of the blocked
+// GEMM matches the unblocked MatVec.
+
+/// Widens a float panel to double — exact, element-independent, so it
+/// cannot perturb any downstream rounding.
+inline void WidenPanel(const float* x, size_t n, double* xd) {
+  for (size_t i = 0; i < n; ++i) xd[i] = static_cast<double>(x[i]);
+}
+
+/// Per-thread scratch for the widened column panel. Grows monotonically
+/// and is reused across calls; thread-local so pool workers never share.
+inline double* PanelScratch(size_t n) {
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < n) scratch.resize(n);
+  return scratch.data();
+}
+
+/// Blocked GEMM: out[b·rows + r] = float([bias[r] +] m_r·x_b).
+/// Column panels are the outer loop: each kColBlock-column panel is
+/// widened to double once, stays L1-resident while the whole weight
+/// matrix streams over it, and the weight matrix is thus read
+/// ceil(batch/kColBlock) times instead of `batch` times. Remainder
+/// columns (batch % kColBlock) fall back to the tier's single-column
+/// dot.
+template <size_t kColBlock, typename DotFn, typename DotColsFn>
+inline void MatMulImpl(const float* m, size_t rows, size_t k, const float* x,
+                       size_t batch, const float* bias, float* out, DotFn dot,
+                       DotColsFn dot_cols) {
+  const size_t full = batch - batch % kColBlock;
+  double d[kColBlock];
+  double* xd = full > 0 ? PanelScratch(kColBlock * k) : nullptr;
+  for (size_t b0 = 0; b0 < full; b0 += kColBlock) {
+    WidenPanel(x + b0 * k, kColBlock * k, xd);
+    for (size_t r = 0; r < rows; ++r) {
+      dot_cols(m + r * k, x + b0 * k, xd, k, d);
+      for (size_t c = 0; c < kColBlock; ++c) {
+        out[(b0 + c) * rows + r] = static_cast<float>(
+            bias != nullptr ? static_cast<double>(bias[r]) + d[c] : d[c]);
+      }
+    }
+  }
+  for (size_t b = full; b < batch; ++b) {
+    for (size_t r = 0; r < rows; ++r) {
+      const double dv = dot(m + r * k, x + b * k, k);
+      out[b * rows + r] = static_cast<float>(
+          bias != nullptr ? static_cast<double>(bias[r]) + dv : dv);
+    }
+  }
+}
+
+/// Batched MatTVec: rows outer so one weight-row load serves every batch
+/// element; for a fixed b the axpy sequence is r-ascending — the same
+/// order (and the same zero-skip contract) as per-vector MatTVecImpl.
+template <typename AxpyFn>
+inline void MatTVecBatchImpl(const float* m, size_t rows, size_t cols,
+                             const float* x, size_t batch, float* out,
+                             AxpyFn axpy) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* mr = m + r * cols;
+    for (size_t b = 0; b < batch; ++b) {
+      const float xv = x[b * rows + r];
+      if (xv == 0.0f) continue;  // contract: all tiers skip (signed zeros)
+      axpy(xv, mr, out + b * cols, cols);
+    }
+  }
+}
+
+/// Batched fused gate pre-activation: per column block both gate-weight
+/// rows stream once for kColBlock sequences, against x/h panels widened
+/// to double once per block. The per-element arithmetic —
+/// float(double(bias) + dot_wx + dot_wh), left-associated, rounded
+/// once — is exactly LstmGatePreactImpl's. The [4H × (D+H)] weight pair
+/// is L2-resident at model sizes, so no extra row tiling here.
+template <size_t kColBlock, typename DotFn, typename DotColsFn>
+inline void LstmGatePreactBatchImpl(const float* wx, const float* wh,
+                                    const float* bias, const float* xs,
+                                    const float* hs, size_t hidden,
+                                    size_t input_dim, size_t batch, float* pre,
+                                    DotFn dot, DotColsFn dot_cols) {
+  const size_t gates = 4 * hidden;
+  const size_t full = batch - batch % kColBlock;
+  double dx[kColBlock];
+  double dh[kColBlock];
+  double* panel =
+      full > 0 ? PanelScratch(kColBlock * (input_dim + hidden)) : nullptr;
+  double* xsd = panel;
+  double* hsd = panel != nullptr ? panel + kColBlock * input_dim : nullptr;
+  for (size_t b0 = 0; b0 < full; b0 += kColBlock) {
+    WidenPanel(xs + b0 * input_dim, kColBlock * input_dim, xsd);
+    WidenPanel(hs + b0 * hidden, kColBlock * hidden, hsd);
+    for (size_t r = 0; r < gates; ++r) {
+      dot_cols(wx + r * input_dim, xs + b0 * input_dim, xsd, input_dim, dx);
+      dot_cols(wh + r * hidden, hs + b0 * hidden, hsd, hidden, dh);
+      for (size_t c = 0; c < kColBlock; ++c) {
+        pre[(b0 + c) * gates + r] = static_cast<float>(
+            static_cast<double>(bias[r]) + dx[c] + dh[c]);
+      }
+    }
+  }
+  for (size_t b = full; b < batch; ++b) {
+    LstmGatePreactImpl(wx, wh, bias, xs + b * input_dim, hs + b * hidden,
+                       hidden, input_dim, pre + b * gates, dot);
+  }
+}
+
 /// Scalar tail for DotQ8: folds elements [i, n) into `m`. Integer sums
 /// are exact, so unlike the float kernels there is no lane discipline
 /// to respect — every tier finishing through this helper agrees with
@@ -117,6 +238,13 @@ struct KernelTable {
   void (*addouter)(float, const float*, const float*, float*, size_t, size_t);
   void (*gate_preact)(const float*, const float*, const float*, const float*,
                       const float*, size_t, size_t, float*);
+  void (*matmul)(const float*, size_t, size_t, const float*, size_t,
+                 const float*, float*);
+  void (*mattvec_batch)(const float*, size_t, size_t, const float*, size_t,
+                        float*);
+  void (*gate_preact_batch)(const float*, const float*, const float*,
+                            const float*, const float*, size_t, size_t, size_t,
+                            float*);
 };
 
 extern const KernelTable kScalarTable;

@@ -94,7 +94,8 @@ uint64_t TripleHash(const core::Triple& triple) {
 }
 
 double QuantileFromBuckets(const std::vector<double>& bounds,
-                           const std::vector<uint64_t>& counts, double q) {
+                           const std::vector<uint64_t>& counts, double q,
+                           bool* saturated) {
   PAE_CHECK_EQ(counts.size(), bounds.size() + 1);
   uint64_t total = 0;
   for (uint64_t c : counts) total += c;
@@ -106,7 +107,14 @@ double QuantileFromBuckets(const std::vector<double>& bounds,
     const double before = static_cast<double>(cumulative);
     cumulative += counts[i];
     if (static_cast<double>(cumulative) < target) continue;
-    if (i == bounds.size()) return bounds.back();  // overflow bucket
+    if (i == bounds.size()) {
+      // The quantile falls in the +inf overflow bucket: the histogram
+      // has no upper edge to interpolate against, so the best we can
+      // report is the last finite bound — an *underestimate*. Flag it
+      // instead of silently passing the clamp off as a measurement.
+      if (saturated != nullptr) *saturated = true;
+      return bounds.back();
+    }
     const double lower = i == 0 ? 0.0 : bounds[i - 1];
     const double upper = bounds[i];
     const double frac =
@@ -272,12 +280,15 @@ Result<LoadgenReport> RunLoadgen(
                    ? static_cast<double>(measured_count) /
                          report.elapsed_seconds
                    : 0;
-  report.p50_seconds =
-      QuantileFromBuckets(report.bounds, report.bucket_counts, 0.50);
-  report.p95_seconds =
-      QuantileFromBuckets(report.bounds, report.bucket_counts, 0.95);
-  report.p99_seconds =
-      QuantileFromBuckets(report.bounds, report.bucket_counts, 0.99);
+  report.p50_seconds = QuantileFromBuckets(report.bounds,
+                                           report.bucket_counts, 0.50,
+                                           &report.saturated);
+  report.p95_seconds = QuantileFromBuckets(report.bounds,
+                                           report.bucket_counts, 0.95,
+                                           &report.saturated);
+  report.p99_seconds = QuantileFromBuckets(report.bounds,
+                                           report.bucket_counts, 0.99,
+                                           &report.saturated);
   return report;
 }
 

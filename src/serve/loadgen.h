@@ -68,6 +68,10 @@ struct LoadgenReport {
   double p95_seconds = 0;
   double p99_seconds = 0;
   double max_seconds = 0;
+  /// True when any reported quantile landed in the histogram's +inf
+  /// overflow bucket: that quantile is clamped to the last finite bound
+  /// and therefore underestimates the true latency.
+  bool saturated = false;
   /// "le" latency buckets (core::RequestLatencyBounds upper bounds +
   /// one overflow slot), measured phase only.
   std::vector<double> bounds;
@@ -91,10 +95,14 @@ std::vector<RequestSlot> BuildSchedule(const LoadgenOptions& options,
 uint64_t TripleHash(const core::Triple& triple);
 
 /// Linear-interpolated quantile from "le" buckets. `counts` has
-/// bounds.size() + 1 slots (last = overflow, attributed to the last
-/// bound). Returns 0 when total is 0.
+/// bounds.size() + 1 slots (last = the +inf overflow bucket). Returns 0
+/// when total is 0. A quantile that lands in the overflow bucket cannot
+/// be interpolated; it is clamped to the last finite bound and, when
+/// `saturated` is non-null, *saturated is set to true so callers can
+/// tell a real measurement from a clamped underestimate.
 double QuantileFromBuckets(const std::vector<double>& bounds,
-                           const std::vector<uint64_t>& counts, double q);
+                           const std::vector<uint64_t>& counts, double q,
+                           bool* saturated = nullptr);
 
 /// Runs the schedule against a server. `connect` is called once per
 /// driver thread (each thread owns one connection); `swap_hook`, when

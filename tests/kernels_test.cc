@@ -201,6 +201,119 @@ TEST(KernelsBitEqualityTest, LstmStepAllHiddenSizes) {
   }
 }
 
+// ---------------- batched GEMM tier ----------------
+// The batch widths cover every register-block remainder of every tier:
+// scalar/avx2 block 4 (remainders 1-3), sse2 block 2 (remainder 1),
+// plus widths beyond the 64-row tile boundary interplay.
+
+TEST(KernelsBitEqualityTest, MatMulMatchesPerColumnMatVec) {
+  Rng rng(31337);
+  const struct { size_t rows, k; } shapes[] = {
+      {1, 1}, {3, 7}, {8, 16}, {17, 31}, {96, 95}, {128, 48}};
+  const size_t batches[] = {1, 2, 3, 4, 5, 8, 33};
+  for (const auto& shape : shapes) {
+    std::vector<float> m = RandomVec(&rng, shape.rows * shape.k);
+    std::vector<float> bias = RandomVec(&rng, shape.rows);
+    for (size_t batch : batches) {
+      std::vector<float> x = RandomVec(&rng, batch * shape.k);
+      // Reference: per-column single-vector kernels (the historical
+      // B = 1 path), plus the logits bias contract float(double(b)+dot).
+      std::vector<float> ref(batch * shape.rows);
+      std::vector<float> ref_bias(batch * shape.rows);
+      for (size_t b = 0; b < batch; ++b) {
+        kernels::MatVec(m.data(), shape.rows, shape.k, x.data() + b * shape.k,
+                        ref.data() + b * shape.rows);
+        for (size_t r = 0; r < shape.rows; ++r) {
+          ref_bias[b * shape.rows + r] = static_cast<float>(
+              bias[r] + kernels::Dot(m.data() + r * shape.k,
+                                     x.data() + b * shape.k, shape.k));
+        }
+      }
+      for (Isa isa : SupportedIsas()) {
+        ScopedIsa scoped(isa);
+        std::vector<float> out(batch * shape.rows, -1.0f);
+        kernels::MatMul(m.data(), shape.rows, shape.k, x.data(), batch,
+                        /*bias=*/nullptr, out.data());
+        EXPECT_EQ(0, std::memcmp(ref.data(), out.data(),
+                                 out.size() * sizeof(float)))
+            << "MatMul " << shape.rows << "x" << shape.k << " B=" << batch
+            << " isa=" << kernels::IsaName(isa);
+        std::vector<float> out_bias(batch * shape.rows, -1.0f);
+        kernels::MatMul(m.data(), shape.rows, shape.k, x.data(), batch,
+                        bias.data(), out_bias.data());
+        EXPECT_EQ(0, std::memcmp(ref_bias.data(), out_bias.data(),
+                                 out_bias.size() * sizeof(float)))
+            << "MatMul+bias " << shape.rows << "x" << shape.k << " B="
+            << batch << " isa=" << kernels::IsaName(isa);
+      }
+    }
+  }
+}
+
+TEST(KernelsBitEqualityTest, MatTVecBatchMatchesPerVectorMatTVec) {
+  Rng rng(2718);
+  const struct { size_t rows, cols; } shapes[] = {
+      {1, 1}, {4, 9}, {96, 24}, {17, 95}};
+  for (const auto& shape : shapes) {
+    std::vector<float> m = RandomVec(&rng, shape.rows * shape.cols);
+    for (size_t batch : {1u, 2u, 3u, 8u, 33u}) {
+      std::vector<float> x = RandomVec(&rng, batch * shape.rows);
+      if (shape.rows > 2) {
+        // Exercise the x[r] == 0 zero-skip in a batched column.
+        x[shape.rows + 1 < x.size() ? shape.rows + 1 : 0] = 0.0f;
+      }
+      std::vector<float> ref(batch * shape.cols, 0.0f);
+      for (size_t b = 0; b < batch; ++b) {
+        kernels::MatTVec(m.data(), shape.rows, shape.cols,
+                         x.data() + b * shape.rows,
+                         ref.data() + b * shape.cols);
+      }
+      for (Isa isa : SupportedIsas()) {
+        ScopedIsa scoped(isa);
+        std::vector<float> out(batch * shape.cols, 0.0f);
+        kernels::MatTVecBatch(m.data(), shape.rows, shape.cols, x.data(),
+                              batch, out.data());
+        EXPECT_EQ(0, std::memcmp(ref.data(), out.data(),
+                                 out.size() * sizeof(float)))
+            << "MatTVecBatch " << shape.rows << "x" << shape.cols << " B="
+            << batch << " isa=" << kernels::IsaName(isa);
+      }
+    }
+  }
+}
+
+TEST(KernelsBitEqualityTest, LstmGatePreactBatchMatchesSingle) {
+  Rng rng(60221);
+  for (size_t hidden : {1u, 7u, 8u, 24u}) {
+    const size_t input_dim = 2 * hidden + 3;
+    std::vector<float> wx = RandomVec(&rng, 4 * hidden * input_dim);
+    std::vector<float> wh = RandomVec(&rng, 4 * hidden * hidden);
+    std::vector<float> bias = RandomVec(&rng, 4 * hidden);
+    for (size_t batch : {1u, 2u, 3u, 5u, 8u, 32u}) {
+      std::vector<float> xs = RandomVec(&rng, batch * input_dim);
+      std::vector<float> hs = RandomVec(&rng, batch * hidden);
+      std::vector<float> ref(batch * 4 * hidden);
+      for (size_t b = 0; b < batch; ++b) {
+        kernels::LstmGatePreact(wx.data(), wh.data(), bias.data(),
+                                xs.data() + b * input_dim,
+                                hs.data() + b * hidden, hidden, input_dim,
+                                ref.data() + b * 4 * hidden);
+      }
+      for (Isa isa : SupportedIsas()) {
+        ScopedIsa scoped(isa);
+        std::vector<float> pre(batch * 4 * hidden, -1.0f);
+        kernels::LstmGatePreactBatch(wx.data(), wh.data(), bias.data(),
+                                     xs.data(), hs.data(), hidden, input_dim,
+                                     batch, pre.data());
+        EXPECT_EQ(0, std::memcmp(ref.data(), pre.data(),
+                                 pre.size() * sizeof(float)))
+            << "LstmGatePreactBatch H=" << hidden << " B=" << batch
+            << " isa=" << kernels::IsaName(isa);
+      }
+    }
+  }
+}
+
 // ---------------- correctness vs naive references ----------------
 // (hand-rolled loops below are the point: they are the independent
 // references the kernels are validated against — allowlisted for the

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "lstm/bilstm_tagger.h"
 #include "lstm/lstm_cell.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace pae::lstm {
 namespace {
@@ -130,6 +135,92 @@ TEST_P(LstmGradientTest, BackwardMatchesFiniteDifferences) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LstmGradientTest, ::testing::Range(0, 6));
 
+// ---------------- batched LSTM layer ----------------
+
+TEST(LstmBatchTest, ForwardBatchBitEqualsPerSequenceForward) {
+  Rng rng(11);
+  const size_t D = 5, H = 4, T = 6;
+  LstmParams params(D, H);
+  params.Init(&rng);
+  for (size_t B : {1u, 3u, 8u}) {
+    std::vector<float> flat(T * B * D);
+    for (float& v : flat) v = static_cast<float>(rng.NextGaussian() * 0.5);
+    LstmBatchTrace batch;
+    LstmForwardBatch(params, flat.data(), T, B, &batch);
+    for (size_t b = 0; b < B; ++b) {
+      std::vector<std::vector<float>> inputs(T, std::vector<float>(D));
+      for (size_t t = 0; t < T; ++t) {
+        const float* src = flat.data() + (t * B + b) * D;
+        std::copy(src, src + D, inputs[t].begin());
+      }
+      LstmTrace single;
+      LstmForward(params, inputs, &single);
+      for (size_t t = 0; t < T; ++t) {
+        EXPECT_EQ(0, std::memcmp(single.h[t].data(),
+                                 batch.H(t) + b * H, H * sizeof(float)))
+            << "h B=" << B << " b=" << b << " t=" << t;
+        EXPECT_EQ(0, std::memcmp(single.c[t].data(),
+                                 batch.C(t) + b * H, H * sizeof(float)))
+            << "c B=" << B << " b=" << b << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(LstmBatchTest, BackwardBatchBitEqualsPerSequenceBackward) {
+  Rng rng(12);
+  const size_t D = 4, H = 3, T = 5, B = 4;
+  LstmParams params(D, H);
+  params.Init(&rng);
+  std::vector<float> flat(T * B * D), dh(T * B * H);
+  for (float& v : flat) v = static_cast<float>(rng.NextGaussian() * 0.5);
+  for (float& v : dh) v = static_cast<float>(rng.NextGaussian());
+
+  LstmBatchTrace batch;
+  LstmForwardBatch(params, flat.data(), T, B, &batch);
+  std::vector<float> dpre(T * B * 4 * H), dx(T * B * D);
+  LstmBackwardBatch(params, batch, dh.data(), dpre.data(), dx.data());
+
+  for (size_t b = 0; b < B; ++b) {
+    // Reference: the same sequence run alone (batch width 1).
+    std::vector<float> flat1(T * D), dh1(T * H);
+    for (size_t t = 0; t < T; ++t) {
+      std::copy(flat.data() + (t * B + b) * D,
+                flat.data() + (t * B + b) * D + D, flat1.data() + t * D);
+      std::copy(dh.data() + (t * B + b) * H,
+                dh.data() + (t * B + b) * H + H, dh1.data() + t * H);
+    }
+    LstmBatchTrace single;
+    LstmForwardBatch(params, flat1.data(), T, 1, &single);
+    std::vector<float> dpre1(T * 4 * H), dx1(T * D);
+    LstmBackwardBatch(params, single, dh1.data(), dpre1.data(), dx1.data());
+    for (size_t t = 0; t < T; ++t) {
+      EXPECT_EQ(0, std::memcmp(dpre1.data() + t * 4 * H,
+                               dpre.data() + (t * B + b) * 4 * H,
+                               4 * H * sizeof(float)))
+          << "dpre b=" << b << " t=" << t;
+      EXPECT_EQ(0, std::memcmp(dx1.data() + t * D,
+                               dx.data() + (t * B + b) * D,
+                               D * sizeof(float)))
+          << "dx b=" << b << " t=" << t;
+    }
+    // Canonical-order parameter accumulation must match, too.
+    LstmParams grad_batch(D, H), grad_single(D, H);
+    grad_batch.SetZero();
+    grad_single.SetZero();
+    LstmAccumulateGrads(batch, dpre.data(), b, &grad_batch);
+    LstmAccumulateGrads(single, dpre1.data(), 0, &grad_single);
+    EXPECT_EQ(0, std::memcmp(grad_single.wx.data().data(),
+                             grad_batch.wx.data().data(),
+                             grad_batch.wx.data().size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(grad_single.wh.data().data(),
+                             grad_batch.wh.data().data(),
+                             grad_batch.wh.data().size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(grad_single.b.data(), grad_batch.b.data(),
+                             grad_batch.b.size() * sizeof(float)));
+  }
+}
+
 // ---------------- BiLSTM tagger ----------------
 
 std::vector<text::LabeledSequence> ToyData(int n, uint64_t seed) {
@@ -226,6 +317,124 @@ TEST(BiLstmTaggerTest, HandlesUnseenWordsViaCharsAndUnk) {
   probe.pos = {"NN", "VB", "NUM", "UNIT"};
   std::vector<std::string> labels = tagger.Predict(probe);
   EXPECT_EQ(labels.size(), 4u);
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Mixed-length corpus so decode panels group several distinct lengths.
+std::vector<text::LabeledSequence> MixedLengthData(int n, uint64_t seed) {
+  auto data = ToyData(n, seed);
+  Rng rng(seed * 31 + 7);
+  for (auto& seq : data) {
+    const int extra = static_cast<int>(rng.NextBounded(3));
+    for (int e = 0; e < extra; ++e) {
+      seq.tokens.push_back("pad" + std::to_string(e));
+      seq.pos.push_back("NN");
+      seq.labels.push_back("O");
+    }
+  }
+  return data;
+}
+
+TEST(BiLstmTaggerTest, TrainingByteIdenticalAcrossBatchSizes) {
+  const auto data = MixedLengthData(60, 48);
+  std::string ref_model;
+  std::vector<double> ref_losses;
+  for (int batch_size : {1, 8, 32}) {
+    BiLstmOptions options;
+    options.epochs = 2;
+    options.seed = 21;
+    options.batch_size = batch_size;
+    BiLstmTagger tagger(options);
+    ASSERT_TRUE(tagger.Train(data).ok());
+    const std::string path = testing::TempDir() + "/bilstm_b" +
+                             std::to_string(batch_size) + ".bin";
+    ASSERT_TRUE(tagger.Save(path).ok());
+    const std::string bytes = FileBytes(path);
+    ASSERT_FALSE(bytes.empty());
+    if (batch_size == 1) {
+      ref_model = bytes;
+      ref_losses = tagger.epoch_losses();
+    } else {
+      // Whole-model byte equality: every weight of every layer matches
+      // the batch_size=1 run bit for bit.
+      EXPECT_EQ(ref_model, bytes) << "batch_size=" << batch_size;
+      ASSERT_EQ(ref_losses.size(), tagger.epoch_losses().size());
+      for (size_t e = 0; e < ref_losses.size(); ++e) {
+        EXPECT_EQ(ref_losses[e], tagger.epoch_losses()[e])
+            << "epoch " << e << " batch_size=" << batch_size;
+      }
+    }
+  }
+}
+
+TEST(BiLstmTaggerTest, DecodeByteIdenticalAcrossBatchSizesAndThreads) {
+  const auto data = MixedLengthData(80, 49);
+  BiLstmOptions options;
+  options.epochs = 2;
+  options.seed = 22;
+  BiLstmTagger tagger(options);
+  ASSERT_TRUE(tagger.Train(data).ok());
+
+  const auto probes = MixedLengthData(37, 50);
+  // Reference: one sentence at a time through the public API.
+  std::vector<text::SequenceTagger::ScoredPrediction> ref;
+  for (const auto& seq : probes) ref.push_back(tagger.PredictScored(seq));
+
+  util::ThreadPool pool1(1), pool8(8);
+  for (int batch_size : {1, 8, 32}) {
+    BiLstmOptions opt = options;
+    opt.batch_size = batch_size;
+    BiLstmTagger batched(opt);
+    ASSERT_TRUE(batched.Train(data).ok());  // same seed → same model
+    for (util::ThreadPool* pool :
+         {static_cast<util::ThreadPool*>(nullptr), &pool1, &pool8}) {
+      const auto got = batched.PredictScoredBatch(probes, pool);
+      ASSERT_EQ(got.size(), ref.size());
+      for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(ref[i].labels, got[i].labels)
+            << "sentence " << i << " batch_size=" << batch_size;
+        ASSERT_EQ(ref[i].confidence.size(), got[i].confidence.size());
+        for (size_t t = 0; t < ref[i].confidence.size(); ++t) {
+          EXPECT_EQ(0, std::memcmp(&ref[i].confidence[t],
+                                   &got[i].confidence[t], sizeof(double)))
+              << "confidence sentence " << i << " token " << t
+              << " batch_size=" << batch_size;
+        }
+      }
+    }
+  }
+}
+
+TEST(BiLstmTaggerTest, NonFiniteGradientNormSkipsStepAndCounts) {
+  util::Counter* skips = util::MetricsRegistry::Global().GetCounter(
+      "lstm.train.nonfinite_grad_skips");
+  const int64_t before = skips->value();
+
+  BiLstmOptions options;
+  options.epochs = 2;
+  options.seed = 23;
+  options.inject_nonfinite_grad_at = 3;  // poison the 4th SGD step
+  BiLstmTagger tagger(options);
+  ASSERT_TRUE(tagger.Train(ToyData(40, 51)).ok());
+
+  // Exactly one step was skipped, and the model survived: every epoch
+  // loss is finite and the network still predicts.
+  EXPECT_EQ(skips->value() - before, 1);
+  for (double loss : tagger.epoch_losses()) {
+    EXPECT_TRUE(std::isfinite(loss)) << loss;
+  }
+  text::LabeledSequence probe;
+  probe.tokens = {"color", "is", "red", "today"};
+  probe.pos = {"NN", "VB", "NN", "NN"};
+  const auto pred = tagger.PredictScored(probe);
+  ASSERT_EQ(pred.labels.size(), 4u);
+  for (double c : pred.confidence) EXPECT_TRUE(std::isfinite(c));
 }
 
 TEST(BiLstmTaggerTest, MultibyteTokensSplitIntoCharUnits) {

@@ -557,6 +557,63 @@ TEST(LoadgenTest, QuantileInterpolatesWithinBuckets) {
       serve::QuantileFromBuckets(bounds, {0, 0, 0, 10}, 0.99), 4.0);
 }
 
+TEST(LoadgenTest, QuantileSaturationFlag) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // Overflow-bucket quantile: the clamp is an underestimate and must
+  // raise the flag.
+  bool saturated = false;
+  EXPECT_DOUBLE_EQ(
+      serve::QuantileFromBuckets(bounds, {0, 0, 0, 10}, 0.99, &saturated),
+      4.0);
+  EXPECT_TRUE(saturated);
+  // Mixed mass: p50 interpolates inside a finite bucket (no flag), p99
+  // lands in overflow (flag).
+  saturated = false;
+  EXPECT_DOUBLE_EQ(
+      serve::QuantileFromBuckets(bounds, {8, 0, 0, 2}, 0.5, &saturated),
+      0.625);
+  EXPECT_FALSE(saturated);
+  serve::QuantileFromBuckets(bounds, {8, 0, 0, 2}, 0.99, &saturated);
+  EXPECT_TRUE(saturated);
+  // The flag is sticky-or friendly: an in-range quantile never clears
+  // a previously set value.
+  serve::QuantileFromBuckets(bounds, {8, 0, 0, 2}, 0.5, &saturated);
+  EXPECT_TRUE(saturated);
+}
+
+TEST(LoadgenTest, QuantileEdgeCases) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  bool saturated = false;
+  // Target exactly on a cumulative bucket boundary: 10 samples in
+  // (0, 1], 10 in (1, 2]; p50 target = 10 = the first bucket's whole
+  // cumulative mass → exactly its upper bound, no spill-over.
+  EXPECT_DOUBLE_EQ(
+      serve::QuantileFromBuckets(bounds, {10, 10, 0, 0}, 0.5, &saturated),
+      1.0);
+  // Zero-count interior buckets are skipped, not interpolated across.
+  EXPECT_DOUBLE_EQ(
+      serve::QuantileFromBuckets(bounds, {10, 0, 10, 0}, 0.75, &saturated),
+      3.0);
+  // q = 0: degenerate target 0 lands at the very start of the first
+  // non-empty bucket.
+  EXPECT_DOUBLE_EQ(
+      serve::QuantileFromBuckets(bounds, {0, 10, 0, 0}, 0.0, &saturated),
+      1.0);
+  // q = 1 with all mass in one finite bucket: its upper bound.
+  EXPECT_DOUBLE_EQ(
+      serve::QuantileFromBuckets(bounds, {0, 10, 0, 0}, 1.0, &saturated),
+      2.0);
+  EXPECT_FALSE(saturated);
+  // Single-bucket histogram (one finite bound + overflow).
+  const std::vector<double> one_bound = {0.5};
+  EXPECT_DOUBLE_EQ(
+      serve::QuantileFromBuckets(one_bound, {4, 0}, 0.5, &saturated), 0.25);
+  EXPECT_FALSE(saturated);
+  EXPECT_DOUBLE_EQ(
+      serve::QuantileFromBuckets(one_bound, {0, 4}, 0.5, &saturated), 0.5);
+  EXPECT_TRUE(saturated);
+}
+
 TEST(LoadgenTest, AggregatesAreIdenticalAtOneAndEightThreads) {
   serve::ServerOptions server_options;
   server_options.unix_path = TestSocketPath("pae_serve_loadgen.sock");

@@ -102,7 +102,7 @@ void PrintReport(const std::string& label, const LoadgenReport& report) {
             << " p50=" << pae::FormatDouble(report.p50_seconds * 1e3, 3)
             << "ms p95=" << pae::FormatDouble(report.p95_seconds * 1e3, 3)
             << "ms p99=" << pae::FormatDouble(report.p99_seconds * 1e3, 3)
-            << "ms\n";
+            << "ms saturated=" << (report.saturated ? 1 : 0) << "\n";
 }
 
 void AppendReportJson(std::ostringstream& os, const LoadgenReport& report,
@@ -120,7 +120,9 @@ void AppendReportJson(std::ostringstream& os, const LoadgenReport& report,
      << "      \"p50_ms\": " << report.p50_seconds * 1e3 << ",\n"
      << "      \"p95_ms\": " << report.p95_seconds * 1e3 << ",\n"
      << "      \"p99_ms\": " << report.p99_seconds * 1e3 << ",\n"
-     << "      \"max_ms\": " << report.max_seconds * 1e3 << "\n"
+     << "      \"max_ms\": " << report.max_seconds * 1e3 << ",\n"
+     << "      \"saturated\": " << (report.saturated ? "true" : "false")
+     << "\n"
      << "    }";
 }
 
