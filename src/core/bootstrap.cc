@@ -63,6 +63,15 @@ std::unique_ptr<text::SequenceTagger> Pipeline::MakeTagger(
 }
 
 Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
+  return RunImpl(corpus, nullptr);
+}
+
+Result<PipelineResult> Pipeline::Run(const IngestedCorpus& ingested) {
+  return RunImpl(ingested.corpus, &ingested.candidates);
+}
+
+Result<PipelineResult> Pipeline::RunImpl(const ProcessedCorpus& corpus,
+                                         const CandidateSet* candidates) {
   if (config_.threads < 0) {
     return Status::InvalidArgument(
         "PipelineConfig.threads must be >= 0 (0 = all hardware threads), "
@@ -76,7 +85,10 @@ Result<PipelineResult> Pipeline::Run(const ProcessedCorpus& corpus) {
   config_.semantic.word2vec.threads = threads;
 
   PipelineResult result;
-  result.seed = BuildSeed(corpus, config_.preprocess);
+  result.seed =
+      candidates != nullptr
+          ? BuildSeedFromCandidates(corpus, *candidates, config_.preprocess)
+          : BuildSeed(corpus, config_.preprocess);
   if (result.seed.pairs.empty()) {
     return Status::FailedPrecondition(
         "seed construction produced no <attribute, value> pairs for " +

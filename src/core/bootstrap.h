@@ -8,6 +8,7 @@
 #include "core/cleaning.h"
 #include "core/document.h"
 #include "core/eval.h"
+#include "core/ingest.h"
 #include "core/preprocess.h"
 #include "core/types.h"
 #include "crf/crf_tagger.h"
@@ -118,7 +119,17 @@ class Pipeline {
   /// Runs the full algorithm on a preprocessed corpus.
   Result<PipelineResult> Run(const ProcessedCorpus& corpus);
 
+  /// Runs on a streaming-ingested corpus: the candidate set harvested
+  /// during the parse pass feeds seed construction directly, skipping
+  /// the DiscoverCandidates re-walk. Byte-identical results to
+  /// Run(ingested.corpus) — the harvest reproduces DiscoverCandidates
+  /// exactly (see core/ingest.h).
+  Result<PipelineResult> Run(const IngestedCorpus& ingested);
+
  private:
+  Result<PipelineResult> RunImpl(const ProcessedCorpus& corpus,
+                                 const CandidateSet* candidates);
+
   std::unique_ptr<text::SequenceTagger> MakeTagger(int iteration) const;
 
   PipelineConfig config_;

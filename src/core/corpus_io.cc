@@ -1,11 +1,17 @@
 #include "core/corpus_io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "core/normalize.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace pae::core {
@@ -48,6 +54,55 @@ std::vector<std::string> NonEmptyLines(const std::string& content) {
     if (!trimmed.empty()) lines.emplace_back(trimmed);
   }
   return lines;
+}
+
+/// Lists <dir>/pages/*.html as sorted native path strings, summing the
+/// on-disk sizes as a side product. All paths share the "<dir>/pages/"
+/// prefix and filenames cannot contain '/', so byte-wise string order
+/// equals fs::path component order — sorting the strings avoids
+/// materializing and comparing fs::path objects per page, which
+/// dominated corpus-open time on large directories.
+Result<std::vector<std::string>> ListPageFiles(const std::string& dir,
+                                               uint64_t* total_bytes) {
+  const fs::path pages_dir = fs::path(dir) / "pages";
+  if (!fs::exists(pages_dir)) {
+    return Status::NotFound(pages_dir.string() + " missing");
+  }
+  std::vector<std::string> page_paths;
+  if (total_bytes != nullptr) *total_bytes = 0;
+  for (const auto& entry : fs::directory_iterator(pages_dir)) {
+    const std::string& native = entry.path().native();
+    // Suffix match replicating path::extension() == ".html": a filename
+    // that IS ".html" has no extension and stays excluded.
+    constexpr std::string_view kExt = ".html";
+    if (native.size() <= kExt.size() ||
+        std::string_view(native).substr(native.size() - kExt.size()) !=
+            kExt) {
+      continue;
+    }
+    const size_t slash = native.find_last_of('/');
+    const std::string_view filename =
+        slash == std::string::npos
+            ? std::string_view(native)
+            : std::string_view(native).substr(slash + 1);
+    if (filename == kExt) continue;
+    if (total_bytes != nullptr) {
+      std::error_code ec;
+      const uint64_t bytes = entry.file_size(ec);
+      if (!ec) *total_bytes += bytes;
+    }
+    page_paths.push_back(native);
+  }
+  std::sort(page_paths.begin(), page_paths.end());
+  return page_paths;
+}
+
+/// Product id of a listed page path: the filename minus its ".html"
+/// suffix (what path::stem() returns for these names).
+std::string ProductIdFromPagePath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const size_t begin = slash == std::string::npos ? 0 : slash + 1;
+  return path.substr(begin, path.size() - begin - 5);
 }
 
 }  // namespace
@@ -138,22 +193,13 @@ Result<Corpus> LoadCorpus(const std::string& dir) {
   PAE_RETURN_IF_ERROR(
       LoadManifest(dir, &corpus.category, &corpus.language));
 
-  const fs::path pages_dir = fs::path(dir) / "pages";
-  if (!fs::exists(pages_dir)) {
-    return Status::NotFound(pages_dir.string() + " missing");
-  }
-  std::vector<fs::path> page_paths;
-  for (const auto& entry : fs::directory_iterator(pages_dir)) {
-    if (entry.path().extension() == ".html") {
-      page_paths.push_back(entry.path());
-    }
-  }
-  std::sort(page_paths.begin(), page_paths.end());
-  for (const fs::path& path : page_paths) {
+  Result<std::vector<std::string>> page_paths = ListPageFiles(dir, nullptr);
+  if (!page_paths.ok()) return page_paths.status();
+  for (const std::string& path : page_paths.value()) {
     Result<std::string> html = ReadFile(path);
     if (!html.ok()) return html.status();
     ProductPage page;
-    page.product_id = path.stem().string();
+    page.product_id = ProductIdFromPagePath(path);
     page.html = std::move(html).value();
     corpus.pages.push_back(std::move(page));
   }
@@ -164,6 +210,60 @@ Result<Corpus> LoadCorpus(const std::string& dir) {
   }
   LoadLexicons(dir, &corpus.tokenizer_lexicon, &corpus.pos_lexicon);
   return corpus;
+}
+
+Result<StreamingCorpusReader> StreamingCorpusReader::Open(
+    const std::string& dir) {
+  StreamingCorpusReader reader;
+  PAE_RETURN_IF_ERROR(LoadManifest(dir, &reader.resources_.category,
+                                   &reader.resources_.language));
+  LoadLexicons(dir, &reader.resources_.tokenizer_lexicon,
+               &reader.resources_.pos_lexicon);
+  if (Result<std::string> queries = ReadFile(fs::path(dir) / "queries.txt");
+      queries.ok()) {
+    reader.query_log_ = NonEmptyLines(queries.value());
+  }
+
+  Result<std::vector<std::string>> page_paths =
+      ListPageFiles(dir, &reader.total_page_bytes_);
+  if (!page_paths.ok()) return page_paths.status();
+  reader.page_paths_ = std::move(page_paths).value();
+  reader.product_ids_.reserve(reader.page_paths_.size());
+  for (const std::string& path : reader.page_paths_) {
+    reader.product_ids_.push_back(ProductIdFromPagePath(path));
+  }
+  return reader;
+}
+
+Status StreamingCorpusReader::ReadPageHtml(size_t page,
+                                           std::string* html) const {
+  PAE_DCHECK_LT(page, page_paths_.size());
+  // Raw open/fstat/read: an ifstream costs a heap-allocated filebuf and
+  // locale plumbing per construction, which is real money at one file
+  // per page — this is the per-page IO hot path.
+  const int fd = ::open(page_paths_[page].c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + page_paths_[page]);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("cannot stat " + page_paths_[page]);
+  }
+  html->resize(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < html->size()) {
+    const ssize_t got =
+        ::read(fd, html->data() + done, html->size() - done);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      ::close(fd);
+      return Status::Internal("short read on " + page_paths_[page]);
+    }
+    done += static_cast<size_t>(got);
+  }
+  ::close(fd);
+  return Status::Ok();
 }
 
 Result<CorpusResources> LoadCorpusResources(const std::string& dir) {

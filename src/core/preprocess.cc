@@ -132,10 +132,15 @@ std::unordered_map<std::string, std::string> AggregateAttributes(
 }
 
 Seed BuildSeed(const ProcessedCorpus& corpus, const PreprocessConfig& config) {
+  return BuildSeedFromCandidates(corpus, DiscoverCandidates(corpus), config);
+}
+
+Seed BuildSeedFromCandidates(const ProcessedCorpus& corpus,
+                             const CandidateSet& candidates,
+                             const PreprocessConfig& config) {
   util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
   util::ScopedTimer timer(metrics.GetHistogram("seed.seconds"));
   Seed seed;
-  CandidateSet candidates = DiscoverCandidates(corpus);
   seed.candidates_before_cleaning = candidates.pairs.size();
   seed.surface_to_rep = AggregateAttributes(candidates, config.aggregation);
 

@@ -85,6 +85,15 @@ struct Seed {
 /// Runs the whole §V-A pre-processing chain (Fig. 1 lines 2–4).
 Seed BuildSeed(const ProcessedCorpus& corpus, const PreprocessConfig& config);
 
+/// The chain after candidate discovery (aggregation → cleaning →
+/// diversification → assembly), for callers that already hold the
+/// candidate set — the streaming ingestion (core/ingest.h) harvests it
+/// during the parse pass instead of re-walking every table. `BuildSeed`
+/// is exactly `DiscoverCandidates` + this.
+Seed BuildSeedFromCandidates(const ProcessedCorpus& corpus,
+                             const CandidateSet& candidates,
+                             const PreprocessConfig& config);
+
 }  // namespace pae::core
 
 #endif  // PAE_CORE_PREPROCESS_H_

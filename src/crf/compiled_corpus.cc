@@ -7,9 +7,14 @@ namespace pae::crf {
 void CompiledCorpus::Build(
     std::vector<const text::LabeledSequence*> sentences,
     const FeatureConfig& config) {
+  // The previous build's dictionary size is the best available estimate
+  // for the rebuilt one: across bootstrap iterations the sentence sample
+  // changes but the feature vocabulary barely does.
+  const size_t previous_features = features_.size();
   config_ = config;
   encoder_.Reset(config);
   features_ = util::FlatStringInterner();
+  features_.Reserve(previous_features);
   sentence_begin_.clear();
   token_begin_.clear();
   ids_.clear();
@@ -22,6 +27,15 @@ void CompiledCorpus::Build(
   const uint32_t feats_per_token =
       static_cast<uint32_t>(4 * config_.window + 4);
 
+  // Emission counts are exact up front (fixed per-token arity), so the
+  // two big flat arrays get one allocation each.
+  size_t total_tokens = 0;
+  for (const text::LabeledSequence* seq : sentences) {
+    PAE_CHECK(seq != nullptr);
+    total_tokens += seq->tokens.size();
+  }
+  ids_.reserve(total_tokens * feats_per_token);
+  token_begin_.reserve(total_tokens + 1);
   sentence_begin_.reserve(sentences.size() + 1);
   sentence_begin_.push_back(0);
   token_begin_.push_back(0);

@@ -109,6 +109,11 @@ Status CrfTagger::Train(const std::vector<text::LabeledSequence>& data) {
   // pure function of the data, unlike the unordered_map iteration order
   // the string pipeline used.
   std::vector<int32_t> remap(universe.size(), -1);
+  size_t survivors = 0;
+  for (size_t id = 0; id < universe.size(); ++id) {
+    if (counts[id] >= options_.min_feature_count) ++survivors;
+  }
+  model_.ReserveFeatures(survivors);
   for (size_t id = 0; id < universe.size(); ++id) {
     if (counts[id] >= options_.min_feature_count) {
       remap[id] =
@@ -351,6 +356,8 @@ size_t CrfTagger::Compact() {
   if (kept == F) return 0;
 
   CrfModel compacted;
+  compacted.ReserveLabels(L);
+  compacted.ReserveFeatures(kept);
   for (const std::string& label : model_.labels()) {
     compacted.AddLabel(label);
   }
@@ -421,6 +428,8 @@ Status CrfTagger::Load(const std::string& path) {
   options_.c1 = c1;
   options_.c2 = c2;
   model_ = CrfModel();
+  model_.ReserveLabels(labels.size());
+  model_.ReserveFeatures(features.size());
   for (const std::string& label : labels) model_.AddLabel(label);
   for (const std::string& feature : features) model_.AddFeature(feature);
   if (weights.size() != model_.WeightDim()) {

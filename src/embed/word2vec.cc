@@ -66,6 +66,11 @@ Status Word2Vec::Train(
   }
   vocab_ = text::Vocab();
   counts_.assign(1, 0);  // <unk>
+  size_t eligible = 0;
+  for (const auto& [word, count] : raw_counts) {
+    if (count >= options_.min_count) ++eligible;
+  }
+  vocab_.Reserve(eligible + 1);  // + the <unk> sentinel
   for (const auto& [word, count] : raw_counts) {
     if (count >= options_.min_count) {
       int32_t id = vocab_.GetOrAdd(word);
@@ -353,6 +358,7 @@ Status Word2Vec::Load(const std::string& path) {
       .GetCounter("model.load.bytes_copied")
       ->Add(static_cast<int64_t>(copied));
   vocab_ = text::Vocab();
+  vocab_.Reserve(words.size() + 1);
   for (const std::string& word : words) vocab_.GetOrAdd(word);
   in_vectors_ = math::Matrix(words.size(), static_cast<size_t>(dim));
   in_vectors_.data() = std::move(vectors);

@@ -11,24 +11,57 @@ namespace pae::html {
 
 namespace {
 
-const std::unordered_set<std::string>& VoidElements() {
-  static const auto* kSet = new std::unordered_set<std::string>{
-      "br", "img", "hr", "input", "meta", "link", "area", "base",
-      "col", "embed", "source", "track", "wbr"};
-  return *kSet;
-}
-
-bool IsBlockElement(const std::string& tag) {
-  static const auto* kSet = new std::unordered_set<std::string>{
-      "p",  "div", "br",  "li",    "ul", "ol", "tr", "table", "td", "th",
-      "h1", "h2",  "h3",  "h4",    "h5", "h6", "section",     "article",
-      "dt", "dd",  "dl",  "title", "body"};
-  return kSet->count(tag) > 0;
-}
-
 std::string ToLowerAscii(std::string_view s) { return pae::AsciiToLower(s); }
 
 }  // namespace
+
+// Both predicates sit on the per-tag hot path of ParseHtml and the
+// streaming scanner, so they branch on length instead of hashing.
+bool IsVoidTag(std::string_view tag) {
+  switch (tag.size()) {
+    case 2:
+      return tag == "br" || tag == "hr";
+    case 3:
+      return tag == "img" || tag == "col" || tag == "wbr";
+    case 4:
+      return tag == "meta" || tag == "link" || tag == "area" ||
+             tag == "base";
+    case 5:
+      return tag == "input" || tag == "embed" || tag == "track";
+    case 6:
+      return tag == "source";
+    default:
+      return false;
+  }
+}
+
+bool IsBlockTag(std::string_view tag) {
+  switch (tag.size()) {
+    case 1:
+      return tag[0] == 'p';
+    case 2: {
+      const char a = tag[0];
+      const char b = tag[1];
+      if (a == 'h') return b >= '1' && b <= '6';
+      if (a == 'b') return b == 'r';
+      if (a == 'l') return b == 'i';
+      if (a == 'u' || a == 'o') return b == 'l';
+      if (a == 't') return b == 'r' || b == 'd' || b == 'h';
+      if (a == 'd') return b == 't' || b == 'd' || b == 'l';
+      return false;
+    }
+    case 3:
+      return tag == "div";
+    case 4:
+      return tag == "body";
+    case 5:
+      return tag == "table" || tag == "title";
+    case 7:
+      return tag == "section" || tag == "article";
+    default:
+      return false;
+  }
+}
 
 std::string DecodeEntities(std::string_view s) {
   std::string out;
@@ -176,7 +209,7 @@ std::unique_ptr<HtmlNode> ParseHtml(std::string_view html) {
       continue;
     }
 
-    if (!self_closing && VoidElements().count(tag) == 0) {
+    if (!self_closing && !IsVoidTag(tag)) {
       stack.push_back(raw);
     }
   }
@@ -189,7 +222,7 @@ void ExtractTextRec(const HtmlNode& node, std::string* out) {
     out->append(node.text);
     return;
   }
-  const bool block = IsBlockElement(node.tag);
+  const bool block = IsBlockTag(node.tag);
   if (block && !out->empty() && out->back() != '\n') out->push_back('\n');
   for (const auto& child : node.children) ExtractTextRec(*child, out);
   if (block && !out->empty() && out->back() != '\n') out->push_back('\n');

@@ -1,0 +1,227 @@
+#include "html/stream_scanner.h"
+
+#include <cctype>
+
+#include "html/parser.h"
+#include "util/logging.h"
+
+namespace pae::html {
+
+void StreamScanner::AppendTextRun(std::string_view raw) {
+  // DecodeEntities copies verbatim when no '&' is present; skip the
+  // temporary in that common case.
+  if (raw.find('&') == std::string_view::npos) {
+    if (raw.empty()) return;
+    text_.append(raw);
+    for (const int32_t cell : open_cells_) {
+      cells_[static_cast<size_t>(cell)].append(raw);
+    }
+    return;
+  }
+  const std::string decoded = DecodeEntities(raw);
+  if (decoded.empty()) return;
+  text_.append(decoded);
+  for (const int32_t cell : open_cells_) {
+    cells_[static_cast<size_t>(cell)].append(decoded);
+  }
+}
+
+void StreamScanner::BlockBreak() {
+  if (!text_.empty() && text_.back() != '\n') text_.push_back('\n');
+  for (const int32_t cell : open_cells_) {
+    std::string& buffer = cells_[static_cast<size_t>(cell)];
+    if (!buffer.empty() && buffer.back() != '\n') buffer.push_back('\n');
+  }
+}
+
+void StreamScanner::OpenElement(std::string_view lower_tag,
+                                bool self_closing) {
+  const bool block = IsBlockTag(lower_tag);
+  // ExtractTextRec emits the leading block '\n' when it reaches the
+  // node — before any of its children, and before this element's own
+  // cell capture (if any) starts.
+  if (block) BlockBreak();
+
+  if (depth_ == stack_.size()) stack_.emplace_back();
+  Entry& entry = stack_[depth_];
+  entry.tag.assign(lower_tag);
+  entry.block = block;
+  entry.table = -1;
+  entry.row = -1;
+  entry.cell = -1;
+
+  if (lower_tag == "table") {
+    if (table_count_ == table_rows_.size()) table_rows_.emplace_back();
+    table_rows_[table_count_].clear();
+    entry.table = static_cast<int32_t>(table_count_);
+    active_tables_.push_back(entry.table);
+    ++table_count_;
+  } else if (lower_tag == "tr") {
+    // FindAll(table, "tr") collects every descendant <tr>, so the row
+    // joins the grid of each enclosing table, in document order.
+    if (!active_tables_.empty()) {
+      if (row_count_ == row_cells_.size()) row_cells_.emplace_back();
+      row_cells_[row_count_].clear();
+      entry.row = static_cast<int32_t>(row_count_);
+      for (const int32_t table : active_tables_) {
+        table_rows_[static_cast<size_t>(table)].push_back(entry.row);
+      }
+      ++row_count_;
+    }
+  } else if (lower_tag == "td" || lower_tag == "th") {
+    // ExtractGrid only takes cells that are DIRECT children of a row.
+    const Entry* parent = depth_ > 0 ? &stack_[depth_ - 1] : nullptr;
+    if (parent != nullptr && parent->row >= 0) {
+      if (cell_count_ == cells_.size()) cells_.emplace_back();
+      cells_[cell_count_].clear();
+      entry.cell = static_cast<int32_t>(cell_count_);
+      row_cells_[static_cast<size_t>(parent->row)].push_back(entry.cell);
+      open_cells_.push_back(entry.cell);
+      ++cell_count_;
+    }
+  }
+
+  ++depth_;
+  if (self_closing || IsVoidTag(lower_tag)) {
+    // Childless element: the DOM walk visits it and immediately
+    // unwinds, emitting the trailing block break.
+    CloseInnermost();
+  }
+}
+
+void StreamScanner::CloseInnermost() {
+  PAE_DCHECK(depth_ > 0);
+  Entry& entry = stack_[depth_ - 1];
+  if (entry.cell >= 0) {
+    PAE_DCHECK(!open_cells_.empty() && open_cells_.back() == entry.cell);
+    open_cells_.pop_back();
+  }
+  if (entry.table >= 0) {
+    PAE_DCHECK(!active_tables_.empty() &&
+               active_tables_.back() == entry.table);
+    active_tables_.pop_back();
+  }
+  --depth_;
+  // Trailing block '\n' goes to the page text and the still-open outer
+  // cells — exactly what ExtractTextRec emits after the subtree. The
+  // element's own cell buffer is already final: its ExtractText(cell)
+  // counterpart would only add a trailing '\n' that CollapseCellText
+  // strips anyway.
+  if (entry.block) BlockBreak();
+}
+
+void StreamScanner::BuildTables() {
+  tables_.clear();
+  TableGrid grid;
+  for (size_t t = 0; t < table_count_; ++t) {
+    grid.clear();
+    for (const int32_t row : table_rows_[t]) {
+      const std::vector<int32_t>& cell_ids =
+          row_cells_[static_cast<size_t>(row)];
+      if (cell_ids.empty()) continue;  // ExtractGrid drops cell-less rows
+      std::vector<std::string> cells;
+      cells.reserve(cell_ids.size());
+      for (const int32_t cell : cell_ids) {
+        cells.push_back(CollapseCellText(cells_[static_cast<size_t>(cell)]));
+      }
+      grid.push_back(std::move(cells));
+    }
+    DictionaryTable dict;
+    if (GridToDictionary(grid, &dict)) tables_.push_back(std::move(dict));
+  }
+}
+
+void StreamScanner::Scan(std::string_view html) {
+  text_.clear();
+  depth_ = 0;
+  active_tables_.clear();
+  open_cells_.clear();
+  table_count_ = 0;
+  row_count_ = 0;
+  cell_count_ = 0;
+
+  // The tag soup below mirrors ParseHtml token for token; every i/gt
+  // advance matches the DOM parser so both consume identical spans.
+  size_t i = 0;
+  const size_t n = html.size();
+  while (i < n) {
+    if (html[i] != '<') {
+      size_t lt = html.find('<', i);
+      if (lt == std::string_view::npos) lt = n;
+      AppendTextRun(html.substr(i, lt - i));
+      i = lt;
+      continue;
+    }
+    if (html.compare(i, 4, "<!--") == 0) {
+      const size_t end = html.find("-->", i + 4);
+      i = (end == std::string_view::npos) ? n : end + 3;
+      continue;
+    }
+    if (i + 1 < n && (html[i + 1] == '!' || html[i + 1] == '?')) {
+      const size_t end = html.find('>', i + 1);
+      i = (end == std::string_view::npos) ? n : end + 1;
+      continue;
+    }
+    const size_t gt = html.find('>', i + 1);
+    if (gt == std::string_view::npos) {
+      AppendTextRun(html.substr(i));
+      break;
+    }
+    std::string_view inner = html.substr(i + 1, gt - i - 1);
+    const bool closing = !inner.empty() && inner[0] == '/';
+    if (closing) inner.remove_prefix(1);
+    const bool self_closing = !inner.empty() && inner.back() == '/';
+    if (self_closing) inner.remove_suffix(1);
+
+    size_t name_end = 0;
+    while (name_end < inner.size() &&
+           (std::isalnum(static_cast<unsigned char>(inner[name_end])) != 0)) {
+      ++name_end;
+    }
+    tag_scratch_.clear();
+    for (size_t c = 0; c < name_end; ++c) {
+      char ch = inner[c];
+      if (ch >= 'A' && ch <= 'Z') ch = static_cast<char>(ch - 'A' + 'a');
+      tag_scratch_.push_back(ch);
+    }
+    i = gt + 1;
+    if (tag_scratch_.empty()) continue;
+
+    if (closing) {
+      // Pop to the matching open element, if present on the stack;
+      // implicit closes unwind inner elements first, exactly like the
+      // DOM walk leaving those subtrees.
+      size_t match = depth_;
+      while (match > 0 && stack_[match - 1].tag != tag_scratch_) --match;
+      if (match > 0) {
+        while (depth_ >= match) CloseInnermost();
+      }
+      continue;
+    }
+
+    if (tag_scratch_ == "script" || tag_scratch_ == "style") {
+      // Raw-text element: skip to the close tag, drop the body. The
+      // element itself is neither block nor a capture target, so it
+      // leaves no trace in the outputs.
+      const std::string close = "</" + tag_scratch_;
+      if (const size_t found = html.find(close, i);
+          found == std::string_view::npos) {
+        i = n;
+      } else {
+        const size_t end = html.find('>', found);
+        i = (end == std::string_view::npos) ? n : end + 1;
+      }
+      continue;
+    }
+
+    OpenElement(tag_scratch_, self_closing);
+  }
+
+  // End of input closes every element still open, emitting the same
+  // trailing block breaks the DOM walk produces on its way out.
+  while (depth_ > 0) CloseInnermost();
+
+  BuildTables();
+}
+
+}  // namespace pae::html

@@ -4,10 +4,7 @@
 
 namespace pae::html {
 
-namespace {
-/// Collects the text of one cell, collapsing internal newlines to spaces.
-std::string CellText(const HtmlNode& cell) {
-  std::string raw = ExtractText(cell);
+std::string CollapseCellText(std::string_view raw) {
   std::string collapsed;
   collapsed.reserve(raw.size());
   bool last_space = false;
@@ -21,6 +18,12 @@ std::string CellText(const HtmlNode& cell) {
     }
   }
   return std::string(StripAsciiWhitespace(collapsed));
+}
+
+namespace {
+/// Collects the text of one cell, collapsing internal newlines to spaces.
+std::string CellText(const HtmlNode& cell) {
+  return CollapseCellText(ExtractText(cell));
 }
 }  // namespace
 
@@ -51,6 +54,7 @@ bool GridToDictionary(const TableGrid& grid, DictionaryTable* out) {
     }
   }
   if (two_cols) {
+    out->entries.reserve(grid.size());
     for (const auto& row : grid) {
       if (row[0].empty() || row[1].empty()) continue;
       out->entries.emplace_back(row[0], row[1]);
@@ -61,6 +65,7 @@ bool GridToDictionary(const TableGrid& grid, DictionaryTable* out) {
   // Case 2: 2 rows × n columns — key in row 0.
   if (grid.size() == 2 && grid[0].size() == grid[1].size() &&
       grid[0].size() >= 2) {
+    out->entries.reserve(grid[0].size());
     for (size_t c = 0; c < grid[0].size(); ++c) {
       if (grid[0][c].empty() || grid[1][c].empty()) continue;
       out->entries.emplace_back(grid[0][c], grid[1][c]);

@@ -638,6 +638,7 @@ bool ReadVocab(BinaryReader* reader, text::Vocab* vocab) {
   std::vector<std::string> words;
   if (!reader->ReadStringVec(&words)) return false;
   *vocab = text::Vocab();  // already contains <unk> at id 0
+  vocab->Reserve(words.size() + 1);
   for (const std::string& word : words) vocab->GetOrAdd(word);
   return true;
 }

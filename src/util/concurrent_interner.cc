@@ -1,0 +1,181 @@
+#include "util/concurrent_interner.h"
+
+#include <cstring>
+#include <thread>
+
+namespace pae::util {
+
+namespace {
+
+/// Spin with escalation: a claimed slot publishes within a handful of
+/// instructions, so the first iterations busy-wait; past that the
+/// claimer was preempted and yielding is cheaper than burning the
+/// quantum (this matters on single-core CI runners, where the claimer
+/// cannot run until the spinner gives up the CPU).
+inline void PublishWait(int spin) {
+  if (spin >= 64) std::this_thread::yield();
+}
+
+}  // namespace
+
+ConcurrentStringInterner::ConcurrentStringInterner(size_t expected_keys)
+    : expected_keys_(expected_keys) {
+  size_t capacity = kMinCapacity;
+  while (capacity < expected_keys * 2) capacity <<= 1;
+  slots_ = std::make_unique<Slot[]>(capacity);
+  mask_ = capacity - 1;
+  max_keys_ = capacity / 4 * 3;
+  entries_ = std::make_unique<Entry[]>(max_keys_);
+  chunks_ = std::make_unique<std::atomic<char*>[]>(kMaxChunks);
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+ConcurrentStringInterner::~ConcurrentStringInterner() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_acquire);
+  }
+}
+
+char* ConcurrentStringInterner::AllocateKeyBytes(size_t length) {
+  PAE_CHECK_LE(length, kChunkBytes)
+      << "ConcurrentStringInterner: key longer than one arena chunk";
+  // Claim [aligned, aligned + length) with a relaxed CAS loop; a key
+  // that would cross a chunk boundary skips to the next chunk (the gap
+  // is dead space, never reused). The bytes themselves are published by
+  // the slot's `entry` release-store, so the cursor needs no ordering.
+  uint64_t start = arena_next_.load(std::memory_order_relaxed);
+  uint64_t aligned;
+  do {
+    const uint64_t room = kChunkBytes - (start & (kChunkBytes - 1));
+    aligned = length <= room ? start : start + room;
+  } while (!arena_next_.compare_exchange_weak(start, aligned + length,
+                                              std::memory_order_relaxed,
+                                              std::memory_order_relaxed));
+  const size_t chunk_index = static_cast<size_t>(aligned / kChunkBytes);
+  PAE_CHECK_LT(chunk_index, kMaxChunks)
+      << "ConcurrentStringInterner: arena exhausted (2 GiB of key bytes)";
+  char* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    // First thread to need this chunk allocates it; CAS losers free
+    // their attempt and use the winner's.
+    char* fresh = new char[kChunkBytes];
+    char* expected = nullptr;
+    if (chunks_[chunk_index].compare_exchange_strong(
+            expected, fresh, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      chunk = fresh;
+    } else {
+      delete[] fresh;
+      chunk = expected;
+    }
+  }
+  return chunk + (aligned & (kChunkBytes - 1));
+}
+
+ConcurrentStringInterner::Handle ConcurrentStringInterner::Intern(
+    std::string_view key) {
+  uint64_t hash = FlatStringInterner::Hash(key);
+  if (hash == 0) hash = 1;  // 0 marks an empty slot
+  size_t slot = hash & mask_;
+  for (;;) {
+    uint64_t cur = slots_[slot].hash.load(std::memory_order_acquire);
+    if (cur == 0) {
+      if (slots_[slot].hash.compare_exchange_strong(
+              cur, hash, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        // Claimed: materialize the key, then publish the handle.
+        const uint32_t handle =
+            next_handle_.fetch_add(1, std::memory_order_relaxed);
+        PAE_CHECK_LT(handle, max_keys_)
+            << "ConcurrentStringInterner over its load-factor guard: "
+            << max_keys_ << " keys (expected_keys=" << expected_keys_
+            << "); construct with a larger expected_keys";
+        Entry& entry = entries_[handle];
+        entry.length = static_cast<uint32_t>(key.size());
+        if (key.empty()) {
+          // Zero-length keys need no arena bytes; point at the slot
+          // array so key() returns a valid (empty) view.
+          entry.data = "";
+        } else {
+          char* data = AllocateKeyBytes(key.size());
+          std::memcpy(data, key.data(), key.size());
+          entry.data = data;
+        }
+        slots_[slot].entry.store(handle + 1, std::memory_order_release);
+        return handle;
+      }
+      // Lost the claim; `cur` now holds the winner's hash — fall
+      // through to the match check.
+    }
+    if (cur == hash) {
+      uint32_t published =
+          slots_[slot].entry.load(std::memory_order_acquire);
+      for (int spin = 0; published == 0; ++spin) {
+        PublishWait(spin);
+        published = slots_[slot].entry.load(std::memory_order_acquire);
+      }
+      const Handle handle = published - 1;
+      const Entry& entry = entries_[handle];
+      if (entry.length == key.size() &&
+          (key.empty() ||
+           std::memcmp(entry.data, key.data(), key.size()) == 0)) {
+        return handle;
+      }
+      // 64-bit hash collision with a different key: keep probing.
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+ConcurrentStringInterner::Handle ConcurrentStringInterner::Find(
+    std::string_view key) const {
+  uint64_t hash = FlatStringInterner::Hash(key);
+  if (hash == 0) hash = 1;
+  size_t slot = hash & mask_;
+  for (size_t probes = 0; probes <= mask_; ++probes) {
+    const uint64_t cur = slots_[slot].hash.load(std::memory_order_acquire);
+    if (cur == 0) return kInvalidHandle;
+    if (cur == hash) {
+      // A concurrent inserter may have claimed but not yet published;
+      // wait out the window exactly like Intern does, so a Find racing
+      // the insertion of its own key cannot miss it.
+      uint32_t published =
+          slots_[slot].entry.load(std::memory_order_acquire);
+      for (int spin = 0; published == 0; ++spin) {
+        PublishWait(spin);
+        published = slots_[slot].entry.load(std::memory_order_acquire);
+      }
+      const Handle handle = published - 1;
+      const Entry& entry = entries_[handle];
+      if (entry.length == key.size() &&
+          (key.empty() ||
+           std::memcmp(entry.data, key.data(), key.size()) == 0)) {
+        return handle;
+      }
+    }
+    slot = (slot + 1) & mask_;
+  }
+  return kInvalidHandle;
+}
+
+void ConcurrentStringInterner::Canonicalize(
+    const std::vector<Handle>& order) {
+  const size_t n = size();
+  ids_.assign(n, -1);
+  id_to_handle_.clear();
+  id_to_handle_.reserve(n);
+  for (const Handle handle : order) {
+    PAE_DCHECK_LT(static_cast<size_t>(handle), n);
+    int32_t& id = ids_[handle];
+    if (id < 0) {
+      id = static_cast<int32_t>(id_to_handle_.size());
+      id_to_handle_.push_back(handle);
+    }
+  }
+  PAE_CHECK_EQ(id_to_handle_.size(), n)
+      << "Canonicalize: order does not cover every interned handle";
+}
+
+}  // namespace pae::util

@@ -1,0 +1,182 @@
+#ifndef PAE_UTIL_CONCURRENT_INTERNER_H_
+#define PAE_UTIL_CONCURRENT_INTERNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/interner.h"
+#include "util/logging.h"
+
+namespace pae::util {
+
+/// Lock-free open-addressing string interner for the streaming
+/// ingestion pass: many workers intern page tokens and candidate keys
+/// concurrently while pages complete out of order.
+///
+/// The catch is the determinism contract: FlatStringInterner ids are
+/// dense *first-insertion-order* ids, and that order is part of every
+/// downstream artifact (Vocab words, CompiledCorpus dictionaries, the
+/// model files themselves). Under concurrency the insertion order is
+/// scheduling noise. So interning runs in two phases:
+///
+///   1. Concurrent phase — `Intern` is safe from any number of threads
+///      and returns a stable `Handle`. Handles are claim-order ids:
+///      dense, but scheduling-dependent. Workers store handles, never
+///      ids.
+///   2. Canonicalization — after the parallel region joins, one O(n)
+///      `Canonicalize(order)` pass renumbers the handles in the
+///      caller's deterministic order (page-major first occurrence for
+///      ingestion). `id(handle)` then yields exactly the dense id a
+///      serial FlatStringInterner pass over `order` would have
+///      assigned, at every thread count.
+///
+/// Slot protocol (16-byte slots, linear probing):
+///
+///   struct Slot { atomic<uint64> hash; atomic<uint32> entry; pad; }
+///
+///   * hash == 0 marks an empty slot (real hashes are forced nonzero).
+///     An inserter claims an empty slot by CAS-ing 0 → hash; exactly
+///     one thread wins a slot.
+///   * entry == 0 marks a claimed-but-unpublished slot. The winner
+///     copies the key bytes into the arena, fills its handle-table row,
+///     and publishes with a release store of handle + 1. Probers that
+///     match the hash acquire-load `entry`, spin the (tiny) window
+///     until it is nonzero, then memcmp the key bytes — same-hash
+///     different-key probes continue down the table.
+///
+/// Memory orders (the full table is in DESIGN.md §14):
+///   hash CAS        acq_rel   claim is both publish and observe point
+///   hash load       acquire   pairs with a winner's CAS
+///   entry store     release   publishes arena bytes + handle row
+///   entry load      acquire   pairs with the store above
+///   arena bump      relaxed   bytes are published by `entry`, not here
+///   chunk ptr CAS   acq_rel   first-needer allocates, losers free
+///
+/// Growth: none. The table is pre-sized from `expected_keys` with a
+/// load-factor guard — interning may exceed the estimate up to the
+/// guard (1.5× at the default 50% sizing), past which it PAE_CHECK-
+/// fails with a resize instruction rather than deadlocking on a full
+/// table. Key bytes live in append-only chunks claimed by an atomic
+/// bump cursor; a key never spans a chunk boundary, and chunk memory is
+/// never moved or freed before destruction, so `key()` views stay valid
+/// for the interner's lifetime.
+class ConcurrentStringInterner {
+ public:
+  /// Stable claim-order id returned by the concurrent phase.
+  using Handle = uint32_t;
+  static constexpr Handle kInvalidHandle = 0xFFFFFFFFu;
+
+  /// Pre-sizes for `expected_keys` distinct keys (capacity = next power
+  /// of two above 2× that, so the steady-state load factor is ≤ 1/2).
+  explicit ConcurrentStringInterner(size_t expected_keys);
+  ~ConcurrentStringInterner();
+
+  ConcurrentStringInterner(const ConcurrentStringInterner&) = delete;
+  ConcurrentStringInterner& operator=(const ConcurrentStringInterner&) =
+      delete;
+
+  /// Returns the handle for `key`, inserting a copy of its bytes if it
+  /// is new. Thread-safe, lock-free (the only wait is the publish
+  /// window of a racing inserter of the same slot).
+  Handle Intern(std::string_view key);
+
+  /// Returns the handle for `key` or kInvalidHandle. Thread-safe
+  /// against concurrent Intern calls.
+  Handle Find(std::string_view key) const;
+
+  /// The key bytes for a handle this thread obtained from Intern/Find
+  /// (or any handle once the parallel region joined). Valid for the
+  /// interner's lifetime.
+  std::string_view key(Handle handle) const {
+    PAE_DCHECK_LT(handle, next_handle_.load(std::memory_order_acquire));
+    const Entry& entry = entries_[handle];
+    return std::string_view(entry.data, entry.length);
+  }
+
+  /// Number of distinct keys claimed so far. Exact once every interning
+  /// thread joined; during the concurrent phase it may briefly count a
+  /// claim whose key bytes are still being published.
+  size_t size() const {
+    return next_handle_.load(std::memory_order_acquire);
+  }
+
+  /// Keys the table can hold before the load-factor guard fires.
+  size_t max_keys() const { return max_keys_; }
+  size_t capacity() const { return mask_ + 1; }
+
+  // ---- canonicalization (single-threaded, after the workers join) ----
+
+  /// Assigns dense canonical ids 0..size()-1 by first occurrence in
+  /// `order` — a handle sequence in the deterministic order a serial
+  /// pass would have interned (duplicates fine, every handle must
+  /// appear). O(|order|).
+  void Canonicalize(const std::vector<Handle>& order);
+
+  /// The canonical id for a handle (after Canonicalize).
+  int32_t id(Handle handle) const {
+    PAE_DCHECK_LT(static_cast<size_t>(handle), ids_.size());
+    return ids_[handle];
+  }
+
+  /// The key owning canonical id `id` (after Canonicalize).
+  std::string_view key_for_id(int32_t id) const {
+    PAE_DCHECK_GE(id, 0);
+    PAE_DCHECK_LT(static_cast<size_t>(id), id_to_handle_.size());
+    return key(id_to_handle_[static_cast<size_t>(id)]);
+  }
+
+  bool canonicalized() const { return !id_to_handle_.empty() || size() == 0; }
+
+ private:
+  struct Slot {
+    /// 0 = empty. Claimed (CAS 0 → hash) by exactly one inserter.
+    std::atomic<uint64_t> hash{0};
+    /// 0 = claimed but unpublished; handle + 1 once the key bytes and
+    /// the handle-table row are readable.
+    std::atomic<uint32_t> entry{0};
+    uint32_t pad = 0;
+  };
+  static_assert(sizeof(Slot) == 16, "slot is one half cache line");
+
+  struct Entry {
+    const char* data = nullptr;
+    uint32_t length = 0;
+  };
+
+  static constexpr size_t kMinCapacity = 64;
+  /// Arena chunk size; also the maximum internable key length (a key
+  /// never spans chunks).
+  static constexpr size_t kChunkBytes = 256 * 1024;
+  /// Fixed chunk directory: 8192 × 256 KiB = 2 GiB of key bytes, far
+  /// past any corpus dictionary; the directory itself is 64 KiB.
+  static constexpr size_t kMaxChunks = 8192;
+
+  /// Bump-allocates `length` arena bytes that do not cross a chunk
+  /// boundary and returns a stable pointer.
+  char* AllocateKeyBytes(size_t length);
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;       // capacity - 1 (capacity is a power of two)
+  size_t max_keys_ = 0;   // load-factor guard (3/4 of capacity)
+  size_t expected_keys_ = 0;
+
+  /// handle → (arena pointer, length). Pre-sized to max_keys_; row h is
+  /// written by h's claimer before the slot's `entry` release-store and
+  /// read only after the matching acquire load.
+  std::unique_ptr<Entry[]> entries_;
+  std::atomic<uint32_t> next_handle_{0};
+
+  std::unique_ptr<std::atomic<char*>[]> chunks_;
+  std::atomic<uint64_t> arena_next_{0};
+
+  /// Canonicalization output (single-threaded phase).
+  std::vector<int32_t> ids_;          // handle → canonical id
+  std::vector<Handle> id_to_handle_;  // canonical id → handle
+};
+
+}  // namespace pae::util
+
+#endif  // PAE_UTIL_CONCURRENT_INTERNER_H_

@@ -83,8 +83,15 @@ class FlatStringInterner {
   size_t size() const { return keys_.size(); }
   bool empty() const { return keys_.empty(); }
 
-  /// Pre-sizes the slot table for `expected_keys` insertions.
+  /// Pre-sizes the slot table for `expected_keys` insertions: one
+  /// up-front rehash instead of the O(log n) doubling storm a bulk
+  /// build otherwise pays. Call it wherever the final size is known
+  /// (model load paths, survivor counts after a frequency cut).
   void Reserve(size_t expected_keys);
+
+  /// Current slot-table capacity (observability for Reserve call
+  /// sites and tests; the table itself is an implementation detail).
+  size_t capacity() const { return slots_.size(); }
 
   /// Deterministic flat export for the zero-copy model artifact: the
   /// live slot table (hash + id per slot, same capacity and probe

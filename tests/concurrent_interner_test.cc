@@ -1,0 +1,265 @@
+// Tests for util::ConcurrentStringInterner: single-threaded semantics,
+// the two-phase canonicalization contract, a randomized differential
+// check against std::unordered_map, and the multi-threaded hammer that
+// the TSan pass of scripts/check.sh runs under
+// --gtest_filter='ConcurrentInternerHammer*'.
+
+#include "util/concurrent_interner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace pae::util {
+namespace {
+
+using Handle = ConcurrentStringInterner::Handle;
+
+TEST(ConcurrentInternerTest, InternReturnsStableHandles) {
+  ConcurrentStringInterner interner(16);
+  const Handle a = interner.Intern("alpha");
+  const Handle b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.Intern("beta"), b);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.key(a), "alpha");
+  EXPECT_EQ(interner.key(b), "beta");
+}
+
+TEST(ConcurrentInternerTest, FindDoesNotInsert) {
+  ConcurrentStringInterner interner(16);
+  const Handle a = interner.Intern("present");
+  EXPECT_EQ(interner.Find("present"), a);
+  EXPECT_EQ(interner.Find("absent"),
+            ConcurrentStringInterner::kInvalidHandle);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(ConcurrentInternerTest, HandlesEmptyKey) {
+  ConcurrentStringInterner interner(16);
+  const Handle e = interner.Intern("");
+  EXPECT_EQ(interner.Intern(""), e);
+  EXPECT_EQ(interner.key(e), "");
+  EXPECT_EQ(interner.Find(""), e);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(ConcurrentInternerTest, CapacityRoundsUpAndGuards) {
+  ConcurrentStringInterner interner(100);
+  // Capacity = next power of two >= 200; the guard allows 3/4 of it.
+  EXPECT_EQ(interner.capacity(), 256u);
+  EXPECT_EQ(interner.max_keys(), 192u);
+}
+
+TEST(ConcurrentInternerTest, CanonicalizeAssignsFirstOccurrenceIds) {
+  ConcurrentStringInterner interner(16);
+  const Handle a = interner.Intern("a");
+  const Handle b = interner.Intern("b");
+  const Handle c = interner.Intern("c");
+  // Canonical order visits c first, then a (twice), then b: the ids a
+  // serial interner would assign interning "c a a b".
+  interner.Canonicalize({c, a, a, b});
+  EXPECT_EQ(interner.id(c), 0);
+  EXPECT_EQ(interner.id(a), 1);
+  EXPECT_EQ(interner.id(b), 2);
+  EXPECT_EQ(interner.key_for_id(0), "c");
+  EXPECT_EQ(interner.key_for_id(1), "a");
+  EXPECT_EQ(interner.key_for_id(2), "b");
+  EXPECT_TRUE(interner.canonicalized());
+}
+
+TEST(ConcurrentInternerTest, CanonicalIdsMatchSerialFlatInterner) {
+  // Interning any key sequence and canonicalizing over it must
+  // reproduce FlatStringInterner's first-insertion dense ids exactly.
+  Rng rng(20260809);
+  std::vector<std::string> sequence;
+  for (int i = 0; i < 5000; ++i) {
+    sequence.push_back("key" + std::to_string(rng.NextBounded(700)));
+  }
+  ConcurrentStringInterner concurrent(1024);
+  std::vector<Handle> order;
+  order.reserve(sequence.size());
+  for (const std::string& key : sequence) {
+    order.push_back(concurrent.Intern(key));
+  }
+  concurrent.Canonicalize(order);
+
+  FlatStringInterner serial;
+  for (const std::string& key : sequence) serial.Intern(key);
+
+  ASSERT_EQ(concurrent.size(), serial.size());
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    EXPECT_EQ(concurrent.id(order[i]), serial.Find(sequence[i]));
+  }
+  for (size_t id = 0; id < serial.size(); ++id) {
+    EXPECT_EQ(concurrent.key_for_id(static_cast<int32_t>(id)),
+              serial.key(static_cast<int>(id)));
+  }
+}
+
+TEST(ConcurrentInternerTest, RandomizedDifferentialVsUnorderedMap) {
+  // Mixed Intern/Find stream checked against a std::unordered_map
+  // reference after every operation batch.
+  Rng rng(97);
+  ConcurrentStringInterner interner(2048);
+  std::unordered_map<std::string, Handle> reference;
+  for (int round = 0; round < 20000; ++round) {
+    std::string key = "k" + std::to_string(rng.NextBounded(3000));
+    if (rng.Bernoulli(0.7)) {
+      const Handle handle = interner.Intern(key);
+      auto [it, inserted] = reference.emplace(key, handle);
+      if (!inserted) {
+        ASSERT_EQ(handle, it->second) << "re-intern changed the handle";
+      }
+      ASSERT_EQ(interner.key(handle), key);
+    } else {
+      const Handle found = interner.Find(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        ASSERT_EQ(found, ConcurrentStringInterner::kInvalidHandle);
+      } else {
+        ASSERT_EQ(found, it->second);
+      }
+    }
+  }
+  ASSERT_EQ(interner.size(), reference.size());
+}
+
+TEST(ConcurrentInternerTest, LongKeysLandInArenaChunksIntact) {
+  ConcurrentStringInterner interner(64);
+  std::vector<Handle> handles;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; ++i) {
+    // ~100 KiB keys force chunk-boundary skips (chunks are 256 KiB).
+    keys.push_back(std::string(100'000 + i, static_cast<char>('a' + i % 26)) +
+                   std::to_string(i));
+    handles.push_back(interner.Intern(keys.back()));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(interner.key(handles[i]), keys[i]);
+    EXPECT_EQ(interner.Find(keys[i]), handles[i]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// The TSan hammer (run by scripts/check.sh pass 2 under
+// --gtest_filter='ConcurrentInternerHammer*'): 8 threads × 100k mixed
+// intern/find operations over overlapping key sets, then exact-count
+// and id-bijection asserts.
+
+TEST(ConcurrentInternerHammer, MixedInternFindOverOverlappingKeys) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 100'000;
+  // Overlapping key universes: thread t draws from [t*500, t*500+4000),
+  // so neighbors contend on most of their range.
+  constexpr int kRangePerThread = 4000;
+  constexpr int kStride = 500;
+  const int universe = kStride * (kThreads - 1) + kRangePerThread;
+
+  ConcurrentStringInterner interner(static_cast<size_t>(universe));
+  std::vector<std::vector<Handle>> thread_handles(
+      kThreads, std::vector<Handle>(static_cast<size_t>(universe),
+                                    ConcurrentStringInterner::kInvalidHandle));
+
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(0, kThreads, 1, [&](size_t t) {
+    Rng rng(0x9E3779B97F4A7C15ull + t);
+    std::vector<Handle>& handles = thread_handles[t];
+    for (int op = 0; op < kOpsPerThread; ++op) {
+      const int key_index =
+          static_cast<int>(t) * kStride +
+          static_cast<int>(rng.NextBounded(kRangePerThread));
+      const std::string key = "key-" + std::to_string(key_index);
+      if (rng.Bernoulli(0.75)) {
+        const Handle handle = interner.Intern(key);
+        ASSERT_NE(handle, ConcurrentStringInterner::kInvalidHandle);
+        Handle& slot = handles[static_cast<size_t>(key_index)];
+        if (slot == ConcurrentStringInterner::kInvalidHandle) {
+          slot = handle;
+        } else {
+          // A key's handle never changes once assigned.
+          ASSERT_EQ(slot, handle);
+        }
+        // The key bytes are readable immediately through the handle.
+        ASSERT_EQ(interner.key(handle), key);
+      } else {
+        const Handle found = interner.Find(key);
+        if (found != ConcurrentStringInterner::kInvalidHandle) {
+          ASSERT_EQ(interner.key(found), key);
+        }
+      }
+    }
+  });
+
+  // Exact final count: the distinct keys any thread successfully
+  // interned, no lost or duplicated slots.
+  std::unordered_map<int, Handle> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int k = 0; k < universe; ++k) {
+      const Handle handle = thread_handles[static_cast<size_t>(t)]
+                                          [static_cast<size_t>(k)];
+      if (handle == ConcurrentStringInterner::kInvalidHandle) continue;
+      auto [it, inserted] = expected.emplace(k, handle);
+      if (!inserted) {
+        // Two threads that interned the same key saw the same handle.
+        ASSERT_EQ(it->second, handle) << "key " << k;
+      }
+    }
+  }
+  ASSERT_EQ(interner.size(), expected.size());
+
+  // Id bijection via Canonicalize: every handle gets exactly one dense
+  // canonical id in [0, size).
+  std::vector<Handle> order;
+  order.reserve(expected.size());
+  for (const auto& [key_index, handle] : expected) order.push_back(handle);
+  interner.Canonicalize(order);
+  std::vector<bool> seen(interner.size(), false);
+  for (const auto& [key_index, handle] : expected) {
+    const int32_t id = interner.id(handle);
+    ASSERT_GE(id, 0);
+    ASSERT_LT(static_cast<size_t>(id), interner.size());
+    ASSERT_FALSE(seen[static_cast<size_t>(id)]) << "duplicate id " << id;
+    seen[static_cast<size_t>(id)] = true;
+    ASSERT_EQ(interner.key_for_id(id),
+              "key-" + std::to_string(key_index));
+  }
+}
+
+TEST(ConcurrentInternerHammer, ConcurrentCountsAreExact) {
+  // All threads intern the same small key set many times: the final
+  // size must be exactly the distinct-key count (no double claims).
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 257;
+  ConcurrentStringInterner interner(kKeys);
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(0, kThreads, 1, [&](size_t t) {
+    Rng rng(t + 1);
+    for (int op = 0; op < 20'000; ++op) {
+      const int k = static_cast<int>(rng.NextBounded(kKeys));
+      interner.Intern("shared-" + std::to_string(k));
+    }
+  });
+  // Every key was interned with overwhelming probability (20k draws
+  // per thread over 257 keys); assert the exact bound both ways.
+  EXPECT_EQ(interner.size(), static_cast<size_t>(kKeys));
+  std::unordered_set<Handle> distinct;
+  for (int k = 0; k < kKeys; ++k) {
+    const Handle handle = interner.Find("shared-" + std::to_string(k));
+    ASSERT_NE(handle, ConcurrentStringInterner::kInvalidHandle);
+    distinct.insert(handle);
+  }
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace pae::util

@@ -142,6 +142,22 @@ TEST(FlatStringInternerTest, ReserveDoesNotDisturbContents) {
   EXPECT_EQ(interner.size(), 1002u);
 }
 
+TEST(FlatStringInternerTest, ReservePreAllocatesTheProbeTable) {
+  FlatStringInterner interner;
+  interner.Reserve(10000);
+  const size_t reserved_capacity = interner.capacity();
+  // 10000 keys fit under the interner's load factor, so the bulk build
+  // never rehashes: capacity is untouched by the inserts.
+  for (int i = 0; i < 10000; ++i) interner.Intern("k" + std::to_string(i));
+  EXPECT_EQ(interner.capacity(), reserved_capacity);
+  EXPECT_EQ(interner.size(), 10000u);
+  // An unreserved build of the same keys goes through the doubling
+  // storm and lands on the same final capacity or smaller.
+  FlatStringInterner unreserved;
+  for (int i = 0; i < 10000; ++i) unreserved.Intern("k" + std::to_string(i));
+  EXPECT_LE(unreserved.capacity(), reserved_capacity);
+}
+
 TEST(FlatStringInternerTest, CopyReInternsIndependently) {
   FlatStringInterner original;
   for (int i = 0; i < 300; ++i) original.Intern("key" + std::to_string(i));

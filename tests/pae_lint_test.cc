@@ -474,6 +474,55 @@ TEST(LintFile, MemcpyInsteadOfCastIsFine) {
 }
 
 // ---------------------------------------------------------------------
+// Rule: single-writer-interner
+
+TEST(LintFile, FlagsInternInsideParallelFor) {
+  const std::string snippet =
+      "pool.ParallelFor(0, n, 1, [&](size_t i) {\n"
+      "  ids[i] = interner.Intern(tokens[i]);\n"
+      "});\n";
+  const std::vector<Violation> vs = LintFile("src/core/foo.cc", snippet);
+  ASSERT_TRUE(HasRule(vs, "single-writer-interner"));
+  // The violation points at the offending call, not the loop header.
+  const auto it = std::find_if(vs.begin(), vs.end(), [](const Violation& v) {
+    return v.rule == "single-writer-interner";
+  });
+  EXPECT_EQ(it->line, 2);
+}
+
+TEST(LintFile, FlagsGetOrAddInsideParallelFor) {
+  const std::string snippet =
+      "pool.ParallelFor(0, pages.size(), 1, [&](size_t p) {\n"
+      "  for (const auto& tok : pages[p].tokens) {\n"
+      "    vocab->GetOrAdd(tok);\n"
+      "  }\n"
+      "});\n";
+  EXPECT_TRUE(HasRule(LintFile("src/core/foo.cc", snippet),
+                      "single-writer-interner"));
+}
+
+TEST(LintFile, InternOutsideParallelForIsFine) {
+  const std::string snippet =
+      "pool.ParallelFor(0, n, 1, [&](size_t i) { Parse(i); });\n"
+      "for (const auto& tok : tokens) interner.Intern(tok);\n"
+      "vocab.GetOrAdd(word);\n";
+  EXPECT_FALSE(HasRule(LintFile("src/core/foo.cc", snippet),
+                       "single-writer-interner"));
+}
+
+TEST(LintFile, NonMemberInternInsideParallelForIsFine) {
+  // Free functions / other identifiers named Intern are not member
+  // calls on an interner.
+  const std::string snippet =
+      "pool.ParallelFor(0, n, 1, [&](size_t i) {\n"
+      "  ids[i] = Intern(tokens[i]);\n"
+      "  int GetOrAdd = 3;\n"
+      "});\n";
+  EXPECT_FALSE(HasRule(LintFile("src/core/foo.cc", snippet),
+                       "single-writer-interner"));
+}
+
+// ---------------------------------------------------------------------
 // Violation metadata / allowlist
 
 TEST(LintFile, ReportsFileAndLine) {

@@ -11,6 +11,9 @@
 //        --no-diversification            --min-confidence X
 //        --epochs N (BiLSTM)             --eval
 //        --metrics-out report.json ("-" = stdout) --no-metrics
+//        --ingest streaming|barrier (default streaming: single-pass
+//          page-at-a-time ingestion; barrier = load-everything-first
+//          reference path; outputs are byte-identical)
 
 #include <iostream>
 #include <string>
@@ -23,6 +26,7 @@
 #include "crf/crf_tagger.h"
 #include "core/corpus_io.h"
 #include "core/eval.h"
+#include "core/ingest.h"
 #include "core/model_artifact.h"
 #include "math/kernels.h"
 #include "util/logging.h"
@@ -67,6 +71,8 @@ int Usage() {
             << "                    collection)\n"
             << "                   [--threads N]  (0 = all hardware threads;\n"
             << "                    output is identical for every N)\n"
+            << "                   [--ingest streaming|barrier]  (default\n"
+            << "                    streaming; byte-identical outputs)\n"
             << "                   [--save-model m.crf]  (CRF only; also\n"
             << "                    writes m.crf.pairs)\n"
             << "       pae-extract --in <dir> --out <tsv> --apply-model\n"
@@ -92,13 +98,33 @@ int main(int argc, char** argv) {
     pae::util::MetricsRegistry::Global().set_enabled(false);
   }
 
-  auto corpus_result = pae::core::LoadCorpus(in_dir);
-  if (!corpus_result.ok()) {
-    std::cerr << corpus_result.status().ToString() << "\n";
-    return 1;
+  const std::string ingest_mode = args.GetString("ingest", "streaming");
+  if (ingest_mode != "streaming" && ingest_mode != "barrier") {
+    std::cerr << "--ingest must be 'streaming' or 'barrier', got '"
+              << ingest_mode << "'\n";
+    return 2;
   }
-  pae::core::ProcessedCorpus corpus =
-      pae::core::ProcessCorpus(corpus_result.value(), threads);
+  const bool streaming = ingest_mode == "streaming";
+
+  pae::core::IngestedCorpus ingested;
+  if (streaming) {
+    pae::core::IngestOptions ingest_options;
+    ingest_options.threads = threads;
+    auto ingest_result = pae::core::IngestCorpusDir(in_dir, ingest_options);
+    if (!ingest_result.ok()) {
+      std::cerr << ingest_result.status().ToString() << "\n";
+      return 1;
+    }
+    ingested = std::move(ingest_result).value();
+  } else {
+    auto corpus_result = pae::core::LoadCorpus(in_dir);
+    if (!corpus_result.ok()) {
+      std::cerr << corpus_result.status().ToString() << "\n";
+      return 1;
+    }
+    ingested.corpus = pae::core::ProcessCorpus(corpus_result.value(), threads);
+  }
+  pae::core::ProcessedCorpus& corpus = ingested.corpus;
   std::cerr << "loaded " << corpus.pages.size() << " pages ("
             << corpus.category << ", "
             << pae::text::LanguageName(corpus.language) << ")\n";
@@ -197,7 +223,7 @@ int main(int argc, char** argv) {
   }
 
   pae::core::Pipeline pipeline(config);
-  auto result = pipeline.Run(corpus);
+  auto result = streaming ? pipeline.Run(ingested) : pipeline.Run(corpus);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;

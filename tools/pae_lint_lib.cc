@@ -416,6 +416,38 @@ std::vector<Violation> LintFile(std::string_view path,
     }
   }
 
+  // --- single-writer-interner: FlatStringInterner::Intern and
+  // Vocab::GetOrAdd mutate single-writer open-addressing tables; called
+  // from a ParallelFor body they race. Concurrent interning goes
+  // through util::ConcurrentStringInterner (handles in the loop, one
+  // Canonicalize after the join). The legitimate concurrent call sites
+  // (the interner's own tests/benches) are allowlisted.
+  {
+    constexpr std::string_view kLoopTok = "ParallelFor";
+    ForEachToken(stripped, kLoopTok, [&](int line, size_t i) {
+      const size_t open = SkipSpaces(stripped, i + kLoopTok.size());
+      if (open >= stripped.size() || stripped[open] != '(') return;
+      std::string_view args;
+      if (MatchParen(stripped, open, &args) == std::string_view::npos) {
+        return;
+      }
+      for (const char* tok : {"Intern", "GetOrAdd"}) {
+        ForEachToken(args, tok, [&](int rel_line, size_t j) {
+          if (!IsMemberAccess(args, j)) return;
+          const size_t call =
+              SkipSpaces(args, j + std::string_view(tok).size());
+          if (call >= args.size() || args[call] != '(') return;
+          add(line + rel_line - 1, "single-writer-interner",
+              std::string(".") + tok +
+                  "() inside a ParallelFor body: FlatStringInterner and "
+                  "Vocab are single-writer; use "
+                  "util::ConcurrentStringInterner handles in the loop and "
+                  "Canonicalize after the join");
+        });
+      }
+    });
+  }
+
   // --- atomic-memory-order: the implicit seq_cst default hides the
   // ordering decision. Spelling the order states the contract and makes
   // deliberate relaxations greppable.

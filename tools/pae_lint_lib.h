@@ -74,11 +74,21 @@ struct Violation {
 ///                        everywhere else the cast is an aliasing
 ///                        hazard that belongs behind a typed helper or
 ///                        std::memcpy.
+///   single-writer-interner
+///                        FlatStringInterner::Intern or Vocab::GetOrAdd
+///                        inside a ParallelFor body — both mutate
+///                        single-writer open-addressing tables, so a
+///                        worker calling them races every other worker.
+///                        Concurrent interning goes through
+///                        util::ConcurrentStringInterner: workers hold
+///                        handles, one Canonicalize after the join
+///                        restores deterministic dense ids.
 inline constexpr const char* kAllRules[] = {
     "hot-path-string-map", "raw-random",        "raw-stdio",
     "naked-assert",        "include-guard",     "float-accumulator",
     "hand-rolled-kernel",  "raw-mutex",         "atomic-memory-order",
     "detached-thread",     "unguarded-mutable", "mmap-reinterpret-cast",
+    "single-writer-interner",
 };
 
 /// Returns `content` with comments and string/char literals replaced by
